@@ -1,0 +1,135 @@
+//! The finite alphabet of edge labels an automaton is defined over.
+//!
+//! An [`Alphabet`] is an ordered set of [`LabelId`]s.  Completion and
+//! complementation of automata are only meaningful relative to an explicit
+//! alphabet, which is why automata operations take one as an argument rather
+//! than inferring it from the symbols that happen to occur in the automaton.
+
+use gps_graph::{LabelId, LabelInterner};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An ordered, duplicate-free set of labels.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alphabet {
+    symbols: Vec<LabelId>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an alphabet from any iterator of labels, deduplicating and
+    /// sorting them.
+    pub fn from_labels(labels: impl IntoIterator<Item = LabelId>) -> Self {
+        let set: BTreeSet<LabelId> = labels.into_iter().collect();
+        Self {
+            symbols: set.into_iter().collect(),
+        }
+    }
+
+    /// Builds the alphabet of every label known to an interner.
+    pub fn from_interner(interner: &LabelInterner) -> Self {
+        Self::from_labels(interner.ids())
+    }
+
+    /// Adds a symbol (keeping the set sorted); returns `true` if it was new.
+    pub fn insert(&mut self, label: LabelId) -> bool {
+        match self.symbols.binary_search(&label) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.symbols.insert(pos, label);
+                true
+            }
+        }
+    }
+
+    /// Returns `true` if the alphabet contains `label`.
+    pub fn contains(&self, label: LabelId) -> bool {
+        self.symbols.binary_search(&label).is_ok()
+    }
+
+    /// The symbols in ascending order.
+    pub fn symbols(&self) -> &[LabelId] {
+        &self.symbols
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` when the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over the symbols.
+    pub fn iter(&self) -> impl Iterator<Item = LabelId> + '_ {
+        self.symbols.iter().copied()
+    }
+
+    /// Union of two alphabets.
+    pub fn union(&self, other: &Alphabet) -> Alphabet {
+        Alphabet::from_labels(self.iter().chain(other.iter()))
+    }
+}
+
+impl FromIterator<LabelId> for Alphabet {
+    fn from_iter<T: IntoIterator<Item = LabelId>>(iter: T) -> Self {
+        Self::from_labels(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LabelId {
+        LabelId::new(i)
+    }
+
+    #[test]
+    fn from_labels_sorts_and_dedups() {
+        let a = Alphabet::from_labels(vec![l(3), l(1), l(3), l(0)]);
+        assert_eq!(a.symbols(), &[l(0), l(1), l(3)]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn insert_keeps_order_and_reports_novelty() {
+        let mut a = Alphabet::new();
+        assert!(a.is_empty());
+        assert!(a.insert(l(2)));
+        assert!(a.insert(l(0)));
+        assert!(!a.insert(l(2)));
+        assert_eq!(a.symbols(), &[l(0), l(2)]);
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let a: Alphabet = vec![l(5), l(7)].into_iter().collect();
+        assert!(a.contains(l(5)));
+        assert!(!a.contains(l(6)));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![l(5), l(7)]);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = Alphabet::from_labels(vec![l(1), l(2)]);
+        let b = Alphabet::from_labels(vec![l(2), l(3)]);
+        assert_eq!(a.union(&b).symbols(), &[l(1), l(2), l(3)]);
+    }
+
+    #[test]
+    fn from_interner_covers_all_labels() {
+        let mut interner = LabelInterner::new();
+        interner.intern("tram");
+        interner.intern("bus");
+        let a = Alphabet::from_interner(&interner);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(interner.get("bus").unwrap()));
+    }
+}

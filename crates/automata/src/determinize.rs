@@ -1,0 +1,128 @@
+//! Subset construction: NFA → DFA.
+//!
+//! The construction only creates subsets reachable from the ε-closure of the
+//! NFA start state, so the output is reachable by construction (but not
+//! necessarily minimal or trim — see [`crate::minimize`]).
+
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, StateId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Determinizes `nfa` by the subset construction.
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    let symbols: Vec<_> = nfa.symbols().into_iter().collect();
+
+    let start_subset = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+    let mut subset_ids: BTreeMap<BTreeSet<StateId>, StateId> = BTreeMap::new();
+    let mut dfa = Dfa::empty_language();
+    // Reuse state 0 of the fresh DFA as the start subset.
+    subset_ids.insert(start_subset.clone(), 0);
+    dfa.set_accepting(0, start_subset.iter().any(|&s| nfa.is_accepting(s)));
+
+    let mut queue = VecDeque::new();
+    queue.push_back(start_subset);
+
+    while let Some(subset) = queue.pop_front() {
+        let from_id = subset_ids[&subset];
+        for &symbol in &symbols {
+            let moved = nfa.step(&subset, symbol);
+            if moved.is_empty() {
+                continue;
+            }
+            let closure = nfa.epsilon_closure(&moved);
+            let to_id = match subset_ids.get(&closure) {
+                Some(&id) => id,
+                None => {
+                    let accepting = closure.iter().any(|&s| nfa.is_accepting(s));
+                    let id = dfa.add_state(accepting);
+                    subset_ids.insert(closure.clone(), id);
+                    queue.push_back(closure);
+                    id
+                }
+            };
+            dfa.add_transition(from_id, symbol, to_id);
+        }
+    }
+    dfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use gps_graph::LabelId;
+
+    fn l(i: u32) -> LabelId {
+        LabelId::new(i)
+    }
+
+    #[test]
+    fn determinized_automaton_preserves_language() {
+        let r = Regex::concat([
+            Regex::star(Regex::union([Regex::symbol(l(0)), Regex::symbol(l(1))])),
+            Regex::symbol(l(2)),
+        ]);
+        let nfa = Nfa::from_regex(&r);
+        let dfa = determinize(&nfa);
+        for word in [
+            vec![l(2)],
+            vec![l(0), l(2)],
+            vec![l(1), l(1), l(0), l(2)],
+            vec![],
+            vec![l(0)],
+            vec![l(2), l(0)],
+        ] {
+            assert_eq!(nfa.accepts(&word), dfa.accepts(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn empty_language_determinizes_to_rejecting_automaton() {
+        let dfa = determinize(&Nfa::from_regex(&Regex::Empty));
+        assert!(!dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[l(0)]));
+        assert_eq!(dfa.state_count(), 1);
+    }
+
+    #[test]
+    fn epsilon_language_start_state_is_accepting() {
+        let dfa = determinize(&Nfa::from_regex(&Regex::Epsilon));
+        assert!(dfa.is_accepting(dfa.start()));
+        assert!(dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[l(0)]));
+    }
+
+    #[test]
+    fn result_is_deterministic_and_reachable() {
+        let r = Regex::union([
+            Regex::word(&[l(0), l(1)]),
+            Regex::word(&[l(0), l(2)]),
+            Regex::star(Regex::symbol(l(0))),
+        ]);
+        let dfa = determinize(&Nfa::from_regex(&r));
+        assert_eq!(dfa.reachable_states().len(), dfa.state_count());
+        // Determinism is guaranteed by the BTreeMap representation; check a
+        // couple of memberships anyway.
+        assert!(dfa.accepts(&[l(0), l(1)]));
+        assert!(dfa.accepts(&[l(0), l(0)]));
+        assert!(dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[l(1)]));
+    }
+
+    #[test]
+    fn exponential_blowup_is_possible_but_bounded_here() {
+        // (a+b)*·a·(a+b): the minimal DFA has 4 states; subset construction
+        // may produce a few more but stays small for this size.
+        let ab = Regex::union([Regex::symbol(l(0)), Regex::symbol(l(1))]);
+        let r = Regex::concat([
+            Regex::star(ab.clone()),
+            Regex::symbol(l(0)),
+            ab.clone(),
+        ]);
+        let dfa = determinize(&Nfa::from_regex(&r));
+        assert!(dfa.state_count() >= 4);
+        assert!(dfa.accepts(&[l(0), l(1)]));
+        assert!(dfa.accepts(&[l(1), l(0), l(0)]));
+        assert!(!dfa.accepts(&[l(1), l(1)]));
+    }
+}

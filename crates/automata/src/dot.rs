@@ -1,0 +1,136 @@
+//! Graphviz DOT export of automata.
+//!
+//! Learned queries are automata before they are shown as regular expressions;
+//! exporting them as DOT makes the learner's intermediate hypotheses easy to
+//! inspect (`dot -Tsvg`).  Accepting states use a double circle, the start
+//! state is marked by an incoming arrow from an invisible node, and labels
+//! are resolved through a [`LabelInterner`] when one is provided.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use gps_graph::{LabelId, LabelInterner};
+use std::fmt::Write as _;
+
+fn label_name(labels: Option<&LabelInterner>, label: LabelId) -> String {
+    labels
+        .and_then(|l| l.name(label))
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("l{}", label.raw()))
+}
+
+/// Exports a DFA as a DOT digraph.
+pub fn dfa_to_dot(dfa: &Dfa, labels: Option<&LabelInterner>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph dfa {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  __start [shape=none, label=\"\"];");
+    for state in 0..dfa.state_count() {
+        let shape = if dfa.is_accepting(state) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{state} [shape={shape}];");
+    }
+    let _ = writeln!(out, "  __start -> q{};", dfa.start());
+    for state in 0..dfa.state_count() {
+        for (label, target) in dfa.transitions_from(state) {
+            let _ = writeln!(
+                out,
+                "  q{state} -> q{target} [label=\"{}\"];",
+                label_name(labels, label)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Exports an NFA as a DOT digraph (ε-transitions are labeled `ε`).
+pub fn nfa_to_dot(nfa: &Nfa, labels: Option<&LabelInterner>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph nfa {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  __start [shape=none, label=\"\"];");
+    for state in 0..nfa.state_count() {
+        let shape = if nfa.is_accepting(state) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  q{state} [shape={shape}];");
+    }
+    let _ = writeln!(out, "  __start -> q{};", nfa.start());
+    for state in 0..nfa.state_count() {
+        for &(symbol, target) in nfa.transitions_from(state) {
+            let text = match symbol {
+                Some(label) => label_name(labels, label),
+                None => "ε".to_string(),
+            };
+            let _ = writeln!(out, "  q{state} -> q{target} [label=\"{text}\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn interner() -> LabelInterner {
+        let mut labels = LabelInterner::new();
+        labels.intern("tram");
+        labels.intern("bus");
+        labels.intern("cinema");
+        labels
+    }
+
+    fn motivating() -> Regex {
+        let labels = interner();
+        crate::parser::parse("(tram+bus)*.cinema", &labels).unwrap()
+    }
+
+    #[test]
+    fn dfa_export_marks_start_and_accepting_states() {
+        let dfa = Dfa::from_regex(&motivating());
+        let dot = dfa_to_dot(&dfa, Some(&interner()));
+        assert!(dot.contains("digraph dfa {"));
+        assert!(dot.contains("__start -> q0;") || dot.contains("__start -> q1;"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("[label=\"cinema\"]"));
+        assert!(dot.contains("[label=\"tram\"]"));
+    }
+
+    #[test]
+    fn dfa_export_without_interner_uses_raw_ids() {
+        let dfa = Dfa::from_regex(&motivating());
+        let dot = dfa_to_dot(&dfa, None);
+        assert!(dot.contains("[label=\"l0\"]"));
+        assert!(!dot.contains("tram"));
+    }
+
+    #[test]
+    fn nfa_export_shows_epsilon_transitions() {
+        let nfa = Nfa::from_regex(&Regex::star(Regex::symbol(gps_graph::LabelId::new(0))));
+        let dot = nfa_to_dot(&nfa, Some(&interner()));
+        assert!(dot.contains("digraph nfa {"));
+        assert!(dot.contains("ε"));
+        assert!(dot.contains("[label=\"tram\"]"));
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        for dot in [
+            dfa_to_dot(&Dfa::empty_language(), None),
+            dfa_to_dot(&Dfa::epsilon_language(), None),
+            nfa_to_dot(&Nfa::empty_language(), None),
+        ] {
+            assert!(dot.starts_with("digraph"));
+            assert!(dot.trim_end().ends_with('}'));
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        }
+    }
+}

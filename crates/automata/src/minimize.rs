@@ -1,0 +1,194 @@
+//! DFA minimization by partition refinement (Moore's algorithm) followed by
+//! trimming.
+//!
+//! The input may have a partial transition function; it is completed over its
+//! own used alphabet before refinement and the sink introduced by completion
+//! is removed again by the final trim, so the result is the minimal *trim*
+//! DFA of the language.  Trim minimal DFAs are canonical up to isomorphism,
+//! which [`crate::decide::equivalent`] relies on indirectly.
+
+use crate::dfa::Dfa;
+use std::collections::BTreeMap;
+
+/// Returns the minimal trim DFA recognizing the same language as `dfa`.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let alphabet = dfa.used_alphabet();
+    let complete = dfa.complete(&alphabet);
+    let n = complete.state_count();
+    if n == 0 {
+        return Dfa::empty_language();
+    }
+
+    // Initial partition: accepting vs non-accepting states.
+    let mut class_of: Vec<usize> = (0..n)
+        .map(|s| if complete.is_accepting(s) { 1 } else { 0 })
+        .collect();
+    let mut class_count = 2;
+
+    loop {
+        // Signature of a state: its class + the classes reached per symbol.
+        let mut signatures: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
+        let mut next_class_of = vec![0usize; n];
+        let mut next_count = 0usize;
+        for state in 0..n {
+            let successor_classes: Vec<usize> = alphabet
+                .iter()
+                .map(|symbol| {
+                    complete
+                        .step(state, symbol)
+                        .map(|t| class_of[t])
+                        .unwrap_or(usize::MAX)
+                })
+                .collect();
+            let key = (class_of[state], successor_classes);
+            let class = *signatures.entry(key).or_insert_with(|| {
+                let c = next_count;
+                next_count += 1;
+                c
+            });
+            next_class_of[state] = class;
+        }
+        if next_count == class_count {
+            class_of = next_class_of;
+            break;
+        }
+        class_of = next_class_of;
+        class_count = next_count;
+    }
+
+    // Build the quotient automaton: one state per refinement class (classes
+    // are contiguous 0..class_count by construction of the signature map).
+    let mut quotient = Dfa::empty_language();
+    while quotient.state_count() < class_count {
+        quotient.add_state(false);
+    }
+    for state in 0..n {
+        if complete.is_accepting(state) {
+            quotient.set_accepting(class_of[state], true);
+        }
+    }
+    // Transitions: pick any representative per class (classes agree on the
+    // target class of every symbol by construction).
+    let mut class_representative: BTreeMap<usize, usize> = BTreeMap::new();
+    for state in 0..n {
+        class_representative.entry(class_of[state]).or_insert(state);
+    }
+    for (&class, &rep) in &class_representative {
+        for (symbol, target) in complete.transitions_from(rep) {
+            quotient.add_transition(class, symbol, class_of[target]);
+        }
+    }
+    quotient.set_start(class_of[complete.start()]);
+    quotient.trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::determinize::determinize;
+    use crate::nfa::Nfa;
+    use crate::regex::Regex;
+    use gps_graph::LabelId;
+
+    fn l(i: u32) -> LabelId {
+        LabelId::new(i)
+    }
+
+    fn minimal_of(regex: &Regex) -> Dfa {
+        minimize(&determinize(&Nfa::from_regex(regex)))
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        let r = Regex::concat([
+            Regex::star(Regex::union([Regex::symbol(l(0)), Regex::symbol(l(1))])),
+            Regex::symbol(l(2)),
+        ]);
+        let big = determinize(&Nfa::from_regex(&r));
+        let small = minimize(&big);
+        for word in [
+            vec![],
+            vec![l(2)],
+            vec![l(0), l(2)],
+            vec![l(1), l(0), l(2)],
+            vec![l(2), l(2)],
+            vec![l(0)],
+        ] {
+            assert_eq!(big.accepts(&word), small.accepts(&word), "word {word:?}");
+        }
+        assert!(small.state_count() <= big.state_count());
+    }
+
+    #[test]
+    fn known_minimal_sizes() {
+        // (a+b)*c — minimal trim DFA: 2 states.
+        let r1 = Regex::concat([
+            Regex::star(Regex::union([Regex::symbol(l(0)), Regex::symbol(l(1))])),
+            Regex::symbol(l(2)),
+        ]);
+        assert_eq!(minimal_of(&r1).state_count(), 2);
+        // a* — 1 state.
+        assert_eq!(minimal_of(&Regex::star(Regex::symbol(l(0)))).state_count(), 1);
+        // a·b — 3 states (trim).
+        assert_eq!(
+            minimal_of(&Regex::word(&[l(0), l(1)])).state_count(),
+            3
+        );
+        // ε — 1 accepting state.
+        assert_eq!(minimal_of(&Regex::Epsilon).state_count(), 1);
+        // ∅ — trim leaves a single rejecting state by convention.
+        assert_eq!(minimal_of(&Regex::Empty).state_count(), 1);
+    }
+
+    #[test]
+    fn equivalent_expressions_minimize_to_same_size() {
+        // (a*)* and a* and ε + a·a*
+        let a = Regex::symbol(l(0));
+        let r1 = Regex::star(Regex::star(a.clone()));
+        let r2 = Regex::star(a.clone());
+        let r3 = Regex::union([Regex::Epsilon, Regex::plus(a.clone())]);
+        let s1 = minimal_of(&r1).state_count();
+        let s2 = minimal_of(&r2).state_count();
+        let s3 = minimal_of(&r3).state_count();
+        assert_eq!(s1, s2);
+        assert_eq!(s2, s3);
+    }
+
+    #[test]
+    fn redundant_states_are_merged() {
+        // Hand-built DFA with two equivalent accepting states.
+        let mut dfa = Dfa::empty_language();
+        let acc1 = dfa.add_state(true);
+        let acc2 = dfa.add_state(true);
+        dfa.add_transition(0, l(0), acc1);
+        dfa.add_transition(0, l(1), acc2);
+        // Both accepting states are sinks → equivalent.
+        let min = minimize(&dfa);
+        assert_eq!(min.state_count(), 2);
+        assert!(min.accepts(&[l(0)]));
+        assert!(min.accepts(&[l(1)]));
+        assert!(!min.accepts(&[l(0), l(0)]));
+    }
+
+    #[test]
+    fn minimization_removes_unreachable_and_dead_states() {
+        let mut dfa = Dfa::empty_language();
+        let acc = dfa.add_state(true);
+        let dead = dfa.add_state(false);
+        let unreachable = dfa.add_state(true);
+        dfa.add_transition(0, l(0), acc);
+        dfa.add_transition(0, l(1), dead);
+        dfa.add_transition(unreachable, l(0), acc);
+        let min = minimize(&dfa);
+        assert_eq!(min.state_count(), 2);
+        assert!(min.accepts(&[l(0)]));
+        assert!(!min.accepts(&[l(1)]));
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_single_state() {
+        let min = minimize(&Dfa::empty_language());
+        assert_eq!(min.state_count(), 1);
+        assert!(!min.accepts(&[]));
+    }
+}

@@ -1,0 +1,311 @@
+//! Nondeterministic finite automata with ε-transitions and Thompson's
+//! construction from regular expressions.
+
+use crate::regex::Regex;
+use gps_graph::LabelId;
+use std::collections::BTreeSet;
+
+/// Identifier of an automaton state (dense index).
+pub type StateId = usize;
+
+/// An NFA with ε-transitions.
+///
+/// Transitions are stored per state as `(symbol, target)` pairs where
+/// `symbol == None` denotes an ε-transition.  There is a single start state;
+/// any number of states may be accepting.
+#[derive(Debug, Clone, Default)]
+pub struct Nfa {
+    transitions: Vec<Vec<(Option<LabelId>, StateId)>>,
+    start: StateId,
+    accepting: Vec<bool>,
+}
+
+impl Nfa {
+    /// Creates an NFA with a single non-accepting start state and no
+    /// transitions (recognizing the empty language).
+    pub fn empty_language() -> Self {
+        Self {
+            transitions: vec![Vec::new()],
+            start: 0,
+            accepting: vec![false],
+        }
+    }
+
+    /// Adds a fresh state; returns its identifier.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        let id = self.transitions.len();
+        self.transitions.push(Vec::new());
+        self.accepting.push(accepting);
+        id
+    }
+
+    /// Adds a transition.  `symbol == None` is an ε-transition.
+    pub fn add_transition(&mut self, from: StateId, symbol: Option<LabelId>, to: StateId) {
+        self.transitions[from].push((symbol, to));
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Sets the start state.
+    pub fn set_start(&mut self, state: StateId) {
+        assert!(state < self.state_count());
+        self.start = state;
+    }
+
+    /// Returns `true` if `state` is accepting.
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state]
+    }
+
+    /// Marks a state accepting or not.
+    pub fn set_accepting(&mut self, state: StateId, accepting: bool) {
+        self.accepting[state] = accepting;
+    }
+
+    /// Transitions leaving `state`.
+    pub fn transitions_from(&self, state: StateId) -> &[(Option<LabelId>, StateId)] {
+        &self.transitions[state]
+    }
+
+    /// All symbols (non-ε) used on transitions.
+    pub fn symbols(&self) -> BTreeSet<LabelId> {
+        self.transitions
+            .iter()
+            .flatten()
+            .filter_map(|&(s, _)| s)
+            .collect()
+    }
+
+    /// ε-closure of a set of states.
+    pub fn epsilon_closure(&self, states: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut closure = states.clone();
+        let mut stack: Vec<StateId> = states.iter().copied().collect();
+        while let Some(state) = stack.pop() {
+            for &(symbol, target) in &self.transitions[state] {
+                if symbol.is_none() && closure.insert(target) {
+                    stack.push(target);
+                }
+            }
+        }
+        closure
+    }
+
+    /// States reachable from `states` by one `symbol` transition (before
+    /// ε-closure).
+    pub fn step(&self, states: &BTreeSet<StateId>, symbol: LabelId) -> BTreeSet<StateId> {
+        let mut next = BTreeSet::new();
+        for &state in states {
+            for &(s, target) in &self.transitions[state] {
+                if s == Some(symbol) {
+                    next.insert(target);
+                }
+            }
+        }
+        next
+    }
+
+    /// Returns `true` if the NFA accepts `word`.
+    pub fn accepts(&self, word: &[LabelId]) -> bool {
+        let mut current = self.epsilon_closure(&BTreeSet::from([self.start]));
+        for &symbol in word {
+            let stepped = self.step(&current, symbol);
+            current = self.epsilon_closure(&stepped);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&s| self.accepting[s])
+    }
+
+    /// Thompson's construction: builds an NFA recognizing exactly the
+    /// language of `regex`.  The resulting automaton has a single start state
+    /// and a single accepting state.
+    pub fn from_regex(regex: &Regex) -> Self {
+        let mut nfa = Nfa {
+            transitions: Vec::new(),
+            start: 0,
+            accepting: Vec::new(),
+        };
+        let (start, accept) = nfa.build(regex);
+        nfa.start = start;
+        nfa.set_accepting(accept, true);
+        nfa
+    }
+
+    /// Recursively builds the fragment for `regex`; returns `(start, accept)`
+    /// states of the fragment.  No state inside the fragment is marked
+    /// accepting — the caller decides.
+    fn build(&mut self, regex: &Regex) -> (StateId, StateId) {
+        match regex {
+            Regex::Empty => {
+                let start = self.add_state(false);
+                let accept = self.add_state(false);
+                (start, accept)
+            }
+            Regex::Epsilon => {
+                let start = self.add_state(false);
+                let accept = self.add_state(false);
+                self.add_transition(start, None, accept);
+                (start, accept)
+            }
+            Regex::Symbol(label) => {
+                let start = self.add_state(false);
+                let accept = self.add_state(false);
+                self.add_transition(start, Some(*label), accept);
+                (start, accept)
+            }
+            Regex::Concat(parts) => {
+                let mut iter = parts.iter();
+                let first = iter.next().expect("concat has at least two parts");
+                let (start, mut accept) = self.build(first);
+                for part in iter {
+                    let (next_start, next_accept) = self.build(part);
+                    self.add_transition(accept, None, next_start);
+                    accept = next_accept;
+                }
+                (start, accept)
+            }
+            Regex::Union(parts) => {
+                let start = self.add_state(false);
+                let accept = self.add_state(false);
+                for part in parts {
+                    let (s, a) = self.build(part);
+                    self.add_transition(start, None, s);
+                    self.add_transition(a, None, accept);
+                }
+                (start, accept)
+            }
+            Regex::Star(inner) => {
+                let start = self.add_state(false);
+                let accept = self.add_state(false);
+                let (s, a) = self.build(inner);
+                self.add_transition(start, None, s);
+                self.add_transition(start, None, accept);
+                self.add_transition(a, None, s);
+                self.add_transition(a, None, accept);
+                (start, accept)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LabelId {
+        LabelId::new(i)
+    }
+
+    #[test]
+    fn empty_language_accepts_nothing() {
+        let nfa = Nfa::from_regex(&Regex::Empty);
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[l(0)]));
+    }
+
+    #[test]
+    fn epsilon_accepts_only_the_empty_word() {
+        let nfa = Nfa::from_regex(&Regex::Epsilon);
+        assert!(nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[l(0)]));
+    }
+
+    #[test]
+    fn single_symbol() {
+        let nfa = Nfa::from_regex(&Regex::symbol(l(0)));
+        assert!(nfa.accepts(&[l(0)]));
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[l(1)]));
+        assert!(!nfa.accepts(&[l(0), l(0)]));
+    }
+
+    #[test]
+    fn concatenation_and_union() {
+        // (a·b) + c
+        let r = Regex::union([
+            Regex::concat([Regex::symbol(l(0)), Regex::symbol(l(1))]),
+            Regex::symbol(l(2)),
+        ]);
+        let nfa = Nfa::from_regex(&r);
+        assert!(nfa.accepts(&[l(0), l(1)]));
+        assert!(nfa.accepts(&[l(2)]));
+        assert!(!nfa.accepts(&[l(0)]));
+        assert!(!nfa.accepts(&[l(1), l(0)]));
+    }
+
+    #[test]
+    fn star_accepts_any_repetition() {
+        let r = Regex::star(Regex::symbol(l(0)));
+        let nfa = Nfa::from_regex(&r);
+        assert!(nfa.accepts(&[]));
+        assert!(nfa.accepts(&[l(0)]));
+        assert!(nfa.accepts(&[l(0); 5]));
+        assert!(!nfa.accepts(&[l(0), l(1)]));
+    }
+
+    #[test]
+    fn motivating_query_membership() {
+        // (tram + bus)* · cinema with tram=0, bus=1, cinema=2
+        let r = Regex::concat([
+            Regex::star(Regex::union([Regex::symbol(l(0)), Regex::symbol(l(1))])),
+            Regex::symbol(l(2)),
+        ]);
+        let nfa = Nfa::from_regex(&r);
+        assert!(nfa.accepts(&[l(2)]));
+        assert!(nfa.accepts(&[l(0), l(2)]));
+        assert!(nfa.accepts(&[l(1), l(0), l(1), l(2)]));
+        assert!(!nfa.accepts(&[l(0), l(1)]));
+        assert!(!nfa.accepts(&[l(2), l(2)]));
+    }
+
+    #[test]
+    fn symbols_reports_used_alphabet() {
+        let r = Regex::concat([Regex::symbol(l(3)), Regex::symbol(l(1))]);
+        let nfa = Nfa::from_regex(&r);
+        let symbols: Vec<LabelId> = nfa.symbols().into_iter().collect();
+        assert_eq!(symbols, vec![l(1), l(3)]);
+    }
+
+    #[test]
+    fn manual_construction_and_epsilon_closure() {
+        let mut nfa = Nfa::empty_language();
+        let s1 = nfa.add_state(false);
+        let s2 = nfa.add_state(true);
+        nfa.add_transition(nfa.start(), None, s1);
+        nfa.add_transition(s1, Some(l(0)), s2);
+        let closure = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+        assert!(closure.contains(&s1));
+        assert!(!closure.contains(&s2));
+        assert!(nfa.accepts(&[l(0)]));
+        assert_eq!(nfa.state_count(), 3);
+    }
+
+    #[test]
+    fn set_start_and_accepting_flags() {
+        let mut nfa = Nfa::empty_language();
+        let s = nfa.add_state(false);
+        nfa.set_start(s);
+        nfa.set_accepting(s, true);
+        assert_eq!(nfa.start(), s);
+        assert!(nfa.is_accepting(s));
+        assert!(nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let r = Regex::plus(Regex::symbol(l(0)));
+        let nfa = Nfa::from_regex(&r);
+        assert!(!nfa.accepts(&[]));
+        assert!(nfa.accepts(&[l(0)]));
+        assert!(nfa.accepts(&[l(0), l(0), l(0)]));
+    }
+}

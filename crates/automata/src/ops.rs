@@ -1,0 +1,221 @@
+//! Boolean operations on DFAs: product, intersection, union, complement and
+//! difference.
+//!
+//! All binary operations are implemented through the reachable product
+//! construction.  Operations whose result depends on words *outside* the
+//! automata's own transitions (union, complement, difference) require an
+//! explicit [`Alphabet`] so the automata can be completed first.
+
+use crate::alphabet::Alphabet;
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// How the accepting sets of the two operands combine in a product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductMode {
+    /// Accepting iff both operands accept.
+    Intersection,
+    /// Accepting iff at least one operand accepts.
+    Union,
+    /// Accepting iff the first accepts and the second does not.
+    Difference,
+}
+
+/// Reachable product of two DFAs with the given acceptance combination.
+///
+/// The operands should be complete over a common alphabet when the mode is
+/// [`ProductMode::Union`] or [`ProductMode::Difference`]; otherwise words
+/// undefined in one operand are silently dropped.  [`union`], [`difference`]
+/// and [`complement`] take care of completion for you.
+pub fn product(left: &Dfa, right: &Dfa, mode: ProductMode) -> Dfa {
+    let mut dfa = Dfa::empty_language();
+    let mut ids: BTreeMap<(StateId, StateId), StateId> = BTreeMap::new();
+    let start_pair = (left.start(), right.start());
+    ids.insert(start_pair, 0);
+    dfa.set_accepting(0, combine(left, right, start_pair, mode));
+
+    let mut queue = VecDeque::new();
+    queue.push_back(start_pair);
+    while let Some(pair) = queue.pop_front() {
+        let from = ids[&pair];
+        // Iterate over symbols defined in *both* operands at this pair.
+        for (symbol, left_target) in left.transitions_from(pair.0) {
+            if let Some(right_target) = right.step(pair.1, symbol) {
+                let next_pair = (left_target, right_target);
+                let to = match ids.get(&next_pair) {
+                    Some(&id) => id,
+                    None => {
+                        let id = dfa.add_state(combine(left, right, next_pair, mode));
+                        ids.insert(next_pair, id);
+                        queue.push_back(next_pair);
+                        id
+                    }
+                };
+                dfa.add_transition(from, symbol, to);
+            }
+        }
+    }
+    dfa
+}
+
+fn combine(left: &Dfa, right: &Dfa, pair: (StateId, StateId), mode: ProductMode) -> bool {
+    let l = left.is_accepting(pair.0);
+    let r = right.is_accepting(pair.1);
+    match mode {
+        ProductMode::Intersection => l && r,
+        ProductMode::Union => l || r,
+        ProductMode::Difference => l && !r,
+    }
+}
+
+/// Intersection of two DFAs (no completion needed).
+pub fn intersection(left: &Dfa, right: &Dfa) -> Dfa {
+    product(left, right, ProductMode::Intersection).trim()
+}
+
+/// Union of two DFAs over `alphabet`.
+pub fn union(left: &Dfa, right: &Dfa, alphabet: &Alphabet) -> Dfa {
+    let l = left.complete(alphabet);
+    let r = right.complete(alphabet);
+    product(&l, &r, ProductMode::Union).trim()
+}
+
+/// Difference `L(left) \ L(right)` over `alphabet`.
+pub fn difference(left: &Dfa, right: &Dfa, alphabet: &Alphabet) -> Dfa {
+    let l = left.complete(alphabet);
+    let r = right.complete(alphabet);
+    product(&l, &r, ProductMode::Difference).trim()
+}
+
+/// Complement of a DFA with respect to `alphabet`.
+pub fn complement(dfa: &Dfa, alphabet: &Alphabet) -> Dfa {
+    let mut complete = dfa.complete(alphabet);
+    for state in 0..complete.state_count() {
+        let accepting = complete.is_accepting(state);
+        complete.set_accepting(state, !accepting);
+    }
+    complete
+}
+
+/// Symmetric difference `(L1 \ L2) ∪ (L2 \ L1)` over `alphabet`; empty iff
+/// the two languages are equal.
+pub fn symmetric_difference(left: &Dfa, right: &Dfa, alphabet: &Alphabet) -> Dfa {
+    let l_minus_r = difference(left, right, alphabet);
+    let r_minus_l = difference(right, left, alphabet);
+    union(&l_minus_r, &r_minus_l, alphabet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use gps_graph::LabelId;
+
+    fn l(i: u32) -> LabelId {
+        LabelId::new(i)
+    }
+
+    fn abc_alphabet() -> Alphabet {
+        Alphabet::from_labels([l(0), l(1), l(2)])
+    }
+
+    fn dfa_of(r: &Regex) -> Dfa {
+        Dfa::from_regex(r)
+    }
+
+    #[test]
+    fn intersection_of_star_languages() {
+        // a*(over {a}) ∩ (a+b)* b (over {a,b}) = words of a* ending in b = ∅... actually
+        // L1 = a*, L2 = (a+b)*·b ⇒ intersection = ∅ because L1 has no word ending in b.
+        let l1 = dfa_of(&Regex::star(Regex::symbol(l(0))));
+        let l2 = dfa_of(&Regex::concat([
+            Regex::star(Regex::union([Regex::symbol(l(0)), Regex::symbol(l(1))])),
+            Regex::symbol(l(1)),
+        ]));
+        let inter = intersection(&l1, &l2);
+        assert!(!inter.accepts(&[]));
+        assert!(!inter.accepts(&[l(0), l(1)]));
+        assert!(!inter.accepts(&[l(1)]));
+        // And a non-empty intersection: (a+b)*·b ∩ b·(a+b)* contains "b".
+        let l3 = dfa_of(&Regex::concat([
+            Regex::symbol(l(1)),
+            Regex::star(Regex::union([Regex::symbol(l(0)), Regex::symbol(l(1))])),
+        ]));
+        let inter2 = intersection(&l2, &l3);
+        assert!(inter2.accepts(&[l(1)]));
+        assert!(inter2.accepts(&[l(1), l(0), l(1)]));
+        assert!(!inter2.accepts(&[l(0), l(1), l(0)]));
+    }
+
+    #[test]
+    fn union_covers_both_operands() {
+        let alphabet = abc_alphabet();
+        let u = union(
+            &dfa_of(&Regex::word(&[l(0)])),
+            &dfa_of(&Regex::word(&[l(1), l(2)])),
+            &alphabet,
+        );
+        assert!(u.accepts(&[l(0)]));
+        assert!(u.accepts(&[l(1), l(2)]));
+        assert!(!u.accepts(&[l(1)]));
+        assert!(!u.accepts(&[]));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let alphabet = abc_alphabet();
+        let a_star = dfa_of(&Regex::star(Regex::symbol(l(0))));
+        let comp = complement(&a_star, &alphabet);
+        assert!(!comp.accepts(&[]));
+        assert!(!comp.accepts(&[l(0), l(0)]));
+        assert!(comp.accepts(&[l(1)]));
+        assert!(comp.accepts(&[l(0), l(2)]));
+        // Double complement restores the language.
+        let back = complement(&comp, &alphabet);
+        assert!(back.accepts(&[]));
+        assert!(back.accepts(&[l(0)]));
+        assert!(!back.accepts(&[l(1)]));
+    }
+
+    #[test]
+    fn difference_removes_the_second_language() {
+        let alphabet = abc_alphabet();
+        // (a+b)* \ a* = words over {a,b} containing at least one b.
+        let all = dfa_of(&Regex::star(Regex::union([
+            Regex::symbol(l(0)),
+            Regex::symbol(l(1)),
+        ])));
+        let a_star = dfa_of(&Regex::star(Regex::symbol(l(0))));
+        let diff = difference(&all, &a_star, &alphabet);
+        assert!(!diff.accepts(&[]));
+        assert!(!diff.accepts(&[l(0), l(0)]));
+        assert!(diff.accepts(&[l(1)]));
+        assert!(diff.accepts(&[l(0), l(1), l(0)]));
+    }
+
+    #[test]
+    fn symmetric_difference_detects_equality() {
+        let alphabet = abc_alphabet();
+        let r1 = dfa_of(&Regex::star(Regex::star(Regex::symbol(l(0)))));
+        let r2 = dfa_of(&Regex::star(Regex::symbol(l(0))));
+        let sym = symmetric_difference(&r1, &r2, &alphabet);
+        // Equal languages → empty symmetric difference (no accepting state
+        // reachable after trim).
+        assert!(sym.accepting_states().is_empty());
+        let r3 = dfa_of(&Regex::plus(Regex::symbol(l(0))));
+        let sym2 = symmetric_difference(&r2, &r3, &alphabet);
+        assert!(sym2.accepts(&[]), "ε distinguishes a* from a+");
+    }
+
+    #[test]
+    fn product_mode_combinations() {
+        let t = dfa_of(&Regex::Epsilon);
+        let f = dfa_of(&Regex::Empty);
+        assert!(product(&t, &t, ProductMode::Intersection).accepts(&[]));
+        assert!(!product(&t, &f, ProductMode::Intersection).accepts(&[]));
+        assert!(product(&t, &f, ProductMode::Union).accepts(&[]));
+        assert!(product(&t, &f, ProductMode::Difference).accepts(&[]));
+        assert!(!product(&f, &t, ProductMode::Difference).accepts(&[]));
+    }
+}

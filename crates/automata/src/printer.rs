@@ -1,0 +1,151 @@
+//! Pretty-printing of regular expressions in the paper's syntax.
+//!
+//! The printer emits the same concrete syntax the parser accepts —
+//! `(tram+bus)*·cinema` — resolving label identifiers through a
+//! [`LabelInterner`].  Printing then re-parsing yields an equal expression
+//! (a property test in the crate's test suite checks this).
+
+use crate::regex::Regex;
+use gps_graph::LabelInterner;
+
+/// Relative binding strength used to decide where parentheses are needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Precedence {
+    Union = 0,
+    Concat = 1,
+    Star = 2,
+}
+
+fn precedence(regex: &Regex) -> Precedence {
+    match regex {
+        Regex::Union(_) => Precedence::Union,
+        Regex::Concat(_) => Precedence::Concat,
+        Regex::Empty | Regex::Epsilon | Regex::Symbol(_) | Regex::Star(_) => Precedence::Star,
+    }
+}
+
+/// Renders `regex` using the label names of `labels`.  Unknown labels are
+/// rendered as `?<id>` rather than panicking, so partially-constructed
+/// expressions can still be displayed in logs.
+pub fn print(regex: &Regex, labels: &LabelInterner) -> String {
+    let mut out = String::new();
+    write_regex(regex, labels, Precedence::Union, &mut out);
+    out
+}
+
+fn write_regex(regex: &Regex, labels: &LabelInterner, parent: Precedence, out: &mut String) {
+    let own = precedence(regex);
+    let needs_parens = own < parent;
+    if needs_parens {
+        out.push('(');
+    }
+    match regex {
+        Regex::Empty => out.push('∅'),
+        Regex::Epsilon => out.push('ε'),
+        Regex::Symbol(label) => match labels.name(*label) {
+            Some(name) => out.push_str(name),
+            None => out.push_str(&format!("?{}", label.raw())),
+        },
+        Regex::Concat(parts) => {
+            for (i, part) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push('·');
+                }
+                write_regex(part, labels, Precedence::Concat, out);
+            }
+        }
+        Regex::Union(parts) => {
+            for (i, part) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push('+');
+                }
+                write_regex(part, labels, Precedence::Concat, out);
+            }
+        }
+        Regex::Star(inner) => {
+            write_regex(inner, labels, Precedence::Star, out);
+            out.push('*');
+        }
+    }
+    if needs_parens {
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn alphabet() -> LabelInterner {
+        let mut labels = LabelInterner::new();
+        labels.intern("tram");
+        labels.intern("bus");
+        labels.intern("cinema");
+        labels
+    }
+
+    #[test]
+    fn prints_the_motivating_query() {
+        let labels = alphabet();
+        let q = parse("(tram+bus)*.cinema", &labels).unwrap();
+        assert_eq!(print(&q, &labels), "(tram+bus)*·cinema");
+    }
+
+    #[test]
+    fn prints_atoms() {
+        let labels = alphabet();
+        assert_eq!(print(&Regex::Empty, &labels), "∅");
+        assert_eq!(print(&Regex::Epsilon, &labels), "ε");
+        let bus = labels.get("bus").unwrap();
+        assert_eq!(print(&Regex::symbol(bus), &labels), "bus");
+    }
+
+    #[test]
+    fn unknown_labels_render_with_placeholder() {
+        let labels = alphabet();
+        let ghost = Regex::symbol(gps_graph::LabelId::new(99));
+        assert_eq!(print(&ghost, &labels), "?99");
+    }
+
+    #[test]
+    fn parenthesization_respects_precedence() {
+        let labels = alphabet();
+        let tram = labels.get("tram").unwrap();
+        let bus = labels.get("bus").unwrap();
+        let cinema = labels.get("cinema").unwrap();
+        // (tram+bus)·cinema needs parens around the union.
+        let q = Regex::concat([
+            Regex::union([Regex::symbol(tram), Regex::symbol(bus)]),
+            Regex::symbol(cinema),
+        ]);
+        assert_eq!(print(&q, &labels), "(tram+bus)·cinema");
+        // tram+(bus·cinema) does not need parens.
+        let q2 = Regex::union([
+            Regex::symbol(tram),
+            Regex::concat([Regex::symbol(bus), Regex::symbol(cinema)]),
+        ]);
+        assert_eq!(print(&q2, &labels), "tram+bus·cinema");
+        // Star of a union needs parens.
+        let q3 = Regex::star(Regex::union([Regex::symbol(tram), Regex::symbol(bus)]));
+        assert_eq!(print(&q3, &labels), "(tram+bus)*");
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let labels = alphabet();
+        for syntax in [
+            "(tram+bus)*.cinema",
+            "tram",
+            "tram+bus·cinema",
+            "((tram·bus)*+cinema)*",
+            "ε+tram",
+            "tram?·bus",
+        ] {
+            let q = parse(syntax, &labels).unwrap();
+            let printed = print(&q, &labels);
+            let reparsed = parse(&printed, &labels).unwrap();
+            assert_eq!(q, reparsed, "round trip failed for {syntax} -> {printed}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Prefix-tree acceptor (PTA) construction.
+//!
+//! The learning algorithm of the paper starts from the prefix-tree acceptor
+//! of the selected positive paths: a tree-shaped DFA whose states are the
+//! prefixes of the sample and whose accepting states are exactly the sample
+//! words.  Generalization then proceeds by merging states of this automaton
+//! (see `gps-learner::merge`).
+
+use crate::dfa::Dfa;
+use gps_graph::LabelId;
+
+/// Builds the prefix-tree acceptor of a finite sample of words.
+///
+/// The resulting DFA accepts exactly the words of the sample.  State `0` is
+/// the root (the empty prefix); every other state corresponds to a distinct
+/// proper prefix of some sample word, in trie insertion order.
+pub fn build_pta<I>(sample: I) -> Dfa
+where
+    I: IntoIterator,
+    I::Item: AsRef<[LabelId]>,
+{
+    let mut dfa = Dfa::empty_language();
+    for word in sample {
+        let mut state = dfa.start();
+        for &symbol in word.as_ref() {
+            state = match dfa.step(state, symbol) {
+                Some(next) => next,
+                None => {
+                    let next = dfa.add_state(false);
+                    dfa.add_transition(state, symbol, next);
+                    next
+                }
+            };
+        }
+        dfa.set_accepting(state, true);
+    }
+    dfa
+}
+
+/// Builds the PTA of a sample and returns it together with the states in
+/// breadth-first (length-then-lexicographic) order — the canonical merge
+/// order used by RPNI-style generalization.
+pub fn build_pta_with_order<I>(sample: I) -> (Dfa, Vec<usize>)
+where
+    I: IntoIterator,
+    I::Item: AsRef<[LabelId]>,
+{
+    let dfa = build_pta(sample);
+    let mut order = Vec::with_capacity(dfa.state_count());
+    let mut queue = std::collections::VecDeque::new();
+    let mut visited = vec![false; dfa.state_count()];
+    queue.push_back(dfa.start());
+    visited[dfa.start()] = true;
+    while let Some(state) = queue.pop_front() {
+        order.push(state);
+        for (_, target) in dfa.transitions_from(state) {
+            if !visited[target] {
+                visited[target] = true;
+                queue.push_back(target);
+            }
+        }
+    }
+    (dfa, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_graph::LabelId;
+
+    fn l(i: u32) -> LabelId {
+        LabelId::new(i)
+    }
+
+    #[test]
+    fn pta_accepts_exactly_the_sample() {
+        let sample = vec![
+            vec![l(1), l(0), l(2)], // bus·tram·cinema
+            vec![l(2)],             // cinema
+        ];
+        let pta = build_pta(&sample);
+        assert!(pta.accepts(&[l(1), l(0), l(2)]));
+        assert!(pta.accepts(&[l(2)]));
+        assert!(!pta.accepts(&[l(1)]));
+        assert!(!pta.accepts(&[l(1), l(0)]));
+        assert!(!pta.accepts(&[]));
+        assert!(!pta.accepts(&[l(2), l(2)]));
+    }
+
+    #[test]
+    fn pta_is_tree_shaped() {
+        let sample = vec![vec![l(0), l(1)], vec![l(0), l(2)], vec![l(3)]];
+        let pta = build_pta(&sample);
+        // Root + a + ab + ac + d = 5 states.
+        assert_eq!(pta.state_count(), 5);
+        // Every non-root state has exactly one incoming transition.
+        let mut indegree = vec![0usize; pta.state_count()];
+        for state in 0..pta.state_count() {
+            for (_, target) in pta.transitions_from(state) {
+                indegree[target] += 1;
+            }
+        }
+        assert_eq!(indegree[pta.start()], 0);
+        assert!(indegree.iter().skip(1).all(|&d| d == 1));
+    }
+
+    #[test]
+    fn empty_sample_gives_empty_language() {
+        let pta = build_pta(Vec::<Vec<LabelId>>::new());
+        assert_eq!(pta.state_count(), 1);
+        assert!(!pta.accepts(&[]));
+    }
+
+    #[test]
+    fn empty_word_marks_root_accepting() {
+        let pta = build_pta(vec![Vec::<LabelId>::new()]);
+        assert!(pta.accepts(&[]));
+        assert!(pta.is_accepting(pta.start()));
+    }
+
+    #[test]
+    fn duplicate_words_do_not_add_states() {
+        let once = build_pta(vec![vec![l(0), l(1)]]);
+        let twice = build_pta(vec![vec![l(0), l(1)], vec![l(0), l(1)]]);
+        assert_eq!(once.state_count(), twice.state_count());
+    }
+
+    #[test]
+    fn bfs_order_starts_at_root_and_respects_depth() {
+        let (pta, order) = build_pta_with_order(vec![vec![l(0), l(1)], vec![l(2)]]);
+        assert_eq!(order.len(), pta.state_count());
+        assert_eq!(order[0], pta.start());
+        // Depth of each state along the order must be non-decreasing: compute
+        // depths by walking words.
+        let depth_of = |state: usize| -> usize {
+            // The PTA is a tree: BFS from root to find the state's depth.
+            let mut depths = vec![usize::MAX; pta.state_count()];
+            depths[pta.start()] = 0;
+            let mut queue = std::collections::VecDeque::from([pta.start()]);
+            while let Some(s) = queue.pop_front() {
+                for (_, t) in pta.transitions_from(s) {
+                    if depths[t] == usize::MAX {
+                        depths[t] = depths[s] + 1;
+                        queue.push_back(t);
+                    }
+                }
+            }
+            depths[state]
+        };
+        let depths: Vec<usize> = order.iter().map(|&s| depth_of(s)).collect();
+        for window in depths.windows(2) {
+            assert!(window[0] <= window[1]);
+        }
+    }
+}

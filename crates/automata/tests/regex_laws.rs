@@ -1,0 +1,173 @@
+//! Algebraic laws of regular languages, checked through the full
+//! regex → NFA → DFA → minimization → decision pipeline.  These are
+//! integration tests: every law exercises construction, boolean operations
+//! and the equivalence decision together.
+
+use gps_automata::alphabet::Alphabet;
+use gps_automata::decide::{equivalent, included, is_empty, regex_equivalent};
+use gps_automata::ops;
+use gps_automata::{Dfa, Regex};
+use gps_graph::LabelId;
+
+fn l(i: u32) -> LabelId {
+    LabelId::new(i)
+}
+
+fn alphabet() -> Alphabet {
+    Alphabet::from_labels([l(0), l(1), l(2)])
+}
+
+fn a() -> Regex {
+    Regex::symbol(l(0))
+}
+fn b() -> Regex {
+    Regex::symbol(l(1))
+}
+fn c() -> Regex {
+    Regex::symbol(l(2))
+}
+
+#[test]
+fn union_is_commutative_and_associative() {
+    assert!(regex_equivalent(
+        &Regex::union([a(), b()]),
+        &Regex::union([b(), a()])
+    ));
+    assert!(regex_equivalent(
+        &Regex::union([Regex::union([a(), b()]), c()]),
+        &Regex::union([a(), Regex::union([b(), c()])])
+    ));
+    // Idempotence.
+    assert!(regex_equivalent(&Regex::union([a(), a()]), &a()));
+}
+
+#[test]
+fn concatenation_is_associative_but_not_commutative() {
+    assert!(regex_equivalent(
+        &Regex::concat([Regex::concat([a(), b()]), c()]),
+        &Regex::concat([a(), Regex::concat([b(), c()])])
+    ));
+    assert!(!regex_equivalent(
+        &Regex::concat([a(), b()]),
+        &Regex::concat([b(), a()])
+    ));
+}
+
+#[test]
+fn distributivity_of_concatenation_over_union() {
+    // a·(b+c) ≡ a·b + a·c
+    assert!(regex_equivalent(
+        &Regex::concat([a(), Regex::union([b(), c()])]),
+        &Regex::union([Regex::concat([a(), b()]), Regex::concat([a(), c()])])
+    ));
+    // (a+b)·c ≡ a·c + b·c
+    assert!(regex_equivalent(
+        &Regex::concat([Regex::union([a(), b()]), c()]),
+        &Regex::union([Regex::concat([a(), c()]), Regex::concat([b(), c()])])
+    ));
+}
+
+#[test]
+fn identity_and_absorbing_elements() {
+    assert!(regex_equivalent(&Regex::concat([a(), Regex::Epsilon]), &a()));
+    assert!(regex_equivalent(&Regex::concat([Regex::Epsilon, a()]), &a()));
+    assert!(regex_equivalent(&Regex::union([a(), Regex::Empty]), &a()));
+    assert!(Regex::concat([a(), Regex::Empty]).is_empty_language());
+}
+
+#[test]
+fn kleene_star_laws() {
+    // (a*)* = a*
+    assert!(regex_equivalent(&Regex::star(Regex::star(a())), &Regex::star(a())));
+    // a* = ε + a·a*
+    assert!(regex_equivalent(
+        &Regex::star(a()),
+        &Regex::union([Regex::Epsilon, Regex::concat([a(), Regex::star(a())])])
+    ));
+    // (a+b)* = (a*·b*)*
+    assert!(regex_equivalent(
+        &Regex::star(Regex::union([a(), b()])),
+        &Regex::star(Regex::concat([Regex::star(a()), Regex::star(b())]))
+    ));
+    // (ab)*·a = a·(ba)*
+    assert!(regex_equivalent(
+        &Regex::concat([Regex::star(Regex::concat([a(), b()])), a()]),
+        &Regex::concat([a(), Regex::star(Regex::concat([b(), a()]))])
+    ));
+}
+
+#[test]
+fn boolean_operation_laws_on_automata() {
+    let alphabet = alphabet();
+    let a_star = Dfa::from_regex(&Regex::star(a()));
+    let ab_star = Dfa::from_regex(&Regex::star(Regex::union([a(), b()])));
+    // L ∩ L = L ;  L ∪ L = L
+    assert!(equivalent(
+        &ops::intersection(&a_star, &a_star),
+        &a_star,
+        &alphabet
+    ));
+    assert!(equivalent(
+        &ops::union(&a_star, &a_star, &alphabet),
+        &a_star,
+        &alphabet
+    ));
+    // L \ L = ∅
+    assert!(is_empty(&ops::difference(&a_star, &a_star, &alphabet)));
+    // De Morgan: ¬(L1 ∪ L2) = ¬L1 ∩ ¬L2
+    let lhs = ops::complement(&ops::union(&a_star, &ab_star, &alphabet), &alphabet);
+    let rhs = ops::intersection(
+        &ops::complement(&a_star, &alphabet),
+        &ops::complement(&ab_star, &alphabet),
+    );
+    assert!(equivalent(&lhs, &rhs, &alphabet));
+    // Inclusion is antisymmetric up to equivalence: a* ⊆ (a+b)* but not back.
+    assert!(included(&a_star, &ab_star, &alphabet));
+    assert!(!included(&ab_star, &a_star, &alphabet));
+}
+
+#[test]
+fn minimal_automata_of_equivalent_expressions_have_equal_size() {
+    let pairs = [
+        (
+            Regex::star(Regex::union([a(), b()])),
+            Regex::star(Regex::concat([Regex::star(a()), Regex::star(b())])),
+        ),
+        (
+            Regex::union([Regex::concat([a(), c()]), Regex::concat([b(), c()])]),
+            Regex::concat([Regex::union([a(), b()]), c()]),
+        ),
+        (Regex::optional(Regex::plus(a())), Regex::star(a())),
+    ];
+    for (left, right) in pairs {
+        let dl = Dfa::from_regex(&left);
+        let dr = Dfa::from_regex(&right);
+        assert_eq!(
+            dl.state_count(),
+            dr.state_count(),
+            "{left:?} vs {right:?} minimal sizes differ"
+        );
+    }
+}
+
+#[test]
+fn motivating_query_language_facts() {
+    // The paper's query: (tram+bus)*·cinema with tram=a, bus=b, cinema=c.
+    let q = Regex::concat([Regex::star(Regex::union([a(), b()])), c()]);
+    let dfa = Dfa::from_regex(&q);
+    let alphabet = alphabet();
+    // It is included in Σ*·c.
+    let sigma_star_c = Dfa::from_regex(&Regex::concat([
+        Regex::star(Regex::union([a(), b(), c()])),
+        c(),
+    ]));
+    assert!(included(&dfa, &sigma_star_c, &alphabet));
+    // It is not nullable and not finite.
+    assert!(!q.nullable());
+    assert!(!gps_automata::decide::is_finite(&dfa));
+    // Its shortest word is "cinema" alone.
+    assert_eq!(
+        gps_automata::decide::shortest_accepted_word(&dfa),
+        Some(vec![l(2)])
+    );
+}

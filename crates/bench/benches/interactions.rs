@@ -1,0 +1,51 @@
+//! E1 — interactions to convergence per strategy.
+//!
+//! The headline claim of the paper is that proposing *informative* nodes
+//! minimizes the number of user interactions.  This bench runs the full
+//! interactive session (simulated user, goal = the motivating query family)
+//! for each strategy on transport networks of increasing size and reports the
+//! wall-clock cost of a whole session; the companion `repro` binary prints
+//! the interaction *counts* themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_bench::{run_session, strategies};
+use gps_datasets::transport::{self, TransportConfig};
+use gps_interactive::session::SessionConfig;
+use gps_rpq::PathQuery;
+use std::hint::black_box;
+
+fn bench_session_per_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interactions/full_session");
+    group.sample_size(10);
+    for neighborhoods in [20usize, 50] {
+        let net = transport::generate(&TransportConfig::with_neighborhoods(neighborhoods, 3));
+        let goal = PathQuery::parse("(tram+bus)*.cinema", net.graph.labels()).unwrap();
+        for (name, _) in strategies(1) {
+            group.bench_with_input(
+                BenchmarkId::new(name, neighborhoods),
+                &neighborhoods,
+                |b, _| {
+                    b.iter(|| {
+                        // Re-create the strategy each iteration so its state
+                        // (e.g. the random stream) starts fresh.
+                        let mut strategy = strategies(1)
+                            .into_iter()
+                            .find(|(n, _)| *n == name)
+                            .unwrap()
+                            .1;
+                        black_box(run_session(
+                            &net.graph,
+                            &goal,
+                            strategy.as_mut(),
+                            SessionConfig::default(),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_per_strategy);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E3 — learning-algorithm scaling.
+//!
+//! Measures the end-to-end learner (path selection + PTA + state merging +
+//! state elimination) as a function of the number of examples and of the
+//! goal-query complexity, on transport networks.  The companion paper proves
+//! polynomial-time learning; the bench verifies the constant factors stay
+//! interactive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_datasets::transport::{self, TransportConfig};
+use gps_learner::characteristic::partial_sample;
+use gps_learner::Learner;
+use gps_rpq::PathQuery;
+use std::hint::black_box;
+
+fn bench_examples_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learning/examples");
+    group.sample_size(20);
+    let net = transport::generate(&TransportConfig::with_neighborhoods(100, 5));
+    let graph = net.graph;
+    let goal = PathQuery::parse("(tram+bus)*.cinema", graph.labels()).unwrap();
+    for examples_count in [4usize, 8, 16, 32] {
+        let sample = partial_sample(&graph, &goal, examples_count / 2, examples_count / 2);
+        let learner = Learner::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(examples_count),
+            &examples_count,
+            |b, _| b.iter(|| black_box(learner.learn(&graph, &sample))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_query_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learning/goal_complexity");
+    group.sample_size(20);
+    let net = transport::generate(&TransportConfig::with_neighborhoods(60, 5));
+    let graph = net.graph;
+    let goals = [
+        ("1_label", "cinema"),
+        ("2_star", "tram*.cinema"),
+        ("3_union_star", "(tram+bus)*.cinema"),
+    ];
+    let learner = Learner::default();
+    for (name, syntax) in goals {
+        let goal = PathQuery::parse(syntax, graph.labels()).unwrap();
+        let sample = partial_sample(&graph, &goal, 8, 8);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(learner.learn(&graph, &sample)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_examples_scaling, bench_query_complexity);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E4 — pruning effectiveness and cost.
+//!
+//! After every interaction GPS prunes the nodes made uninformative by the
+//! accumulated negative examples.  This bench measures the cost of a pruning
+//! refresh on transport networks of increasing size and with an increasing
+//! number of negative examples; the `repro` binary reports the *fraction* of
+//! nodes pruned, which is the quantity the paper's narrative emphasizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_datasets::transport::{self, TransportConfig};
+use gps_interactive::pruning::PruningState;
+use gps_learner::ExampleSet;
+use gps_rpq::NegativeCoverage;
+use std::hint::black_box;
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning/refresh");
+    group.sample_size(20);
+    for neighborhoods in [50usize, 100, 200] {
+        let net = transport::generate(&TransportConfig::with_neighborhoods(neighborhoods, 11));
+        let graph = net.graph;
+        // A third of the neighborhoods labeled negative.
+        let negatives: Vec<_> = graph.nodes().step_by(3).take(neighborhoods / 3).collect();
+        let mut examples = ExampleSet::new();
+        for &n in &negatives {
+            examples.add_negative(n);
+        }
+        let coverage = NegativeCoverage::from_negatives(&graph, negatives.iter().copied(), 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(neighborhoods),
+            &neighborhoods,
+            |b, _| {
+                b.iter(|| {
+                    let mut pruning = PruningState::new(3);
+                    black_box(pruning.refresh(&graph, &examples, &coverage))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coverage_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning/coverage_build");
+    group.sample_size(20);
+    let net = transport::generate(&TransportConfig::with_neighborhoods(100, 11));
+    let graph = net.graph;
+    for negative_count in [5usize, 20, 50] {
+        let negatives: Vec<_> = graph.nodes().take(negative_count).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(negative_count),
+            &negative_count,
+            |b, _| {
+                b.iter(|| {
+                    black_box(NegativeCoverage::from_negatives(
+                        &graph,
+                        negatives.iter().copied(),
+                        3,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refresh, bench_coverage_construction);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E5 / F1 — RPQ evaluation throughput.
+//!
+//! Measures product-graph evaluation of path queries of increasing automaton
+//! size on graphs of increasing size (synthetic and transport), plus the
+//! Figure 1 motivating query as a sanity anchor.  The paper's system must
+//! answer queries interactively; this bench verifies the evaluation substrate
+//! scales far beyond demo size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+use gps_datasets::synthetic::{self, SyntheticConfig};
+use gps_datasets::transport::{self, TransportConfig};
+use gps_graph::CsrGraph;
+use gps_rpq::PathQuery;
+use std::hint::black_box;
+
+fn bench_figure1(c: &mut Criterion) {
+    let (graph, _) = figure1_graph();
+    let query = PathQuery::parse(MOTIVATING_QUERY, graph.labels()).unwrap();
+    let csr = CsrGraph::from_graph(&graph);
+    c.bench_function("rpq_eval/figure1_motivating_query", |b| {
+        b.iter(|| black_box(query.evaluate_csr(&csr)))
+    });
+}
+
+fn bench_synthetic_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_eval/synthetic_size");
+    group.sample_size(20);
+    for nodes in [100usize, 500, 2000] {
+        let graph = synthetic::generate(&SyntheticConfig::with_nodes(nodes, 7));
+        let query = PathQuery::parse("(a0+a1)*.a2", graph.labels()).unwrap();
+        let csr = CsrGraph::from_graph(&graph);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(query.evaluate_csr(&csr)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_eval/query_size");
+    group.sample_size(20);
+    let net = transport::generate(&TransportConfig::with_neighborhoods(100, 7));
+    let graph = net.graph;
+    let csr = CsrGraph::from_graph(&graph);
+    let queries = [
+        ("1_label", "cinema"),
+        ("2_star", "tram*.cinema"),
+        ("3_union_star", "(tram+bus)*.cinema"),
+        ("4_nested", "(tram+bus)*.(cinema+restaurant)"),
+    ];
+    for (name, syntax) in queries {
+        let query = PathQuery::parse(syntax, graph.labels()).unwrap();
+        group.bench_function(name, |b| b.iter(|| black_box(query.evaluate_csr(&csr))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure1,
+    bench_synthetic_sizes,
+    bench_query_complexity
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E2 — per-interaction latency of the node-proposal strategies.
+//!
+//! The paper requires strategies to be time-efficient: "the user does not
+//! have to wait too much between two consecutive interactions".  This bench
+//! isolates a single `propose` call for each strategy on graphs of
+//! increasing size, under a partially-labeled example set (the realistic
+//! mid-session state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_datasets::transport::{self, TransportConfig};
+use gps_interactive::pruning::PruningState;
+use gps_interactive::strategy::{
+    DegreeStrategy, InformativePathsStrategy, RandomStrategy, Strategy, StrategyContext,
+};
+use gps_learner::ExampleSet;
+use gps_rpq::NegativeCoverage;
+use std::hint::black_box;
+
+fn mid_session_state(
+    neighborhoods: usize,
+) -> (gps_graph::Graph, ExampleSet, NegativeCoverage, PruningState) {
+    let net = transport::generate(&TransportConfig::with_neighborhoods(neighborhoods, 5));
+    let graph = net.graph;
+    // Label a handful of nodes to simulate a session in progress.
+    let mut examples = ExampleSet::new();
+    let mut negatives = Vec::new();
+    for (i, node) in graph.nodes().enumerate().take(6) {
+        if i % 2 == 0 {
+            examples.add_positive(node);
+        } else {
+            examples.add_negative(node);
+            negatives.push(node);
+        }
+    }
+    let coverage = NegativeCoverage::from_negatives(&graph, negatives, 3);
+    let mut pruning = PruningState::new(3);
+    pruning.refresh(&graph, &examples, &coverage);
+    (graph, examples, coverage, pruning)
+}
+
+fn bench_propose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_latency/propose");
+    group.sample_size(30);
+    for neighborhoods in [50usize, 200] {
+        let (graph, examples, coverage, pruning) = mid_session_state(neighborhoods);
+        let ctx = StrategyContext {
+            graph: &graph,
+            examples: &examples,
+            coverage: &coverage,
+            pruning: &pruning,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("informative-paths", neighborhoods),
+            &neighborhoods,
+            |b, _| {
+                let mut strategy = InformativePathsStrategy::default();
+                b.iter(|| black_box(strategy.propose(&ctx)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("degree", neighborhoods),
+            &neighborhoods,
+            |b, _| {
+                let mut strategy = DegreeStrategy;
+                b.iter(|| black_box(strategy.propose(&ctx)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random", neighborhoods),
+            &neighborhoods,
+            |b, _| {
+                let mut strategy = RandomStrategy::seeded(9);
+                b.iter(|| black_box(strategy.propose(&ctx)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propose);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! # gps-core — the GPS system
+//!
+//! GPS ("a system for interactive Graph Path query Specification") assists a
+//! non-expert user in specifying a path query — a regular expression over
+//! edge labels — on a graph database, by interactively labeling nodes as
+//! positive or negative examples on small, easy-to-visualize fragments of the
+//! graph.  This crate ties the substrates together and exposes the system the
+//! demo paper describes:
+//!
+//! * [`Gps`] — the facade: load a graph, run any of the three demonstration
+//!   scenarios, inspect/learn/evaluate queries;
+//! * [`render`] — the textual "visualization" layer standing in for the demo
+//!   GUI: neighborhoods with "…" continuation markers and zoom highlighting
+//!   (Figure 3(a)/(b)) and prefix trees with a highlighted candidate path
+//!   (Figure 3(c));
+//! * [`scenario`] — the three demonstration scenarios: static labeling,
+//!   interactive labeling without path validation, and interactive labeling
+//!   with path validation;
+//! * [`transcript`] — serializable session transcripts.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gps_core::Gps;
+//! use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+//!
+//! let (graph, ids) = figure1_graph();
+//! let gps = Gps::new(graph);
+//!
+//! // Evaluate the motivating query of the paper.
+//! let answer = gps.evaluate(MOTIVATING_QUERY).unwrap();
+//! assert!(answer.contains(ids.n2));
+//!
+//! // Run the full interactive scenario against a simulated user who has the
+//! // motivating query in mind.
+//! let report = gps.interactive_with_validation(MOTIVATING_QUERY, 0).unwrap();
+//! assert!(report.goal_reached);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gps;
+pub mod render;
+pub mod scenario;
+pub mod transcript;
+
+pub use gps::Gps;
+pub use scenario::{ScenarioReport, StaticLabelingOutcome};
+pub use transcript::Transcript;

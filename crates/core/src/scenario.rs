@@ -1,0 +1,242 @@
+//! The three demonstration scenarios of the paper.
+//!
+//! 1. **Static labeling** — the user freely labels any nodes she likes on the
+//!    whole graph; the system then either proposes a consistent query or
+//!    points out that the labels are inconsistent.  This scenario exists to
+//!    show why the interactive approach is preferable.
+//! 2. **Interactive labeling without path validation** — the system proposes
+//!    informative nodes and picks the witness path of each positive node
+//!    itself.  The learned query is consistent with the labels but not
+//!    necessarily the query the user has in mind (the paper's `bus`
+//!    counterexample).
+//! 3. **Interactive labeling with path validation** — the core of GPS: the
+//!    user additionally validates or corrects the witness path, which
+//!    guarantees the generalization uses the paths she cares about.
+
+use crate::transcript::Transcript;
+use gps_graph::{Graph, NodeId};
+use gps_interactive::session::{Session, SessionConfig, SessionOutcome};
+use gps_interactive::strategy::InformativePathsStrategy;
+use gps_interactive::user::SimulatedUser;
+use gps_learner::{consistency, ExampleSet, Label, LearnedQuery, Learner};
+use gps_rpq::PathQuery;
+use serde::{Deserialize, Serialize};
+
+/// The result of the static-labeling scenario.
+#[derive(Debug, Clone)]
+pub enum StaticLabelingOutcome {
+    /// A query consistent with the user's labels was found.
+    Learned(Box<LearnedQuery>),
+    /// The labels are inconsistent: no query (within the learner's bound) can
+    /// select all positives and no negative.  The offending positive node is
+    /// reported.
+    Inconsistent {
+        /// A positive node whose every bounded path is covered by negatives.
+        conflicting_positive: NodeId,
+    },
+    /// The user provided no positive example, so there is nothing to learn.
+    NoPositives,
+}
+
+/// Runs the static-labeling scenario on a user-provided example set.
+pub fn static_labeling(
+    graph: &Graph,
+    labels: &[(NodeId, Label)],
+    learner: &Learner,
+) -> StaticLabelingOutcome {
+    let examples: ExampleSet = labels.iter().copied().collect();
+    if examples.positive_count() == 0 {
+        return StaticLabelingOutcome::NoPositives;
+    }
+    if let Some(consistency::Infeasibility::PositiveCovered(node)) =
+        consistency::check_satisfiable(graph, &examples, learner.path_bound)
+    {
+        return StaticLabelingOutcome::Inconsistent {
+            conflicting_positive: node,
+        };
+    }
+    match learner.learn(graph, &examples) {
+        Ok(learned) => StaticLabelingOutcome::Learned(Box::new(learned)),
+        Err(gps_learner::LearnError::PositiveFullyCovered { node })
+        | Err(gps_learner::LearnError::ValidatedPathCovered { node })
+        | Err(gps_learner::LearnError::InconsistentResult { node }) => {
+            StaticLabelingOutcome::Inconsistent {
+                conflicting_positive: node,
+            }
+        }
+        Err(gps_learner::LearnError::NoPositiveExamples) => StaticLabelingOutcome::NoPositives,
+    }
+}
+
+/// Summary of an interactive scenario run against a simulated user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Which scenario ran (`"interactive"` or `"interactive+validation"`).
+    pub scenario: String,
+    /// The goal query the simulated user had in mind.
+    pub goal: String,
+    /// The learned query, if any.
+    pub learned: Option<String>,
+    /// Whether the learned query selects exactly the same nodes as the goal.
+    pub goal_reached: bool,
+    /// Whether the learned query is consistent with the labels provided.
+    pub consistent_with_labels: bool,
+    /// Number of label interactions used.
+    pub interactions: usize,
+    /// Number of zoom-outs used.
+    pub zooms: usize,
+    /// The full transcript.
+    pub transcript: Transcript,
+}
+
+fn report_from_outcome(
+    graph: &Graph,
+    goal: &PathQuery,
+    scenario: &str,
+    outcome: &SessionOutcome,
+) -> ScenarioReport {
+    let goal_answer = goal.evaluate(graph);
+    let goal_reached = outcome
+        .learned
+        .as_ref()
+        .map(|l| l.answer.nodes() == goal_answer.nodes())
+        .unwrap_or(false);
+    let consistent_with_labels = outcome
+        .learned
+        .as_ref()
+        .map(|l| {
+            consistency::check_answer(&l.answer, &outcome.examples).is_consistent()
+        })
+        .unwrap_or(false);
+    ScenarioReport {
+        scenario: scenario.to_string(),
+        goal: goal.display(graph.labels()),
+        learned: outcome
+            .learned
+            .as_ref()
+            .map(|l| gps_automata::printer::print(&l.regex, graph.labels())),
+        goal_reached,
+        consistent_with_labels,
+        interactions: outcome.stats.interactions,
+        zooms: outcome.stats.zooms,
+        transcript: Transcript::from_outcome(graph, outcome),
+    }
+}
+
+/// Runs the interactive scenario *without* path validation against a
+/// simulated user whose hidden goal is `goal`.
+pub fn interactive_without_validation(
+    graph: &Graph,
+    goal: &PathQuery,
+    seed: u64,
+) -> ScenarioReport {
+    run_interactive(graph, goal, SessionConfig::without_path_validation(), seed)
+}
+
+/// Runs the full interactive scenario *with* path validation (the core of
+/// GPS) against a simulated user whose hidden goal is `goal`.
+pub fn interactive_with_validation(graph: &Graph, goal: &PathQuery, seed: u64) -> ScenarioReport {
+    run_interactive(graph, goal, SessionConfig::default(), seed)
+}
+
+fn run_interactive(
+    graph: &Graph,
+    goal: &PathQuery,
+    config: SessionConfig,
+    _seed: u64,
+) -> ScenarioReport {
+    let scenario = if config.with_path_validation {
+        "interactive+validation"
+    } else {
+        "interactive"
+    };
+    let mut user = SimulatedUser::new(goal.clone(), graph);
+    let mut strategy = InformativePathsStrategy::with_bound(config.path_bound.min(3));
+    let mut session = Session::new(graph, config);
+    let outcome = session.run(&mut strategy, &mut user);
+    report_from_outcome(graph, goal, scenario, &outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+
+    fn goal(graph: &Graph) -> PathQuery {
+        PathQuery::parse(MOTIVATING_QUERY, graph.labels()).unwrap()
+    }
+
+    #[test]
+    fn static_labeling_learns_from_consistent_labels() {
+        let (g, ids) = figure1_graph();
+        let labels = vec![
+            (ids.n2, Label::Positive),
+            (ids.n6, Label::Positive),
+            (ids.n5, Label::Negative),
+        ];
+        match static_labeling(&g, &labels, &Learner::default()) {
+            StaticLabelingOutcome::Learned(learned) => {
+                assert!(learned.answer.contains(ids.n2));
+                assert!(learned.answer.contains(ids.n6));
+                assert!(!learned.answer.contains(ids.n5));
+            }
+            other => panic!("expected a learned query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_labeling_detects_inconsistency() {
+        let (g, ids) = figure1_graph();
+        // C1 has no outgoing path: labeling it positive together with any
+        // negative is inconsistent for non-nullable queries.
+        let labels = vec![(ids.c1, Label::Positive), (ids.n5, Label::Negative)];
+        match static_labeling(&g, &labels, &Learner::default()) {
+            StaticLabelingOutcome::Inconsistent {
+                conflicting_positive,
+            } => assert_eq!(conflicting_positive, ids.c1),
+            other => panic!("expected inconsistency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_labeling_without_positives() {
+        let (g, ids) = figure1_graph();
+        let labels = vec![(ids.n5, Label::Negative)];
+        assert!(matches!(
+            static_labeling(&g, &labels, &Learner::default()),
+            StaticLabelingOutcome::NoPositives
+        ));
+    }
+
+    #[test]
+    fn with_validation_reaches_the_goal() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let report = interactive_with_validation(&g, &goal, 0);
+        assert!(report.goal_reached, "report: {report:?}");
+        assert!(report.consistent_with_labels);
+        assert_eq!(report.scenario, "interactive+validation");
+        assert!(report.interactions >= 1);
+        assert!(report.learned.is_some());
+    }
+
+    #[test]
+    fn without_validation_is_consistent_but_may_differ_from_goal() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let report = interactive_without_validation(&g, &goal, 0);
+        assert!(report.consistent_with_labels);
+        assert_eq!(report.scenario, "interactive");
+        // It may or may not hit the goal; the paper's point is only that it
+        // is not guaranteed.  Both outcomes are acceptable here.
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let report = interactive_with_validation(&g, &goal, 0);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("interactive+validation"));
+    }
+}

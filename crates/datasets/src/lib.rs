@@ -1,0 +1,36 @@
+//! # gps-datasets — dataset and workload generators for GPS experiments
+//!
+//! The paper demonstrates GPS on real geographical data (public-transport
+//! networks combined with facilities such as cinemas and restaurants) and the
+//! companion research paper evaluates on biological and synthetic datasets.
+//! None of those datasets ship with this reproduction, so this crate provides
+//! deterministic generators producing graphs with the same structural
+//! characteristics, plus the paper's Figure 1 graph verbatim:
+//!
+//! * [`figure1`] — the 10-node motivating example of the paper;
+//! * [`transport`] — Transpole-like public-transport networks: a grid of
+//!   neighborhoods connected by tram/bus lines, decorated with facilities;
+//! * [`synthetic`] — uniform random edge-labeled graphs (Erdős–Rényi style);
+//! * [`scale_free`] — preferential-attachment graphs with skewed degrees;
+//! * [`biological`] — hub-dominated sparse interaction networks standing in
+//!   for the biological datasets of the companion paper;
+//! * [`queries`] — goal-query workloads of increasing complexity;
+//! * [`workload`] — bundles of (graph, goal query) pairs used by the
+//!   experiment harness.
+//!
+//! All generators take explicit seeds and are fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod biological;
+pub mod figure1;
+pub mod queries;
+pub mod scale_free;
+pub mod synthetic;
+pub mod transport;
+pub mod workload;
+
+pub use figure1::{figure1_graph, Figure1};
+pub use queries::QueryWorkload;
+pub use workload::{Workload, WorkloadKind};

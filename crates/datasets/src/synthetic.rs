@@ -1,0 +1,174 @@
+//! Uniform random edge-labeled graphs (Erdős–Rényi style).
+//!
+//! These are the synthetic datasets of the companion research paper's
+//! evaluation: `n` nodes, an expected out-degree `d`, and labels drawn
+//! uniformly from an alphabet of size `k`.
+
+use gps_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the uniform random graph generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Expected out-degree of every node.
+    pub mean_out_degree: f64,
+    /// Alphabet size (labels are named `a0`, `a1`, …).
+    pub alphabet_size: usize,
+    /// Whether self loops are allowed.
+    pub allow_self_loops: bool,
+    /// Seed for the random choices.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 100,
+            mean_out_degree: 2.5,
+            alphabet_size: 4,
+            allow_self_loops: false,
+            seed: 11,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Convenience constructor for size sweeps.
+    pub fn with_nodes(nodes: usize, seed: u64) -> Self {
+        Self {
+            nodes,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a uniform random edge-labeled graph.
+pub fn generate(config: &SyntheticConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut graph = Graph::with_capacity(
+        config.nodes,
+        (config.nodes as f64 * config.mean_out_degree) as usize,
+    );
+    let labels: Vec<_> = (0..config.alphabet_size.max(1))
+        .map(|i| graph.label(&format!("a{i}")))
+        .collect();
+    let nodes = graph.add_nodes("v", config.nodes);
+    if config.nodes == 0 {
+        return graph;
+    }
+    let edge_count = (config.nodes as f64 * config.mean_out_degree).round() as usize;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = edge_count * 10 + 100;
+    while added < edge_count && attempts < max_attempts {
+        attempts += 1;
+        let source = nodes[rng.gen_range(0..nodes.len())];
+        let target = nodes[rng.gen_range(0..nodes.len())];
+        if !config.allow_self_loops && source == target {
+            continue;
+        }
+        let label = labels[rng.gen_range(0..labels.len())];
+        graph.add_edge_dedup(source, label, target);
+        added += 1;
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_graph::stats::GraphStats;
+
+    #[test]
+    fn generates_requested_node_count() {
+        let g = generate(&SyntheticConfig::with_nodes(50, 3));
+        assert_eq!(g.node_count(), 50);
+        assert!(g.edge_count() > 0);
+        assert_eq!(g.label_count(), 4);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = generate(&SyntheticConfig::with_nodes(40, 5));
+        let b = generate(&SyntheticConfig::with_nodes(40, 5));
+        assert_eq!(a.edge_count(), b.edge_count());
+        let edges_a: Vec<_> = a.edges().map(|(_, e)| e).collect();
+        let edges_b: Vec<_> = b.edges().map(|(_, e)| e).collect();
+        assert_eq!(edges_a, edges_b);
+        let c = generate(&SyntheticConfig::with_nodes(40, 6));
+        let edges_c: Vec<_> = c.edges().map(|(_, e)| e).collect();
+        assert_ne!(edges_a, edges_c, "different seed, different graph");
+    }
+
+    #[test]
+    fn mean_out_degree_is_approximated() {
+        let config = SyntheticConfig {
+            nodes: 200,
+            mean_out_degree: 3.0,
+            ..SyntheticConfig::default()
+        };
+        let g = generate(&config);
+        let stats = GraphStats::compute(&g);
+        assert!(
+            (stats.mean_out_degree - 3.0).abs() < 0.5,
+            "observed {}",
+            stats.mean_out_degree
+        );
+    }
+
+    #[test]
+    fn no_self_loops_by_default() {
+        let g = generate(&SyntheticConfig::with_nodes(30, 9));
+        for (_, e) in g.edges() {
+            assert_ne!(e.source, e.target);
+        }
+    }
+
+    #[test]
+    fn self_loops_can_be_enabled() {
+        let config = SyntheticConfig {
+            nodes: 10,
+            mean_out_degree: 5.0,
+            allow_self_loops: true,
+            seed: 2,
+            ..SyntheticConfig::default()
+        };
+        let g = generate(&config);
+        // With 10 nodes and ~50 edges, a self loop appears with overwhelming
+        // probability for this seed; assert only that generation succeeds
+        // and the flag is honoured by not panicking.
+        assert_eq!(g.node_count(), 10);
+    }
+
+    #[test]
+    fn empty_graph_edge_case() {
+        let g = generate(&SyntheticConfig {
+            nodes: 0,
+            ..SyntheticConfig::default()
+        });
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn alphabet_size_is_respected() {
+        let g = generate(&SyntheticConfig {
+            nodes: 30,
+            alphabet_size: 2,
+            seed: 4,
+            ..SyntheticConfig::default()
+        });
+        assert_eq!(g.label_count(), 2);
+        let g1 = generate(&SyntheticConfig {
+            nodes: 30,
+            alphabet_size: 0,
+            seed: 4,
+            ..SyntheticConfig::default()
+        });
+        assert_eq!(g1.label_count(), 1, "alphabet is clamped to at least 1");
+    }
+}

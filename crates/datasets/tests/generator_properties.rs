@@ -1,0 +1,116 @@
+//! Property-based and cross-cutting tests of the dataset generators: seeds
+//! are reproducible, sizes are honoured, generated workloads are usable by
+//! the query engine, and the structural traits each generator promises
+//! (connectivity, hubs, facilities as sinks) hold across the parameter space.
+
+use gps_datasets::biological::{self, BiologicalConfig};
+use gps_datasets::scale_free::{self, ScaleFreeConfig};
+use gps_datasets::synthetic::{self, SyntheticConfig};
+use gps_datasets::transport::{self, TransportConfig};
+use gps_datasets::{queries, Workload};
+use gps_graph::stats::GraphStats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn transport_generator_honours_size_and_connectivity(neighborhoods in 4usize..60, seed in 0u64..1000) {
+        let net = transport::generate(&TransportConfig::with_neighborhoods(neighborhoods, seed));
+        prop_assert!(net.neighborhoods.len() >= neighborhoods);
+        prop_assert_eq!(
+            net.graph.node_count(),
+            net.neighborhoods.len() + net.facilities.len()
+        );
+        let stats = GraphStats::compute(&net.graph);
+        prop_assert_eq!(stats.weak_component_count, 1, "transport networks are connected");
+        // Facilities are sinks with exactly one incoming edge.
+        for &f in &net.facilities {
+            prop_assert_eq!(net.graph.out_degree(f), 0);
+            prop_assert_eq!(net.graph.in_degree(f), 1);
+        }
+    }
+
+    #[test]
+    fn synthetic_generator_is_seed_deterministic(nodes in 1usize..80, seed in 0u64..1000) {
+        let a = synthetic::generate(&SyntheticConfig::with_nodes(nodes, seed));
+        let b = synthetic::generate(&SyntheticConfig::with_nodes(nodes, seed));
+        prop_assert_eq!(a.node_count(), b.node_count());
+        prop_assert_eq!(
+            a.edges().map(|(_, e)| e).collect::<Vec<_>>(),
+            b.edges().map(|(_, e)| e).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scale_free_generator_produces_connected_graphs(nodes in 2usize..120, seed in 0u64..1000) {
+        let graph = scale_free::generate(&ScaleFreeConfig { nodes, seed, ..ScaleFreeConfig::default() });
+        prop_assert_eq!(graph.node_count(), nodes);
+        let stats = GraphStats::compute(&graph);
+        prop_assert_eq!(stats.weak_component_count, 1);
+    }
+
+    #[test]
+    fn biological_generator_keeps_all_interaction_labels(entities in 5usize..100, seed in 0u64..1000) {
+        let graph = biological::generate(&BiologicalConfig::with_entities(entities, seed));
+        prop_assert_eq!(graph.node_count(), entities);
+        prop_assert_eq!(graph.label_count(), biological::INTERACTION_LABELS.len());
+    }
+}
+
+#[test]
+fn every_workload_query_parses_and_evaluates() {
+    for workload in Workload::default_suite(5) {
+        for query in &workload.queries.queries {
+            // Evaluation must not panic and facility-free answers must stay
+            // within the graph.
+            let answer = query.evaluate(&workload.graph);
+            for node in answer.nodes() {
+                assert!(workload.graph.contains_node(node), "{}", workload.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn standard_workload_queries_have_increasing_size_on_every_family() {
+    for workload in [
+        Workload::synthetic(60, 2),
+        Workload::scale_free(60, 2),
+        Workload::biological(60, 2),
+    ] {
+        let sizes: Vec<usize> = workload
+            .queries
+            .queries
+            .iter()
+            .map(|q| q.regex().size())
+            .collect();
+        for window in sizes.windows(2) {
+            assert!(
+                window[0] <= window[1],
+                "{}: sizes {sizes:?} not monotone",
+                workload.name
+            );
+        }
+    }
+}
+
+#[test]
+fn transport_workload_contains_the_motivating_query() {
+    let net = transport::generate(&TransportConfig::default());
+    let workload = queries::transport_workload(&net.graph);
+    let motivating = workload
+        .queries
+        .iter()
+        .any(|q| q.display(net.graph.labels()) == "(tram+bus)*·cinema");
+    assert!(motivating);
+}
+
+#[test]
+fn size_sweep_workloads_are_strictly_larger() {
+    let sweep = Workload::size_sweep(7);
+    for window in sweep.windows(2) {
+        assert!(window[0].graph.node_count() < window[1].graph.node_count());
+        assert!(window[0].graph.edge_count() < window[1].graph.edge_count());
+    }
+}

@@ -1,0 +1,200 @@
+//! Immutable compressed-sparse-row (CSR) snapshot of a [`Graph`].
+//!
+//! The interactive loop and the RPQ evaluator traverse the graph heavily and
+//! never mutate it.  [`CsrGraph`] packs the adjacency into two flat arrays
+//! (offsets + `(label, target)` pairs) for cache-friendly scans, and keeps a
+//! reverse CSR for backward traversals used by the evaluator's fixed point.
+
+use crate::graph::Graph;
+use crate::ids::{LabelId, NodeId};
+
+/// One packed adjacency entry: the label of an edge and its other endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrEntry {
+    /// The label carried by the edge.
+    pub label: LabelId,
+    /// The other endpoint (target for forward CSR, source for reverse CSR).
+    pub node: NodeId,
+}
+
+/// An immutable CSR snapshot with both forward and reverse adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    node_count: usize,
+    label_count: usize,
+    fwd_offsets: Vec<u32>,
+    fwd_entries: Vec<CsrEntry>,
+    rev_offsets: Vec<u32>,
+    rev_entries: Vec<CsrEntry>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR snapshot from a mutable [`Graph`].
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+
+        let mut fwd_offsets = Vec::with_capacity(n + 1);
+        let mut fwd_entries = Vec::with_capacity(m);
+        fwd_offsets.push(0);
+        for node in graph.nodes() {
+            for (label, target) in graph.successors(node) {
+                fwd_entries.push(CsrEntry {
+                    label,
+                    node: target,
+                });
+            }
+            fwd_offsets.push(fwd_entries.len() as u32);
+        }
+
+        let mut rev_offsets = Vec::with_capacity(n + 1);
+        let mut rev_entries = Vec::with_capacity(m);
+        rev_offsets.push(0);
+        for node in graph.nodes() {
+            for (label, source) in graph.predecessors(node) {
+                rev_entries.push(CsrEntry {
+                    label,
+                    node: source,
+                });
+            }
+            rev_offsets.push(rev_entries.len() as u32);
+        }
+
+        Self {
+            node_count: n,
+            label_count: graph.label_count(),
+            fwd_offsets,
+            fwd_entries,
+            rev_offsets,
+            rev_entries,
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.fwd_entries.len()
+    }
+
+    /// Alphabet size of the underlying graph at snapshot time.
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// Iterates over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count).map(NodeId::from)
+    }
+
+    /// Outgoing `(label, target)` entries of `node`.
+    #[inline]
+    pub fn out(&self, node: NodeId) -> &[CsrEntry] {
+        let i = node.index();
+        let lo = self.fwd_offsets[i] as usize;
+        let hi = self.fwd_offsets[i + 1] as usize;
+        &self.fwd_entries[lo..hi]
+    }
+
+    /// Incoming `(label, source)` entries of `node`.
+    #[inline]
+    pub fn inc(&self, node: NodeId) -> &[CsrEntry] {
+        let i = node.index();
+        let lo = self.rev_offsets[i] as usize;
+        let hi = self.rev_offsets[i + 1] as usize;
+        &self.rev_entries[lo..hi]
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out(node).len()
+    }
+
+    /// In-degree of `node`.
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.inc(node).len()
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(graph: &Graph) -> Self {
+        Self::from_graph(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph, Vec<NodeId>) {
+        // a -x-> b -z-> d ;  a -y-> c -z-> d
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge_by_name(a, "x", b);
+        g.add_edge_by_name(a, "y", c);
+        g.add_edge_by_name(b, "z", d);
+        g.add_edge_by_name(c, "z", d);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn csr_preserves_counts() {
+        let (g, _) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.label_count(), 3);
+    }
+
+    #[test]
+    fn forward_adjacency_matches_graph() {
+        let (g, n) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let out_a: Vec<NodeId> = csr.out(n[0]).iter().map(|e| e.node).collect();
+        assert_eq!(out_a, vec![n[1], n[2]]);
+        assert_eq!(csr.out_degree(n[3]), 0);
+        assert_eq!(csr.out_degree(n[0]), 2);
+    }
+
+    #[test]
+    fn reverse_adjacency_matches_graph() {
+        let (g, n) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let in_d: Vec<NodeId> = csr.inc(n[3]).iter().map(|e| e.node).collect();
+        assert_eq!(in_d, vec![n[1], n[2]]);
+        assert_eq!(csr.in_degree(n[0]), 0);
+    }
+
+    #[test]
+    fn labels_are_preserved_per_entry() {
+        let (g, n) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let z = g.label_id("z").unwrap();
+        assert!(csr.out(n[1]).iter().all(|e| e.label == z));
+        assert!(csr.inc(n[3]).iter().all(|e| e.label == z));
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let g = Graph::new();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(csr.nodes().count(), 0);
+    }
+
+    #[test]
+    fn from_reference_conversion() {
+        let (g, _) = diamond();
+        let csr: CsrGraph = (&g).into();
+        assert_eq!(csr.edge_count(), g.edge_count());
+    }
+}

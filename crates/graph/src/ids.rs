@@ -1,0 +1,127 @@
+//! Strongly-typed identifiers for nodes, edges and labels.
+//!
+//! All identifiers are thin newtypes around `u32`, which keeps the hot
+//! traversal structures compact (see the type-size guidance for database
+//! workloads) while still being convertible to `usize` for indexing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`crate::Graph`].
+///
+/// Node identifiers are dense: the `i`-th node added to a graph receives
+/// identifier `i`. They are only meaningful relative to the graph that issued
+/// them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge in a [`crate::Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// Identifier of an edge label (an interned symbol of the alphabet).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LabelId(pub u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $prefix:expr) => {
+        impl $ty {
+            /// Builds an identifier from a raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the identifier as a `usize`, suitable for indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $ty {
+            #[inline]
+            fn from(value: u32) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<usize> for $ty {
+            #[inline]
+            fn from(value: usize) -> Self {
+                debug_assert!(value <= u32::MAX as usize, "identifier overflow");
+                Self(value as u32)
+            }
+        }
+
+        impl From<$ty> for usize {
+            #[inline]
+            fn from(value: $ty) -> usize {
+                value.index()
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, "n");
+impl_id!(EdgeId, "e");
+impl_id!(LabelId, "l");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_usize() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(NodeId::from(42usize), id);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(10));
+        assert!(LabelId::new(3) > LabelId::new(2));
+    }
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+        assert_eq!(EdgeId::new(7).to_string(), "e7");
+        assert_eq!(LabelId::new(7).to_string(), "l7");
+        assert_eq!(format!("{:?}", NodeId::new(7)), "n7");
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        assert_eq!(LabelId::from(9u32).raw(), 9);
+        assert_eq!(EdgeId::from(5u32).raw(), 5);
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+        assert_eq!(std::mem::size_of::<LabelId>(), 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! # gps-graph — edge-labeled directed graph substrate
+//!
+//! This crate provides the graph database model used by GPS ("Graph Path
+//! query Specification", Bonifati, Ciucanu, Lemay — EDBT 2015): a directed
+//! multigraph whose edges carry labels drawn from a finite alphabet and whose
+//! nodes carry human-readable names.
+//!
+//! The crate is deliberately self-contained — it knows nothing about queries,
+//! learning or interaction — and exposes exactly the primitives the rest of
+//! the system needs:
+//!
+//! * [`Graph`] — the mutable adjacency-list store with forward and reverse
+//!   adjacency, label interning and node naming;
+//! * [`csr::CsrGraph`] — an immutable, cache-friendly snapshot used by the
+//!   traversal-heavy evaluation and learning code;
+//! * [`traversal`] — BFS/DFS, distances and reachability;
+//! * [`neighborhood`] — the *k*-neighborhood subgraphs the user is shown
+//!   (Figure 3(a)/(b) of the paper), including the frontier markers ("…")
+//!   and the delta highlighting used when zooming out;
+//! * [`paths`] — bounded-length path enumeration from a node, producing both
+//!   label words and node sequences;
+//! * [`prefix_tree`] — the prefix tree of a node's path words (Figure 3(c));
+//! * [`io`] — edge-list and JSON (de)serialization;
+//! * [`stats`] — degree and label distribution summaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use gps_graph::Graph;
+//!
+//! let mut g = Graph::new();
+//! let n1 = g.add_node("N1");
+//! let n4 = g.add_node("N4");
+//! let c1 = g.add_node("C1");
+//! let tram = g.label("tram");
+//! let cinema = g.label("cinema");
+//! g.add_edge(n1, tram, n4);
+//! g.add_edge(n4, cinema, c1);
+//!
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.edge_count(), 2);
+//! assert_eq!(g.out_degree(n1), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod dot;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod labels;
+pub mod neighborhood;
+pub mod paths;
+pub mod prefix_tree;
+pub mod stats;
+pub mod traversal;
+
+pub use csr::CsrGraph;
+pub use graph::{Edge, Graph};
+pub use ids::{EdgeId, LabelId, NodeId};
+pub use labels::LabelInterner;
+pub use neighborhood::{Neighborhood, NeighborhoodDelta};
+pub use paths::{Path, PathEnumerator, Word};
+pub use prefix_tree::PrefixTree;

@@ -1,0 +1,250 @@
+//! Prefix tree of path words (Figure 3(c) of the paper).
+//!
+//! After a node has been labeled positive, GPS shows the user all of that
+//! node's candidate paths (bounded length, not covered by negatives) as a
+//! *prefix tree*, with one path highlighted as the system's best guess.  The
+//! tree here is purely structural — rendering and highlighting live in
+//! `gps-core::render` and `gps-interactive::validation`.
+
+use crate::ids::LabelId;
+use crate::paths::Word;
+use std::collections::BTreeMap;
+
+/// Identifier of a prefix-tree node (dense, root = 0).
+pub type PrefixNodeId = usize;
+
+/// A trie over label words.  Every node remembers whether it terminates one
+/// of the inserted words.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixTree {
+    children: Vec<BTreeMap<LabelId, PrefixNodeId>>,
+    terminal: Vec<bool>,
+}
+
+impl PrefixTree {
+    /// Creates a prefix tree containing only the empty root.
+    pub fn new() -> Self {
+        Self {
+            children: vec![BTreeMap::new()],
+            terminal: vec![false],
+        }
+    }
+
+    /// Builds a prefix tree from a collection of words.
+    pub fn from_words<I>(words: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[LabelId]>,
+    {
+        let mut tree = Self::new();
+        for word in words {
+            tree.insert(word.as_ref());
+        }
+        tree
+    }
+
+    /// The root node.
+    pub fn root(&self) -> PrefixNodeId {
+        0
+    }
+
+    /// Number of trie nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Number of distinct words stored.
+    pub fn word_count(&self) -> usize {
+        self.terminal.iter().filter(|&&t| t).count()
+    }
+
+    /// Returns `true` when no word has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.word_count() == 0
+    }
+
+    /// Inserts a word, returning the terminal node.
+    pub fn insert(&mut self, word: &[LabelId]) -> PrefixNodeId {
+        let mut node = self.root();
+        for &label in word {
+            node = match self.children[node].get(&label) {
+                Some(&next) => next,
+                None => {
+                    let next = self.children.len();
+                    self.children.push(BTreeMap::new());
+                    self.terminal.push(false);
+                    self.children[node].insert(label, next);
+                    next
+                }
+            };
+        }
+        self.terminal[node] = true;
+        node
+    }
+
+    /// Returns `true` if the exact word was inserted.
+    pub fn contains(&self, word: &[LabelId]) -> bool {
+        self.locate(word)
+            .map(|node| self.terminal[node])
+            .unwrap_or(false)
+    }
+
+    /// Returns `true` if the word is a (not necessarily proper) prefix of an
+    /// inserted word.
+    pub fn contains_prefix(&self, word: &[LabelId]) -> bool {
+        self.locate(word).is_some()
+    }
+
+    /// Locates the trie node spelled by `word`, if present.
+    pub fn locate(&self, word: &[LabelId]) -> Option<PrefixNodeId> {
+        let mut node = self.root();
+        for &label in word {
+            node = *self.children[node].get(&label)?;
+        }
+        Some(node)
+    }
+
+    /// Returns whether a trie node is terminal (ends an inserted word).
+    pub fn is_terminal(&self, node: PrefixNodeId) -> bool {
+        self.terminal[node]
+    }
+
+    /// Children of a trie node, in label order.
+    pub fn children(&self, node: PrefixNodeId) -> impl Iterator<Item = (LabelId, PrefixNodeId)> + '_ {
+        self.children[node].iter().map(|(&l, &n)| (l, n))
+    }
+
+    /// All stored words, in lexicographic label order.
+    pub fn words(&self) -> Vec<Word> {
+        let mut result = Vec::new();
+        let mut current = Vec::new();
+        self.collect_words(self.root(), &mut current, &mut result);
+        result
+    }
+
+    fn collect_words(&self, node: PrefixNodeId, current: &mut Word, out: &mut Vec<Word>) {
+        if self.terminal[node] {
+            out.push(current.clone());
+        }
+        for (label, child) in self.children[node].clone() {
+            current.push(label);
+            self.collect_words(child, current, out);
+            current.pop();
+        }
+    }
+
+    /// Depth-first walk of the tree invoking `visit(depth, label, node,
+    /// is_terminal)` for every non-root node, in label order.  Used by the
+    /// renderer.
+    pub fn walk(&self, mut visit: impl FnMut(usize, LabelId, PrefixNodeId, bool)) {
+        self.walk_inner(self.root(), 0, &mut visit);
+    }
+
+    fn walk_inner(
+        &self,
+        node: PrefixNodeId,
+        depth: usize,
+        visit: &mut impl FnMut(usize, LabelId, PrefixNodeId, bool),
+    ) {
+        for (label, child) in self.children[node].clone() {
+            visit(depth, label, child, self.terminal[child]);
+            self.walk_inner(child, depth + 1, visit);
+        }
+    }
+
+    /// The longest stored word (ties broken lexicographically first).
+    pub fn longest_word(&self) -> Option<Word> {
+        self.words().into_iter().max_by_key(|w| w.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LabelId {
+        LabelId::new(i)
+    }
+
+    #[test]
+    fn empty_tree_has_only_root() {
+        let tree = PrefixTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.word_count(), 0);
+        assert!(!tree.contains(&[]));
+        assert!(tree.contains_prefix(&[]), "empty word is a prefix of anything");
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut tree = PrefixTree::new();
+        tree.insert(&[l(0), l(1)]);
+        tree.insert(&[l(0), l(2)]);
+        assert!(tree.contains(&[l(0), l(1)]));
+        assert!(tree.contains(&[l(0), l(2)]));
+        assert!(!tree.contains(&[l(0)]), "prefix is not a stored word");
+        assert!(tree.contains_prefix(&[l(0)]));
+        assert!(!tree.contains(&[l(1)]));
+        assert_eq!(tree.word_count(), 2);
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let tree = PrefixTree::from_words(vec![vec![l(0), l(1), l(2)], vec![l(0), l(1), l(3)]]);
+        // root + a + ab + abc + abd = 5 nodes
+        assert_eq!(tree.node_count(), 5);
+    }
+
+    #[test]
+    fn words_round_trip_in_sorted_order() {
+        let tree = PrefixTree::from_words(vec![
+            vec![l(2)],
+            vec![l(0), l(1)],
+            vec![l(0)],
+            vec![l(0), l(1)],
+        ]);
+        assert_eq!(
+            tree.words(),
+            vec![vec![l(0)], vec![l(0), l(1)], vec![l(2)]],
+            "duplicates collapse, order is lexicographic"
+        );
+    }
+
+    #[test]
+    fn empty_word_can_be_stored() {
+        let mut tree = PrefixTree::new();
+        tree.insert(&[]);
+        assert!(tree.contains(&[]));
+        assert_eq!(tree.word_count(), 1);
+        assert_eq!(tree.words(), vec![Vec::<LabelId>::new()]);
+    }
+
+    #[test]
+    fn walk_visits_in_label_order_with_depths() {
+        let tree = PrefixTree::from_words(vec![vec![l(1), l(0)], vec![l(0)]]);
+        let mut visits = Vec::new();
+        tree.walk(|depth, label, _, terminal| visits.push((depth, label, terminal)));
+        assert_eq!(
+            visits,
+            vec![(0, l(0), true), (0, l(1), false), (1, l(0), true)]
+        );
+    }
+
+    #[test]
+    fn longest_word_prefers_length() {
+        let tree = PrefixTree::from_words(vec![vec![l(5)], vec![l(0), l(1), l(2)], vec![l(9), l(9)]]);
+        assert_eq!(tree.longest_word(), Some(vec![l(0), l(1), l(2)]));
+        assert_eq!(PrefixTree::new().longest_word(), None);
+    }
+
+    #[test]
+    fn locate_and_children_expose_structure() {
+        let tree = PrefixTree::from_words(vec![vec![l(0), l(1)], vec![l(0), l(2)]]);
+        let node_a = tree.locate(&[l(0)]).unwrap();
+        assert!(!tree.is_terminal(node_a));
+        let kids: Vec<LabelId> = tree.children(node_a).map(|(lab, _)| lab).collect();
+        assert_eq!(kids, vec![l(1), l(2)]);
+        assert!(tree.locate(&[l(3)]).is_none());
+    }
+}

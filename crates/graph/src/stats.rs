@@ -1,0 +1,175 @@
+//! Summary statistics over a graph: degree distributions, label usage and
+//! connectivity.  Used by the dataset generators' self-checks and by the
+//! benchmark harness when reporting workload characteristics.
+
+use crate::graph::Graph;
+use crate::ids::LabelId;
+use crate::traversal::weakly_connected_components;
+use std::collections::BTreeMap;
+
+/// Aggregate statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Number of edges.
+    pub edge_count: usize,
+    /// Number of distinct labels.
+    pub label_count: usize,
+    /// Minimum out-degree over all nodes (0 for the empty graph).
+    pub min_out_degree: usize,
+    /// Maximum out-degree over all nodes (0 for the empty graph).
+    pub max_out_degree: usize,
+    /// Mean out-degree (0.0 for the empty graph).
+    pub mean_out_degree: f64,
+    /// Number of sink nodes (out-degree 0).
+    pub sink_count: usize,
+    /// Number of source nodes (in-degree 0).
+    pub source_count: usize,
+    /// Number of weakly connected components.
+    pub weak_component_count: usize,
+    /// Edge count per label.
+    pub label_histogram: BTreeMap<LabelId, usize>,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        let node_count = graph.node_count();
+        let edge_count = graph.edge_count();
+        let mut min_out = usize::MAX;
+        let mut max_out = 0usize;
+        let mut sinks = 0usize;
+        let mut sources = 0usize;
+        for node in graph.nodes() {
+            let d = graph.out_degree(node);
+            min_out = min_out.min(d);
+            max_out = max_out.max(d);
+            if d == 0 {
+                sinks += 1;
+            }
+            if graph.in_degree(node) == 0 {
+                sources += 1;
+            }
+        }
+        if node_count == 0 {
+            min_out = 0;
+        }
+        let mut label_histogram = BTreeMap::new();
+        for (_, edge) in graph.edges() {
+            *label_histogram.entry(edge.label).or_insert(0) += 1;
+        }
+        Self {
+            node_count,
+            edge_count,
+            label_count: graph.label_count(),
+            min_out_degree: min_out,
+            max_out_degree: max_out,
+            mean_out_degree: if node_count == 0 {
+                0.0
+            } else {
+                edge_count as f64 / node_count as f64
+            },
+            sink_count: sinks,
+            source_count: sources,
+            weak_component_count: weakly_connected_components(graph).len(),
+            label_histogram,
+        }
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "|V|={} |E|={} |Σ|={} out-deg[min={}, mean={:.2}, max={}] sinks={} sources={} components={}",
+            self.node_count,
+            self.edge_count,
+            self.label_count,
+            self.min_out_degree,
+            self.mean_out_degree,
+            self.max_out_degree,
+            self.sink_count,
+            self.source_count,
+            self.weak_component_count
+        )
+    }
+}
+
+/// Per-label edge counts with label names resolved, for display.
+pub fn label_usage(graph: &Graph) -> Vec<(String, usize)> {
+    let stats = GraphStats::compute(graph);
+    stats
+        .label_histogram
+        .iter()
+        .map(|(&label, &count)| {
+            (
+                graph.label_name(label).unwrap_or("?").to_string(),
+                count,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let _isolated = g.add_node("d");
+        g.add_edge_by_name(a, "x", b);
+        g.add_edge_by_name(a, "y", c);
+        g.add_edge_by_name(b, "x", c);
+        g
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let stats = GraphStats::compute(&sample());
+        assert_eq!(stats.node_count, 4);
+        assert_eq!(stats.edge_count, 3);
+        assert_eq!(stats.label_count, 2);
+        assert_eq!(stats.max_out_degree, 2);
+        assert_eq!(stats.min_out_degree, 0);
+        assert!((stats.mean_out_degree - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sinks_sources_and_components() {
+        let stats = GraphStats::compute(&sample());
+        assert_eq!(stats.sink_count, 2, "c and the isolated node");
+        assert_eq!(stats.source_count, 2, "a and the isolated node");
+        assert_eq!(stats.weak_component_count, 2);
+    }
+
+    #[test]
+    fn label_histogram_counts_edges_per_label() {
+        let g = sample();
+        let stats = GraphStats::compute(&g);
+        let x = g.label_id("x").unwrap();
+        let y = g.label_id("y").unwrap();
+        assert_eq!(stats.label_histogram[&x], 2);
+        assert_eq!(stats.label_histogram[&y], 1);
+        let usage = label_usage(&g);
+        assert!(usage.contains(&("x".to_string(), 2)));
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zeroed() {
+        let stats = GraphStats::compute(&Graph::new());
+        assert_eq!(stats.node_count, 0);
+        assert_eq!(stats.min_out_degree, 0);
+        assert_eq!(stats.mean_out_degree, 0.0);
+        assert_eq!(stats.weak_component_count, 0);
+    }
+
+    #[test]
+    fn summary_mentions_key_figures() {
+        let s = GraphStats::compute(&sample()).summary();
+        assert!(s.contains("|V|=4"));
+        assert!(s.contains("|E|=3"));
+        assert!(s.contains("components=2"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Uninformative-node pruning.
+//!
+//! After each interaction GPS "prunes the uninformative nodes, i.e. those
+//! that do not add any information about the user's goal query".  A node is
+//! uninformative when every one of its (bounded) paths is covered by negative
+//! examples — asking the user about it could not change the version space.
+//! Labeled nodes are also never proposed again.
+//!
+//! [`PruningState`] maintains this set incrementally and exposes the numbers
+//! the pruning-effectiveness experiment (E4) reports.
+
+use gps_graph::{Graph, NodeId};
+use gps_learner::ExampleSet;
+use gps_rpq::NegativeCoverage;
+use std::collections::BTreeSet;
+
+/// The set of nodes that should no longer be proposed to the user.
+#[derive(Debug, Clone)]
+pub struct PruningState {
+    pruned: BTreeSet<NodeId>,
+    bound: usize,
+}
+
+impl PruningState {
+    /// Creates a pruning state with the given path-length bound (the same
+    /// bound the learner and the coverage use).
+    pub fn new(bound: usize) -> Self {
+        Self {
+            pruned: BTreeSet::new(),
+            bound,
+        }
+    }
+
+    /// The path-length bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Recomputes the pruned set from scratch: labeled nodes plus nodes that
+    /// are uninformative under the current negative coverage.  Returns the
+    /// number of *newly* pruned nodes.
+    pub fn refresh(
+        &mut self,
+        graph: &Graph,
+        examples: &ExampleSet,
+        coverage: &NegativeCoverage,
+    ) -> usize {
+        let before = self.pruned.len();
+        for node in graph.nodes() {
+            if examples.is_labeled(node) || coverage.is_uninformative(graph, node) {
+                self.pruned.insert(node);
+            }
+        }
+        self.pruned.len() - before
+    }
+
+    /// Marks a single node as pruned (used when the user labels it).
+    pub fn prune(&mut self, node: NodeId) -> bool {
+        self.pruned.insert(node)
+    }
+
+    /// Returns `true` when `node` has been pruned.
+    pub fn is_pruned(&self, node: NodeId) -> bool {
+        self.pruned.contains(&node)
+    }
+
+    /// Number of pruned nodes.
+    pub fn pruned_count(&self) -> usize {
+        self.pruned.len()
+    }
+
+    /// The nodes that may still be proposed to the user, in id order.
+    pub fn candidates<'a>(&'a self, graph: &'a Graph) -> impl Iterator<Item = NodeId> + 'a {
+        graph.nodes().filter(move |n| !self.is_pruned(*n))
+    }
+
+    /// Number of candidate (not yet pruned) nodes.
+    pub fn candidate_count(&self, graph: &Graph) -> usize {
+        self.candidates(graph).count()
+    }
+
+    /// Fraction of the graph's nodes that has been pruned (0.0 for an empty
+    /// graph).
+    pub fn pruned_fraction(&self, graph: &Graph) -> f64 {
+        if graph.node_count() == 0 {
+            0.0
+        } else {
+            self.pruned_count() as f64 / graph.node_count() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// N5 -bus-> N6 -cinema-> C2; N5 -restaurant-> R2; N8 isolated.
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let n5 = g.add_node("N5");
+        let n6 = g.add_node("N6");
+        let c2 = g.add_node("C2");
+        let r2 = g.add_node("R2");
+        let _n8 = g.add_node("N8");
+        g.add_edge_by_name(n5, "bus", n6);
+        g.add_edge_by_name(n6, "cinema", c2);
+        g.add_edge_by_name(n5, "restaurant", r2);
+        g
+    }
+
+    #[test]
+    fn sinks_are_pruned_immediately() {
+        let g = sample();
+        let mut pruning = PruningState::new(3);
+        let examples = ExampleSet::new();
+        let coverage = NegativeCoverage::new(3);
+        let newly = pruning.refresh(&g, &examples, &coverage);
+        // C2, R2 and the isolated N8 have no outgoing paths.
+        assert_eq!(newly, 3);
+        assert!(pruning.is_pruned(g.node_by_name("C2").unwrap()));
+        assert!(pruning.is_pruned(g.node_by_name("N8").unwrap()));
+        assert!(!pruning.is_pruned(g.node_by_name("N5").unwrap()));
+        assert_eq!(pruning.candidate_count(&g), 2);
+    }
+
+    #[test]
+    fn labeled_nodes_are_pruned() {
+        let g = sample();
+        let mut pruning = PruningState::new(3);
+        let mut examples = ExampleSet::new();
+        let n5 = g.node_by_name("N5").unwrap();
+        examples.add_positive(n5);
+        let coverage = NegativeCoverage::new(3);
+        pruning.refresh(&g, &examples, &coverage);
+        assert!(pruning.is_pruned(n5));
+    }
+
+    #[test]
+    fn negatives_make_covered_nodes_uninformative() {
+        let g = sample();
+        let n5 = g.node_by_name("N5").unwrap();
+        let n6 = g.node_by_name("N6").unwrap();
+        let mut examples = ExampleSet::new();
+        examples.add_negative(n5);
+        let coverage = NegativeCoverage::from_negatives(&g, [n5], 3);
+        let mut pruning = PruningState::new(3);
+        pruning.refresh(&g, &examples, &coverage);
+        // N5 is labeled; its words cover bus·cinema but NOT cinema, so N6
+        // stays informative.
+        assert!(pruning.is_pruned(n5));
+        assert!(!pruning.is_pruned(n6));
+        // Once N6 is also covered (label it negative too), nothing is left.
+        let coverage2 = NegativeCoverage::from_negatives(&g, [n5, n6], 3);
+        let mut examples2 = ExampleSet::new();
+        examples2.add_negative(n5);
+        examples2.add_negative(n6);
+        let mut pruning2 = PruningState::new(3);
+        pruning2.refresh(&g, &examples2, &coverage2);
+        assert_eq!(pruning2.candidate_count(&g), 0);
+        assert!((pruning2.pruned_fraction(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manual_prune_and_counters() {
+        let g = sample();
+        let mut pruning = PruningState::new(2);
+        assert_eq!(pruning.bound(), 2);
+        assert!(pruning.prune(g.node_by_name("N5").unwrap()));
+        assert!(!pruning.prune(g.node_by_name("N5").unwrap()));
+        assert_eq!(pruning.pruned_count(), 1);
+        assert!(pruning.pruned_fraction(&g) > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_fraction_is_zero() {
+        let g = Graph::new();
+        let pruning = PruningState::new(2);
+        assert_eq!(pruning.pruned_fraction(&g), 0.0);
+        assert_eq!(pruning.candidate_count(&g), 0);
+    }
+}

@@ -1,0 +1,436 @@
+//! The interactive session loop (Figure 2 of the paper).
+//!
+//! A [`Session`] owns the evolving state of one specification task: the
+//! examples collected so far, the negative coverage, the pruning state, the
+//! current hypothesis, and the statistics.  [`Session::run`] drives the loop
+//! with a [`Strategy`] and a [`User`] until a halt condition fires;
+//! [`Session::step`] performs a single interaction and is what the
+//! step-by-step demo scenarios use.
+
+use crate::halt::{HaltConfig, HaltReason};
+use crate::pruning::PruningState;
+use crate::stats::SessionStats;
+use crate::strategy::{Strategy, StrategyContext};
+use crate::user::{User, UserResponse};
+use crate::validation;
+use crate::zoom::ZoomState;
+use gps_graph::{Graph, NodeId, Word};
+use gps_learner::{ExampleSet, Label, LearnedQuery, Learner};
+use gps_rpq::NegativeCoverage;
+use std::time::Instant;
+
+/// Configuration of an interactive session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Radius of the first neighborhood shown for a proposed node (the paper
+    /// uses 2).
+    pub initial_radius: u32,
+    /// Maximum radius the user can zoom out to.
+    pub max_radius: u32,
+    /// Path-length bound shared by the coverage, the pruning and the learner.
+    pub path_bound: usize,
+    /// Whether the path-validation step (Figure 3(c)) is part of the loop —
+    /// the difference between the second and third demo scenarios.
+    pub with_path_validation: bool,
+    /// Halt conditions.
+    pub halt: HaltConfig,
+    /// The learner configuration.
+    pub learner: Learner,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            initial_radius: 2,
+            max_radius: 6,
+            path_bound: 4,
+            with_path_validation: true,
+            halt: HaltConfig::default(),
+            learner: Learner::default(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// The configuration of the second demo scenario: interactive labeling
+    /// without path validation.
+    pub fn without_path_validation() -> Self {
+        Self {
+            with_path_validation: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// One entry of the session transcript.
+#[derive(Debug, Clone)]
+pub struct InteractionRecord {
+    /// The node proposed to the user.
+    pub node: NodeId,
+    /// How many times the user zoomed out before answering.
+    pub zooms: usize,
+    /// The label the user gave.
+    pub label: Label,
+    /// The word the user validated (positive labels with path validation
+    /// only).
+    pub validated_word: Option<Word>,
+}
+
+/// The final result of a session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The last hypothesis learned, if any.
+    pub learned: Option<LearnedQuery>,
+    /// Why the session stopped.
+    pub halt_reason: HaltReason,
+    /// The collected statistics.
+    pub stats: SessionStats,
+    /// The per-interaction transcript.
+    pub transcript: Vec<InteractionRecord>,
+    /// The examples provided by the user.
+    pub examples: ExampleSet,
+}
+
+/// An in-progress interactive specification session.
+#[derive(Debug)]
+pub struct Session<'g> {
+    graph: &'g Graph,
+    config: SessionConfig,
+    examples: ExampleSet,
+    coverage: NegativeCoverage,
+    pruning: PruningState,
+    stats: SessionStats,
+    hypothesis: Option<LearnedQuery>,
+    transcript: Vec<InteractionRecord>,
+}
+
+impl<'g> Session<'g> {
+    /// Creates a session over `graph`.
+    pub fn new(graph: &'g Graph, config: SessionConfig) -> Self {
+        let coverage = NegativeCoverage::new(config.path_bound);
+        let pruning = PruningState::new(config.path_bound);
+        Self {
+            graph,
+            config,
+            examples: ExampleSet::new(),
+            coverage,
+            pruning,
+            stats: SessionStats::default(),
+            hypothesis: None,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// The examples collected so far.
+    pub fn examples(&self) -> &ExampleSet {
+        &self.examples
+    }
+
+    /// The current hypothesis, if one has been learned.
+    pub fn hypothesis(&self) -> Option<&LearnedQuery> {
+        self.hypothesis.as_ref()
+    }
+
+    /// The statistics collected so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Performs one interaction.  Returns `Some(reason)` when a halt
+    /// condition fired (either before or after the interaction), `None` when
+    /// the loop should continue.
+    pub fn step<S: Strategy + ?Sized, U: User + ?Sized>(
+        &mut self,
+        strategy: &mut S,
+        user: &mut U,
+    ) -> Option<HaltReason> {
+        if self.stats.interactions >= self.config.halt.max_interactions {
+            return Some(HaltReason::InteractionBudgetExhausted);
+        }
+        let started = Instant::now();
+
+        // 1–3: pick the next informative node.
+        self.pruning
+            .refresh(self.graph, &self.examples, &self.coverage);
+        let node = {
+            let ctx = StrategyContext {
+                graph: self.graph,
+                examples: &self.examples,
+                coverage: &self.coverage,
+                pruning: &self.pruning,
+            };
+            match strategy.propose(&ctx) {
+                Some(node) => node,
+                None => return Some(HaltReason::AllNodesResolved),
+            }
+        };
+
+        // 4–5: show the neighborhood, zoom on demand, collect the label.
+        let mut zoom = ZoomState::new(
+            self.graph,
+            node,
+            self.config.initial_radius,
+            self.config.max_radius,
+        );
+        let response = loop {
+            match user.label_node(self.graph, node, zoom.neighborhood()) {
+                UserResponse::ZoomOut => {
+                    if zoom.zoom_out(self.graph).is_some() {
+                        self.stats.zooms += 1;
+                        continue;
+                    }
+                    // Nothing more to reveal: a user who still cannot decide
+                    // conservatively answers "No".
+                    break UserResponse::Negative;
+                }
+                decided => break decided,
+            }
+        };
+
+        // 6: record the label (and the validated path for positives).
+        let record = match response {
+            UserResponse::Positive => {
+                self.stats.positive_labels += 1;
+                let validated = if self.config.with_path_validation {
+                    self.validate_path(user, node, zoom.radius() as usize)
+                } else {
+                    None
+                };
+                match &validated {
+                    Some(word) => self.examples.set_validated_path(node, word.clone()),
+                    None => {
+                        self.examples.add_positive(node);
+                    }
+                }
+                InteractionRecord {
+                    node,
+                    zooms: zoom.zoom_count(),
+                    label: Label::Positive,
+                    validated_word: validated,
+                }
+            }
+            UserResponse::Negative => {
+                self.stats.negative_labels += 1;
+                self.examples.add_negative(node);
+                self.coverage.add_negative(self.graph, node);
+                InteractionRecord {
+                    node,
+                    zooms: zoom.zoom_count(),
+                    label: Label::Negative,
+                    validated_word: None,
+                }
+            }
+            UserResponse::ZoomOut => unreachable!("resolved by the zoom loop"),
+        };
+        self.stats.interactions += 1;
+        self.transcript.push(record);
+
+        // Learn from all labels, propagate, prune.
+        if self.examples.positive_count() > 0 {
+            if let Ok(learned) = self.config.learner.learn(self.graph, &self.examples) {
+                self.hypothesis = Some(learned);
+            }
+        }
+        self.pruning
+            .refresh(self.graph, &self.examples, &self.coverage);
+        self.stats
+            .pruned_after_interaction
+            .push(self.pruning.pruned_count());
+        self.stats.record_interaction_time(started.elapsed());
+
+        // Halt checks.
+        if self.config.halt.stop_on_goal {
+            if let Some(hypothesis) = &self.hypothesis {
+                if user.satisfied_with(self.graph, hypothesis) {
+                    return Some(HaltReason::UserSatisfied);
+                }
+            }
+        }
+        if self.stats.interactions >= self.config.halt.max_interactions {
+            return Some(HaltReason::InteractionBudgetExhausted);
+        }
+        None
+    }
+
+    fn validate_path<U: User + ?Sized>(
+        &mut self,
+        user: &mut U,
+        node: NodeId,
+        radius: usize,
+    ) -> Option<Word> {
+        let prompt = validation::build_prompt(self.graph, node, radius, &self.coverage)?;
+        let chosen = user.validate_path(self.graph, node, &prompt.candidates, &prompt.suggested);
+        self.stats.path_validations += 1;
+        let word = if prompt.is_candidate(&chosen) {
+            chosen
+        } else {
+            prompt.suggested.clone()
+        };
+        if word != prompt.suggested {
+            self.stats.path_corrections += 1;
+        }
+        Some(word)
+    }
+
+    /// Runs the loop to completion and consumes the session state into a
+    /// [`SessionOutcome`].
+    pub fn run<S: Strategy + ?Sized, U: User + ?Sized>(
+        &mut self,
+        strategy: &mut S,
+        user: &mut U,
+    ) -> SessionOutcome {
+        let halt_reason = loop {
+            if let Some(reason) = self.step(strategy, user) {
+                break reason;
+            }
+        };
+        SessionOutcome {
+            learned: self.hypothesis.clone(),
+            halt_reason,
+            stats: self.stats.clone(),
+            transcript: self.transcript.clone(),
+            examples: self.examples.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{DegreeStrategy, InformativePathsStrategy, RandomStrategy};
+    use crate::user::SimulatedUser;
+    use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+    use gps_rpq::PathQuery;
+
+    fn goal(graph: &Graph) -> PathQuery {
+        PathQuery::parse(MOTIVATING_QUERY, graph.labels()).unwrap()
+    }
+
+    #[test]
+    fn session_converges_to_the_goal_on_figure1() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let mut user = SimulatedUser::new(goal.clone(), &g);
+        let mut session = Session::new(&g, SessionConfig::default());
+        let outcome = session.run(&mut InformativePathsStrategy::default(), &mut user);
+        assert!(outcome.halt_reason.is_convergence(), "{:?}", outcome.halt_reason);
+        let learned = outcome.learned.expect("a query was learned");
+        assert_eq!(learned.answer.nodes(), goal.evaluate(&g).nodes());
+        assert!(outcome.stats.interactions >= 1);
+        assert!(outcome.stats.interactions <= g.node_count());
+        assert_eq!(outcome.transcript.len(), outcome.stats.interactions);
+    }
+
+    #[test]
+    fn all_strategies_converge_but_informative_needs_fewest_labels() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let run = |strategy: &mut dyn Strategy| {
+            let mut user = SimulatedUser::new(goal.clone(), &g);
+            let mut session = Session::new(&g, SessionConfig::default());
+            session.run(strategy, &mut user)
+        };
+        let informative = run(&mut InformativePathsStrategy::default());
+        let degree = run(&mut DegreeStrategy);
+        let random = run(&mut RandomStrategy::seeded(3));
+        for outcome in [&informative, &degree, &random] {
+            assert!(outcome.halt_reason.is_convergence());
+            let learned = outcome.learned.as_ref().unwrap();
+            assert_eq!(learned.answer.nodes(), goal.evaluate(&g).nodes());
+        }
+        assert!(
+            informative.stats.interactions <= random.stats.interactions,
+            "informative ({}) should need no more labels than random ({})",
+            informative.stats.interactions,
+            random.stats.interactions
+        );
+    }
+
+    #[test]
+    fn zooms_happen_when_evidence_is_far() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let mut user = SimulatedUser::new(goal.clone(), &g);
+        let mut session = Session::new(&g, SessionConfig::default());
+        let outcome = session.run(&mut InformativePathsStrategy::default(), &mut user);
+        // N2 requires a zoom (its witness has length 3); if it was proposed,
+        // the zoom counter reflects it.
+        if outcome.transcript.iter().any(|r| g.node_name(r.node) == "N2") {
+            assert!(outcome.stats.zooms >= 1);
+        }
+    }
+
+    #[test]
+    fn without_validation_may_learn_a_different_query() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let mut user = SimulatedUser::new(goal.clone(), &g);
+        let mut session = Session::new(&g, SessionConfig::without_path_validation());
+        let outcome = session.run(&mut InformativePathsStrategy::default(), &mut user);
+        // The learned query is still consistent with the provided labels.
+        let learned = outcome.learned.expect("learned something");
+        for positive in outcome.examples.positives() {
+            assert!(learned.answer.contains(positive));
+        }
+        for negative in outcome.examples.negatives() {
+            assert!(!learned.answer.contains(negative));
+        }
+        assert_eq!(outcome.stats.path_validations, 0);
+    }
+
+    #[test]
+    fn budget_halt_fires() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let mut user = SimulatedUser::new(goal, &g);
+        let config = SessionConfig {
+            halt: HaltConfig {
+                max_interactions: 1,
+                stop_on_goal: false,
+            },
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(&g, config);
+        let outcome = session.run(&mut InformativePathsStrategy::default(), &mut user);
+        assert_eq!(outcome.halt_reason, HaltReason::InteractionBudgetExhausted);
+        assert_eq!(outcome.stats.interactions, 1);
+    }
+
+    #[test]
+    fn step_by_step_api_exposes_intermediate_state() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let mut user = SimulatedUser::new(goal, &g);
+        let mut strategy = InformativePathsStrategy::default();
+        let mut session = Session::new(&g, SessionConfig::default());
+        assert!(session.hypothesis().is_none());
+        assert!(session.examples().is_empty());
+        let halted = session.step(&mut strategy, &mut user);
+        assert_eq!(session.stats().interactions, 1);
+        assert_eq!(session.examples().len(), 1);
+        if halted.is_none() {
+            session.step(&mut strategy, &mut user);
+            assert_eq!(session.stats().interactions, 2);
+        }
+        assert!(session.config().with_path_validation);
+    }
+
+    #[test]
+    fn pruning_grows_monotonically() {
+        let (g, _) = figure1_graph();
+        let goal = goal(&g);
+        let mut user = SimulatedUser::new(goal, &g);
+        let mut session = Session::new(&g, SessionConfig::default());
+        let outcome = session.run(&mut InformativePathsStrategy::default(), &mut user);
+        for window in outcome.stats.pruned_after_interaction.windows(2) {
+            assert!(window[0] <= window[1]);
+        }
+        // Facilities are pruned from the start, so the first entry is ≥ 4.
+        assert!(outcome.stats.pruned_after_interaction[0] >= 4);
+    }
+}

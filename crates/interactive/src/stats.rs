@@ -1,0 +1,144 @@
+//! Per-session statistics.
+//!
+//! The experiments of the paper measure the *number of interactions* needed
+//! to reach the goal query, the time per interaction, and how quickly the
+//! candidate set shrinks under pruning.  [`SessionStats`] collects all of
+//! these during a run.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters collected during an interactive session.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Number of node-labeling interactions (each proposed node counts once,
+    /// regardless of how many zooms it took).
+    pub interactions: usize,
+    /// Number of zoom-out requests across all interactions.
+    pub zooms: usize,
+    /// Number of positive labels given.
+    pub positive_labels: usize,
+    /// Number of negative labels given.
+    pub negative_labels: usize,
+    /// Number of path validations performed.
+    pub path_validations: usize,
+    /// Number of times the user corrected the suggested path (validated a
+    /// different word than the suggestion).
+    pub path_corrections: usize,
+    /// Number of nodes pruned after each interaction (one entry per
+    /// interaction).
+    pub pruned_after_interaction: Vec<usize>,
+    /// Wall-clock time spent inside the system (strategy, learning, pruning)
+    /// — excludes simulated "user thinking" which is instantaneous here.
+    #[serde(skip)]
+    pub system_time: Duration,
+    /// Wall-clock time of the single slowest interaction.
+    #[serde(skip)]
+    pub max_interaction_time: Duration,
+}
+
+impl SessionStats {
+    /// Records the timing of one interaction.
+    pub fn record_interaction_time(&mut self, elapsed: Duration) {
+        self.system_time += elapsed;
+        if elapsed > self.max_interaction_time {
+            self.max_interaction_time = elapsed;
+        }
+    }
+
+    /// Average system time per interaction.
+    pub fn mean_interaction_time(&self) -> Duration {
+        if self.interactions == 0 {
+            Duration::ZERO
+        } else {
+            self.system_time / self.interactions as u32
+        }
+    }
+
+    /// The fraction of graph nodes pruned after the last interaction, given
+    /// the graph size.
+    pub fn final_pruned_fraction(&self, node_count: usize) -> f64 {
+        match (self.pruned_after_interaction.last(), node_count) {
+            (Some(&pruned), n) if n > 0 => pruned as f64 / n as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "interactions={} (+{} zooms) labels[+{} / -{}] validations={} (corrected {}) mean-time={:?}",
+            self.interactions,
+            self.zooms,
+            self.positive_labels,
+            self.negative_labels,
+            self.path_validations,
+            self.path_corrections,
+            self.mean_interaction_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stats_are_zero() {
+        let stats = SessionStats::default();
+        assert_eq!(stats.interactions, 0);
+        assert_eq!(stats.mean_interaction_time(), Duration::ZERO);
+        assert_eq!(stats.final_pruned_fraction(10), 0.0);
+    }
+
+    #[test]
+    fn interaction_times_accumulate() {
+        let mut stats = SessionStats {
+            interactions: 2,
+            ..Default::default()
+        };
+        stats.record_interaction_time(Duration::from_millis(10));
+        stats.record_interaction_time(Duration::from_millis(30));
+        assert_eq!(stats.system_time, Duration::from_millis(40));
+        assert_eq!(stats.max_interaction_time, Duration::from_millis(30));
+        assert_eq!(stats.mean_interaction_time(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn pruned_fraction_uses_last_entry() {
+        let stats = SessionStats {
+            pruned_after_interaction: vec![2, 5, 8],
+            ..Default::default()
+        };
+        assert!((stats.final_pruned_fraction(10) - 0.8).abs() < 1e-9);
+        assert_eq!(stats.final_pruned_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_the_counters() {
+        let stats = SessionStats {
+            interactions: 4,
+            zooms: 2,
+            positive_labels: 3,
+            negative_labels: 1,
+            path_validations: 3,
+            path_corrections: 1,
+            ..Default::default()
+        };
+        let text = stats.summary();
+        assert!(text.contains("interactions=4"));
+        assert!(text.contains("+3 / -1"));
+        assert!(text.contains("corrected 1"));
+    }
+
+    #[test]
+    fn serde_skips_durations() {
+        let mut stats = SessionStats::default();
+        stats.interactions = 3;
+        stats.record_interaction_time(Duration::from_secs(1));
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: SessionStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.interactions, 3);
+        assert_eq!(back.system_time, Duration::ZERO);
+    }
+}

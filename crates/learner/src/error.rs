@@ -1,0 +1,88 @@
+//! Errors produced by the learner.
+
+use gps_graph::NodeId;
+use std::fmt;
+
+/// Reasons a query cannot be learned from the given examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnError {
+    /// No positive example was provided — the hypothesis space is not
+    /// constrained from below and the learner would return the empty query.
+    NoPositiveExamples,
+    /// Every path of a positive node (up to the length bound) is covered by
+    /// a negative node, so no query within the bound can be consistent.
+    PositiveFullyCovered {
+        /// The offending positive node.
+        node: NodeId,
+    },
+    /// The user validated a path for a positive node, but that path is
+    /// covered by a negative node.
+    ValidatedPathCovered {
+        /// The positive node whose validated path conflicts.
+        node: NodeId,
+    },
+    /// The examples contain no consistent labeling because the learned
+    /// automaton still selects a negative node (this indicates the length
+    /// bound was too small for the generalization to avoid the negatives).
+    InconsistentResult {
+        /// A negative node selected by the learned query.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::NoPositiveExamples => {
+                write!(f, "cannot learn a query without positive examples")
+            }
+            LearnError::PositiveFullyCovered { node } => write!(
+                f,
+                "positive example {node} has no path uncovered by negative examples (inconsistent labeling within the length bound)"
+            ),
+            LearnError::ValidatedPathCovered { node } => write!(
+                f,
+                "the validated path of positive example {node} is covered by a negative example"
+            ),
+            LearnError::InconsistentResult { node } => write!(
+                f,
+                "the generalized query still selects negative example {node}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_mention_the_node() {
+        let e = LearnError::PositiveFullyCovered {
+            node: NodeId::new(7),
+        };
+        assert!(e.to_string().contains("n7"));
+        let e = LearnError::ValidatedPathCovered {
+            node: NodeId::new(3),
+        };
+        assert!(e.to_string().contains("n3"));
+        let e = LearnError::InconsistentResult {
+            node: NodeId::new(1),
+        };
+        assert!(e.to_string().contains("n1"));
+        assert!(LearnError::NoPositiveExamples.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LearnError::NoPositiveExamples, LearnError::NoPositiveExamples);
+        assert_ne!(
+            LearnError::NoPositiveExamples,
+            LearnError::PositiveFullyCovered {
+                node: NodeId::new(0)
+            }
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Memoization of query evaluations.
+//!
+//! During an interactive session the same candidate queries are evaluated
+//! repeatedly against the same (immutable) graph — after every interaction
+//! the learner re-checks consistency and the halt condition re-evaluates the
+//! current hypothesis.  [`EvalCache`] memoizes answers keyed by the query's
+//! regular expression, behind a lock so strategy evaluation can be
+//! parallelized by the benchmark harness.
+
+use crate::eval::{evaluate_csr, QueryAnswer};
+use gps_automata::{Dfa, Regex};
+use gps_graph::{CsrGraph, Graph};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A concurrent evaluation cache bound to one graph snapshot.
+#[derive(Debug)]
+pub struct EvalCache {
+    csr: CsrGraph,
+    answers: RwLock<HashMap<Regex, Arc<QueryAnswer>>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl EvalCache {
+    /// Creates a cache for `graph` (snapshotting it).
+    pub fn new(graph: &Graph) -> Self {
+        Self::from_csr(CsrGraph::from_graph(graph))
+    }
+
+    /// Creates a cache from an existing CSR snapshot.
+    pub fn from_csr(csr: CsrGraph) -> Self {
+        Self {
+            csr,
+            answers: RwLock::new(HashMap::new()),
+            hits: RwLock::new(0),
+            misses: RwLock::new(0),
+        }
+    }
+
+    /// The underlying snapshot.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Evaluates `regex` on the snapshot, returning a shared answer.  Repeated
+    /// calls with an equal expression hit the cache.
+    pub fn evaluate(&self, regex: &Regex) -> Arc<QueryAnswer> {
+        if let Some(answer) = self.answers.read().get(regex) {
+            *self.hits.write() += 1;
+            return Arc::clone(answer);
+        }
+        *self.misses.write() += 1;
+        let dfa = Dfa::from_regex(regex);
+        let answer = Arc::new(evaluate_csr(&self.csr, &dfa));
+        self.answers
+            .write()
+            .entry(regex.clone())
+            .or_insert_with(|| Arc::clone(&answer));
+        answer
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.answers.read().len()
+    }
+
+    /// Returns `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters, useful in benchmarks.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.read(), *self.misses.read())
+    }
+
+    /// Clears all cached answers (the counters are kept).
+    pub fn clear(&self) {
+        self.answers.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_graph::Graph;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_edge_by_name(a, "x", b);
+        g
+    }
+
+    #[test]
+    fn caches_repeated_evaluations() {
+        let g = sample();
+        let cache = EvalCache::new(&g);
+        let x = g.label_id("x").unwrap();
+        let q = Regex::symbol(x);
+        assert!(cache.is_empty());
+        let a1 = cache.evaluate(&q);
+        let a2 = cache.evaluate(&q);
+        assert_eq!(a1.nodes(), a2.nodes());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_queries_get_distinct_entries() {
+        let g = sample();
+        let cache = EvalCache::new(&g);
+        let x = g.label_id("x").unwrap();
+        cache.evaluate(&Regex::symbol(x));
+        cache.evaluate(&Regex::star(Regex::symbol(x)));
+        assert_eq!(cache.len(), 2);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn answers_are_correct_through_the_cache() {
+        let g = sample();
+        let cache = EvalCache::new(&g);
+        let x = g.label_id("x").unwrap();
+        let answer = cache.evaluate(&Regex::symbol(x));
+        assert!(answer.contains(g.node_by_name("A").unwrap()));
+        assert!(!answer.contains(g.node_by_name("B").unwrap()));
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let g = sample();
+        let cache = EvalCache::new(&g);
+        let x = g.label_id("x").unwrap();
+        cache.evaluate(&Regex::symbol(x));
+        cache.clear();
+        assert!(cache.is_empty());
+        // Re-evaluation after clear is a miss again.
+        cache.evaluate(&Regex::symbol(x));
+        assert_eq!(cache.stats().1, 2);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let g = sample();
+        let cache = std::sync::Arc::new(EvalCache::new(&g));
+        let x = g.label_id("x").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                let q = Regex::symbol(x);
+                std::thread::spawn(move || cache.evaluate(&q).len())
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), 1);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

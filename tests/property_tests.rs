@@ -1,0 +1,229 @@
+//! Property-based tests over the core data structures and invariants, using
+//! proptest.  These cover the algebra the whole system rests on:
+//!
+//! * regex printing/parsing round trips;
+//! * DFA construction agrees with a reference regex matcher on random words;
+//! * minimization preserves the language and never grows the automaton;
+//! * PTA accepts exactly its sample;
+//! * graph path enumeration and RPQ evaluation agree (a node is selected iff
+//!   one of its bounded words is accepted, for finite-language queries);
+//! * the learner's output is always consistent with its examples.
+
+use gps_automata::{decide, parser, printer, Dfa, Regex};
+use gps_graph::{Graph, LabelId, LabelInterner, PathEnumerator};
+use gps_learner::{ExampleSet, Learner};
+use gps_rpq::eval;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- generators
+
+/// A small fixed alphabet: labels 0..4 named a..d.
+fn interner() -> LabelInterner {
+    let mut interner = LabelInterner::new();
+    for name in ["a", "b", "c", "d"] {
+        interner.intern(name);
+    }
+    interner
+}
+
+fn arb_label() -> impl Strategy<Value = LabelId> {
+    (0u32..4).prop_map(LabelId::new)
+}
+
+fn arb_word(max_len: usize) -> impl Strategy<Value = Vec<LabelId>> {
+    prop::collection::vec(arb_label(), 0..=max_len)
+}
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        arb_label().prop_map(Regex::symbol),
+        Just(Regex::Empty),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..=3).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..=3).prop_map(Regex::union),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+/// A small random edge-labeled graph described by an edge list over at most
+/// `n` nodes.
+fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    let nodes = 1..=max_nodes;
+    nodes.prop_flat_map(move |n| {
+        prop::collection::vec((0..n, 0u32..4, 0..n), 0..=max_edges).prop_map(move |edges| {
+            let mut g = Graph::new();
+            for name in ["a", "b", "c", "d"] {
+                g.label(name);
+            }
+            let ids = g.add_nodes("v", n);
+            for (s, l, t) in edges {
+                g.add_edge(ids[s], LabelId::new(l), ids[t]);
+            }
+            g
+        })
+    })
+}
+
+/// Reference matcher: does `regex` accept `word`?  Implemented directly over
+/// the AST by recursive decomposition, independent of the automata code.
+fn reference_accepts(regex: &Regex, word: &[LabelId]) -> bool {
+    match regex {
+        Regex::Empty => false,
+        Regex::Epsilon => word.is_empty(),
+        Regex::Symbol(l) => word.len() == 1 && word[0] == *l,
+        Regex::Union(parts) => parts.iter().any(|p| reference_accepts(p, word)),
+        Regex::Concat(parts) => {
+            fn concat_match(parts: &[Regex], word: &[LabelId]) -> bool {
+                match parts {
+                    [] => word.is_empty(),
+                    [first, rest @ ..] => (0..=word.len()).any(|split| {
+                        reference_accepts(first, &word[..split]) && concat_match(rest, &word[split..])
+                    }),
+                }
+            }
+            concat_match(parts, word)
+        }
+        Regex::Star(inner) => {
+            if word.is_empty() {
+                return true;
+            }
+            // Try every non-empty prefix accepted by the inner expression.
+            (1..=word.len()).any(|split| {
+                reference_accepts(inner, &word[..split])
+                    && reference_accepts(regex, &word[split..])
+            })
+        }
+    }
+}
+
+// ------------------------------------------------------------------ automata
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_round_trip(regex in arb_regex()) {
+        let labels = interner();
+        let printed = printer::print(&regex, &labels);
+        let reparsed = parser::parse(&printed, &labels).unwrap();
+        prop_assert_eq!(regex, reparsed);
+    }
+
+    #[test]
+    fn dfa_agrees_with_reference_matcher(regex in arb_regex(), word in arb_word(6)) {
+        let dfa = Dfa::from_regex(&regex);
+        prop_assert_eq!(dfa.accepts(&word), reference_accepts(&regex, &word));
+    }
+
+    #[test]
+    fn minimization_preserves_language_and_never_grows(regex in arb_regex(), word in arb_word(6)) {
+        let raw = Dfa::from_nfa(&gps_automata::Nfa::from_regex(&regex));
+        let minimal = gps_automata::minimize::minimize(&raw);
+        prop_assert!(minimal.state_count() <= raw.state_count().max(1));
+        prop_assert_eq!(minimal.accepts(&word), raw.accepts(&word));
+    }
+
+    #[test]
+    fn state_elimination_round_trips(regex in arb_regex()) {
+        let dfa = Dfa::from_regex(&regex);
+        let back = gps_automata::state_elim::dfa_to_regex(&dfa);
+        prop_assert!(decide::regex_equivalent(&regex, &back));
+    }
+
+    #[test]
+    fn pta_accepts_exactly_its_sample(words in prop::collection::vec(arb_word(5), 0..6), probe in arb_word(5)) {
+        let pta = gps_automata::pta::build_pta(&words);
+        let expected = words.contains(&probe);
+        prop_assert_eq!(pta.accepts(&probe), expected);
+    }
+}
+
+// --------------------------------------------------------------------- graph
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_matches_adjacency(graph in arb_graph(8, 16)) {
+        let csr = gps_graph::CsrGraph::from_graph(&graph);
+        prop_assert_eq!(csr.node_count(), graph.node_count());
+        prop_assert_eq!(csr.edge_count(), graph.edge_count());
+        for node in graph.nodes() {
+            prop_assert_eq!(csr.out_degree(node), graph.out_degree(node));
+            prop_assert_eq!(csr.in_degree(node), graph.in_degree(node));
+        }
+    }
+
+    #[test]
+    fn edge_list_round_trip(graph in arb_graph(8, 16)) {
+        let text = gps_graph::io::to_edge_list(&graph);
+        let reloaded = gps_graph::io::parse_edge_list(&text).unwrap();
+        prop_assert_eq!(reloaded.node_count(), graph.node_count());
+        prop_assert_eq!(reloaded.edge_count(), graph.edge_count());
+    }
+
+    #[test]
+    fn bounded_words_have_bounded_length(graph in arb_graph(6, 12), bound in 0usize..4) {
+        for node in graph.nodes() {
+            for word in PathEnumerator::new(bound).with_max_paths(500).words_from(&graph, node) {
+                prop_assert!(!word.is_empty() && word.len() <= bound);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------- rpq
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For *finite-language* queries (plain words), a node is selected iff the
+    /// word is one of its bounded path words.
+    #[test]
+    fn evaluation_agrees_with_path_enumeration(graph in arb_graph(6, 12), word in arb_word(3)) {
+        prop_assume!(!word.is_empty());
+        let dfa = Dfa::from_regex(&Regex::word(&word));
+        let answer = eval::evaluate(&graph, &dfa);
+        let enumerator = PathEnumerator::new(word.len()).with_max_paths(2000);
+        for node in graph.nodes() {
+            let words = enumerator.words_from(&graph, node);
+            prop_assert_eq!(answer.contains(node), words.contains(&word));
+        }
+    }
+}
+
+// ------------------------------------------------------------------- learner
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the labeling, a successfully learned query is consistent with
+    /// the examples it was learned from.
+    #[test]
+    fn learner_output_is_consistent(graph in arb_graph(7, 14), flags in prop::collection::vec(prop::option::of(any::<bool>()), 7)) {
+        let mut examples = ExampleSet::new();
+        for (i, flag) in flags.iter().enumerate() {
+            if i >= graph.node_count() {
+                break;
+            }
+            let node = gps_graph::NodeId::from(i);
+            match flag {
+                Some(true) => { examples.add_positive(node); }
+                Some(false) => { examples.add_negative(node); }
+                None => {}
+            }
+        }
+        if let Ok(learned) = Learner::with_bound(3).learn(&graph, &examples) {
+            for positive in examples.positives() {
+                prop_assert!(learned.answer.contains(positive));
+            }
+            for negative in examples.negatives() {
+                prop_assert!(!learned.answer.contains(negative));
+            }
+        }
+    }
+}
