@@ -157,7 +157,10 @@ mod tests {
             &Regex::star(Regex::star(a.clone())),
             &Regex::star(a.clone())
         ));
-        assert!(!regex_equivalent(&Regex::plus(a.clone()), &Regex::star(a.clone())));
+        assert!(!regex_equivalent(
+            &Regex::plus(a.clone()),
+            &Regex::star(a.clone())
+        ));
         // (a+b)* ≠ (a·b)*
         assert!(!regex_equivalent(
             &Regex::star(Regex::union([a.clone(), b.clone()])),
@@ -188,7 +191,10 @@ mod tests {
             Regex::symbol(l(1)),
         ]));
         assert_eq!(shortest_accepted_word(&dfa), Some(vec![l(1)]));
-        assert_eq!(shortest_accepted_word(&Dfa::from_regex(&Regex::Empty)), None);
+        assert_eq!(
+            shortest_accepted_word(&Dfa::from_regex(&Regex::Empty)),
+            None
+        );
         assert_eq!(
             shortest_accepted_word(&Dfa::from_regex(&Regex::Epsilon)),
             Some(vec![])
@@ -200,7 +206,9 @@ mod tests {
         assert!(is_finite(&Dfa::from_regex(&Regex::word(&[l(0), l(1)]))));
         assert!(is_finite(&Dfa::from_regex(&Regex::Empty)));
         assert!(is_finite(&Dfa::from_regex(&Regex::Epsilon)));
-        assert!(!is_finite(&Dfa::from_regex(&Regex::star(Regex::symbol(l(0))))));
+        assert!(!is_finite(&Dfa::from_regex(&Regex::star(Regex::symbol(
+            l(0)
+        )))));
         assert!(!is_finite(&Dfa::from_regex(&Regex::concat([
             Regex::plus(Regex::symbol(l(0))),
             Regex::symbol(l(1))

@@ -114,11 +114,7 @@ mod tests {
         // (a+b)*·a·(a+b): the minimal DFA has 4 states; subset construction
         // may produce a few more but stays small for this size.
         let ab = Regex::union([Regex::symbol(l(0)), Regex::symbol(l(1))]);
-        let r = Regex::concat([
-            Regex::star(ab.clone()),
-            Regex::symbol(l(0)),
-            ab.clone(),
-        ]);
+        let r = Regex::concat([Regex::star(ab.clone()), Regex::symbol(l(0)), ab.clone()]);
         let dfa = determinize(&Nfa::from_regex(&r));
         assert!(dfa.state_count() >= 4);
         assert!(dfa.accepts(&[l(0), l(1)]));

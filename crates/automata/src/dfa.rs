@@ -109,7 +109,10 @@ impl Dfa {
     }
 
     /// The outgoing transitions of `state` in symbol order.
-    pub fn transitions_from(&self, state: StateId) -> impl Iterator<Item = (LabelId, StateId)> + '_ {
+    pub fn transitions_from(
+        &self,
+        state: StateId,
+    ) -> impl Iterator<Item = (LabelId, StateId)> + '_ {
         self.transitions[state].iter().map(|(&l, &s)| (l, s))
     }
 
@@ -139,9 +142,11 @@ impl Dfa {
     /// transition is redirected to a fresh non-accepting sink state.  If the
     /// automaton is already total, it is returned unchanged.
     pub fn complete(&self, alphabet: &Alphabet) -> Self {
-        let needs_sink = self.transitions.iter().any(|t| {
-            alphabet.iter().any(|symbol| !t.contains_key(&symbol))
-        }) || self.state_count() == 0;
+        let needs_sink = self
+            .transitions
+            .iter()
+            .any(|t| alphabet.iter().any(|symbol| !t.contains_key(&symbol)))
+            || self.state_count() == 0;
         if !needs_sink {
             return self.clone();
         }
@@ -220,10 +225,7 @@ impl Dfa {
             }
             flags
         };
-        let keep: Vec<StateId> = reachable
-            .into_iter()
-            .filter(|&s| coreachable[s])
-            .collect();
+        let keep: Vec<StateId> = reachable.into_iter().filter(|&s| coreachable[s]).collect();
         if keep.is_empty() || !keep.contains(&self.start) {
             return Dfa::empty_language();
         }

@@ -62,16 +62,16 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     while quotient.state_count() < class_count {
         quotient.add_state(false);
     }
-    for state in 0..n {
+    for (state, &class) in class_of.iter().enumerate() {
         if complete.is_accepting(state) {
-            quotient.set_accepting(class_of[state], true);
+            quotient.set_accepting(class, true);
         }
     }
     // Transitions: pick any representative per class (classes agree on the
     // target class of every symbol by construction).
     let mut class_representative: BTreeMap<usize, usize> = BTreeMap::new();
-    for state in 0..n {
-        class_representative.entry(class_of[state]).or_insert(state);
+    for (state, &class) in class_of.iter().enumerate() {
+        class_representative.entry(class).or_insert(state);
     }
     for (&class, &rep) in &class_representative {
         for (symbol, target) in complete.transitions_from(rep) {
@@ -128,12 +128,12 @@ mod tests {
         ]);
         assert_eq!(minimal_of(&r1).state_count(), 2);
         // a* — 1 state.
-        assert_eq!(minimal_of(&Regex::star(Regex::symbol(l(0)))).state_count(), 1);
-        // a·b — 3 states (trim).
         assert_eq!(
-            minimal_of(&Regex::word(&[l(0), l(1)])).state_count(),
-            3
+            minimal_of(&Regex::star(Regex::symbol(l(0)))).state_count(),
+            1
         );
+        // a·b — 3 states (trim).
+        assert_eq!(minimal_of(&Regex::word(&[l(0), l(1)])).state_count(), 3);
         // ε — 1 accepting state.
         assert_eq!(minimal_of(&Regex::Epsilon).state_count(), 1);
         // ∅ — trim leaves a single rejecting state by convention.

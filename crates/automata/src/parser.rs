@@ -154,6 +154,8 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
 struct Parser<'a> {
     tokens: Vec<(usize, Token)>,
     pos: usize,
+    /// Byte length of the input, reported as the offset at end-of-input.
+    end: usize,
     labels: &'a LabelInterner,
 }
 
@@ -166,7 +168,7 @@ impl<'a> Parser<'a> {
         self.tokens
             .get(self.pos)
             .map(|&(o, _)| o)
-            .unwrap_or(usize::MAX)
+            .unwrap_or(self.end)
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -260,6 +262,7 @@ pub fn parse(input: &str, labels: &LabelInterner) -> Result<Regex, ParseError> {
     let mut parser = Parser {
         tokens,
         pos: 0,
+        end: input.len(),
         labels,
     };
     let regex = parser.parse_union()?;
@@ -328,7 +331,10 @@ mod tests {
         assert_eq!(parse("eps", &labels).unwrap(), Regex::Epsilon);
         assert_eq!(parse("∅", &labels).unwrap(), Regex::Empty);
         assert_eq!(parse("empty", &labels).unwrap(), Regex::Empty);
-        assert_eq!(parse("bus + ∅", &labels).unwrap(), parse("bus", &labels).unwrap());
+        assert_eq!(
+            parse("bus + ∅", &labels).unwrap(),
+            parse("bus", &labels).unwrap()
+        );
     }
 
     #[test]

@@ -70,11 +70,8 @@ pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
         // Reconnect every in-neighbour to every out-neighbour.
         for (from, in_regex) in &incoming {
             for (to, out_regex) in &outgoing {
-                let through = Regex::concat([
-                    in_regex.clone(),
-                    loop_star.clone(),
-                    out_regex.clone(),
-                ]);
+                let through =
+                    Regex::concat([in_regex.clone(), loop_star.clone(), out_regex.clone()]);
                 add_edge(&mut edges, *from, *to, through);
             }
         }

@@ -69,8 +69,14 @@ fn distributivity_of_concatenation_over_union() {
 
 #[test]
 fn identity_and_absorbing_elements() {
-    assert!(regex_equivalent(&Regex::concat([a(), Regex::Epsilon]), &a()));
-    assert!(regex_equivalent(&Regex::concat([Regex::Epsilon, a()]), &a()));
+    assert!(regex_equivalent(
+        &Regex::concat([a(), Regex::Epsilon]),
+        &a()
+    ));
+    assert!(regex_equivalent(
+        &Regex::concat([Regex::Epsilon, a()]),
+        &a()
+    ));
     assert!(regex_equivalent(&Regex::union([a(), Regex::Empty]), &a()));
     assert!(Regex::concat([a(), Regex::Empty]).is_empty_language());
 }
@@ -78,7 +84,10 @@ fn identity_and_absorbing_elements() {
 #[test]
 fn kleene_star_laws() {
     // (a*)* = a*
-    assert!(regex_equivalent(&Regex::star(Regex::star(a())), &Regex::star(a())));
+    assert!(regex_equivalent(
+        &Regex::star(Regex::star(a())),
+        &Regex::star(a())
+    ));
     // a* = ε + a·a*
     assert!(regex_equivalent(
         &Regex::star(a()),

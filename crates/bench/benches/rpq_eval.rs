@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+use gps_datasets::scale_free::{self, ScaleFreeConfig};
 use gps_datasets::synthetic::{self, SyntheticConfig};
 use gps_datasets::transport::{self, TransportConfig};
 use gps_graph::CsrGraph;
@@ -56,10 +57,59 @@ fn bench_query_complexity(c: &mut Criterion) {
     group.finish();
 }
 
+/// Backend comparison: the same `PathQuery::evaluate` generic entry point on
+/// the adjacency-list backend vs. the CSR snapshot, on the transport and
+/// scale-free datasets.  CSR is expected to be at parity or faster (the
+/// acceptance criterion of the `GraphBackend` redesign).
+fn bench_backend_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_eval/backend");
+    group.sample_size(20);
+
+    let net = transport::generate(&TransportConfig::with_neighborhoods(600, 7));
+    let transport_graph = net.graph;
+    let transport_query = PathQuery::parse("(tram+bus)*.cinema", transport_graph.labels()).unwrap();
+    let transport_csr = CsrGraph::from_graph(&transport_graph);
+    group.bench_with_input(
+        BenchmarkId::new("transport", "adjacency"),
+        &transport_graph,
+        |b, g| b.iter(|| black_box(transport_query.evaluate(g))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("transport", "csr"),
+        &transport_csr,
+        |b, g| b.iter(|| black_box(transport_query.evaluate(g))),
+    );
+
+    let sf_graph = scale_free::generate(&ScaleFreeConfig {
+        nodes: 2_000,
+        seed: 11,
+        ..ScaleFreeConfig::default()
+    });
+    let sf_syntax = format!(
+        "({first}+{second})*.{third}",
+        first = sf_graph.labels().name(gps_graph::LabelId::new(0)).unwrap(),
+        second = sf_graph.labels().name(gps_graph::LabelId::new(1)).unwrap(),
+        third = sf_graph.labels().name(gps_graph::LabelId::new(2)).unwrap(),
+    );
+    let sf_query = PathQuery::parse(&sf_syntax, sf_graph.labels()).unwrap();
+    let sf_csr = CsrGraph::from_graph(&sf_graph);
+    group.bench_with_input(
+        BenchmarkId::new("scale_free", "adjacency"),
+        &sf_graph,
+        |b, g| b.iter(|| black_box(sf_query.evaluate(g))),
+    );
+    group.bench_with_input(BenchmarkId::new("scale_free", "csr"), &sf_csr, |b, g| {
+        b.iter(|| black_box(sf_query.evaluate(g)))
+    });
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_figure1,
     bench_synthetic_sizes,
-    bench_query_complexity
+    bench_query_complexity,
+    bench_backend_comparison
 );
 criterion_main!(benches);

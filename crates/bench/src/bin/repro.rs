@@ -65,7 +65,10 @@ fn experiment_f1() {
     let (graph, _) = figure1_graph();
     let gps = Gps::new(graph);
     println!("q = {MOTIVATING_QUERY}");
-    println!("q(G) = {}", gps.evaluate_rendered(MOTIVATING_QUERY).unwrap());
+    println!(
+        "q(G) = {}",
+        gps.evaluate_rendered(MOTIVATING_QUERY).unwrap()
+    );
     let query = gps.parse_query(MOTIVATING_QUERY).unwrap();
     for name in ["N1", "N2", "N4", "N6"] {
         let node = gps.graph().node_by_name(name).unwrap();
@@ -247,9 +250,7 @@ fn experiment_e4() {
                     final_pruned.to_string(),
                     format!(
                         "{:.2}",
-                        outcome
-                            .stats
-                            .final_pruned_fraction(net.graph.node_count())
+                        outcome.stats.final_pruned_fraction(net.graph.node_count())
                     ),
                 ],
                 &widths

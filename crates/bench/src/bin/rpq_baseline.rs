@@ -1,0 +1,160 @@
+//! `rpq_baseline` — records the RPQ-evaluation backend baseline.
+//!
+//! Times `PathQuery::evaluate` on the adjacency-list and CSR backends over
+//! the transport and scale-free datasets (the same configurations as the
+//! `rpq_eval` Criterion bench) and writes the results to `BENCH_rpq.json`
+//! in the current directory, so regressions and backend parity can be
+//! tracked across PRs.
+//!
+//! Samples for the two backends are interleaved round-robin so slow clock
+//! or thermal drift cannot bias the comparison one way.
+//!
+//! ```text
+//! cargo run --release -p gps-bench --bin rpq_baseline
+//! ```
+
+use gps_datasets::scale_free::{self, ScaleFreeConfig};
+use gps_datasets::transport::{self, TransportConfig};
+use gps_graph::{CsrGraph, Graph, LabelId};
+use gps_rpq::PathQuery;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+struct Record {
+    dataset: &'static str,
+    backend: &'static str,
+    nodes: usize,
+    edges: usize,
+    query: String,
+    mean_ns: f64,
+    min_ns: f64,
+    iterations: u64,
+}
+
+const SAMPLES: usize = 30;
+
+/// Calibrates an iteration count for `f` targeting ~5 ms per sample.
+fn calibrate<O>(f: &mut impl FnMut() -> O) -> u64 {
+    let start = Instant::now();
+    black_box(f());
+    let single = start.elapsed().max(Duration::from_nanos(1));
+    (Duration::from_millis(5).as_nanos() / single.as_nanos()).clamp(1, 20_000) as u64
+}
+
+/// One timed sample: mean ns per call over `iters` calls.
+fn sample<O>(iters: u64, f: &mut impl FnMut() -> O) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn summarize(samples: &[f64]) -> (f64, f64) {
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    (mean, min)
+}
+
+fn bench_pair(dataset: &'static str, graph: &Graph, query: &PathQuery, records: &mut Vec<Record>) {
+    let csr = CsrGraph::from_graph(graph);
+    let syntax = query.display(graph.labels());
+
+    let mut run_adjacency = || query.evaluate(graph);
+    let mut run_csr = || query.evaluate(&csr);
+
+    // Warm both paths, then interleave the timed samples.
+    let adjacency_iters = calibrate(&mut run_adjacency);
+    let csr_iters = calibrate(&mut run_csr);
+    let mut adjacency_samples = Vec::with_capacity(SAMPLES);
+    let mut csr_samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        adjacency_samples.push(sample(adjacency_iters, &mut run_adjacency));
+        csr_samples.push(sample(csr_iters, &mut run_csr));
+    }
+
+    let (mean, min) = summarize(&adjacency_samples);
+    records.push(Record {
+        dataset,
+        backend: "adjacency",
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        query: syntax.clone(),
+        mean_ns: mean,
+        min_ns: min,
+        iterations: adjacency_iters,
+    });
+    let (mean, min) = summarize(&csr_samples);
+    records.push(Record {
+        dataset,
+        backend: "csr",
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        query: syntax,
+        mean_ns: mean,
+        min_ns: min,
+        iterations: csr_iters,
+    });
+}
+
+fn main() {
+    let mut records = Vec::new();
+
+    let net = transport::generate(&TransportConfig::with_neighborhoods(600, 7));
+    let transport_query = PathQuery::parse("(tram+bus)*.cinema", net.graph.labels())
+        .expect("transport alphabet contains the motivating labels");
+    bench_pair("transport-600", &net.graph, &transport_query, &mut records);
+
+    let sf = scale_free::generate(&ScaleFreeConfig {
+        nodes: 2_000,
+        seed: 11,
+        ..ScaleFreeConfig::default()
+    });
+    let name = |i: u32| sf.labels().name(LabelId::new(i)).unwrap().to_string();
+    let sf_query = PathQuery::parse(
+        &format!("({}+{})*.{}", name(0), name(1), name(2)),
+        sf.labels(),
+    )
+    .expect("scale-free alphabet has at least three labels");
+    bench_pair("scale-free-2000", &sf, &sf_query, &mut records);
+
+    // Render the records as JSON by hand (stable field order, no extra deps).
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"rpq_eval_backend_baseline\",\n  \"unit\": \"ns_per_eval\",\n  \"records\": [\n",
+    );
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"backend\": \"{}\", \"nodes\": {}, \"edges\": {}, \"query\": \"{}\", \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"iterations\": {}}}{}\n",
+            r.dataset,
+            r.backend,
+            r.nodes,
+            r.edges,
+            r.query.replace('"', "\\\""),
+            r.mean_ns,
+            r.min_ns,
+            r.iterations,
+            if i + 1 == records.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_rpq.json", &out).expect("write BENCH_rpq.json");
+    println!("{out}");
+
+    // Parity check mirrors the PR acceptance criterion: CSR at parity or
+    // faster than the adjacency backend on every dataset (with a small
+    // tolerance for timer noise).
+    for pair in records.chunks(2) {
+        let (adjacency, csr) = (&pair[0], &pair[1]);
+        let ratio = csr.min_ns / adjacency.min_ns;
+        println!(
+            "{}: csr/adjacency min ratio = {ratio:.3} ({})",
+            adjacency.dataset,
+            if ratio <= 1.05 {
+                "parity or faster"
+            } else {
+                "SLOWER"
+            },
+        );
+    }
+}

@@ -64,8 +64,8 @@ fn run(args: &[String]) -> Result<String, String> {
             let node = graph
                 .node_by_name(node_name)
                 .ok_or_else(|| format!("unknown node {node_name}"))?;
-            let query = gps_rpq::PathQuery::parse(query, graph.labels())
-                .map_err(|e| e.to_string())?;
+            let query =
+                gps_rpq::PathQuery::parse(query, graph.labels()).map_err(|e| e.to_string())?;
             match query.witness(&graph, node) {
                 Some(path) => Ok(format!(
                     "{} : {}",

@@ -1,0 +1,605 @@
+//! The GPS engine — a builder-style facade over every query layer.
+//!
+//! [`Engine`] bundles a graph backend with the query evaluator, the learner
+//! and the interactive machinery.  It is generic over [`GraphBackend`], so
+//! the same facade serves both first-class stores:
+//!
+//! * `Engine<Graph>` (alias [`Gps`]) — the mutable adjacency-list backend;
+//! * `Engine<CsrGraph>` — the immutable cache-friendly snapshot, built with
+//!   [`GpsBuilder::build_csr`].
+//!
+//! Construction goes through [`GpsBuilder`], which exposes every knob of the
+//! system in one place — backend choice, node-proposal strategy, halt
+//! conditions, zoom radii, path-validation toggle and learner bounds:
+//!
+//! ```
+//! use gps_core::{Engine, StrategyChoice};
+//! use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+//!
+//! let (graph, ids) = figure1_graph();
+//! let engine = Engine::builder(graph)
+//!     .strategy(StrategyChoice::InformativePaths { bound: 3 })
+//!     .initial_radius(2)
+//!     .max_interactions(100)
+//!     .build_csr(); // run everything on the CSR snapshot
+//!
+//! let answer = engine.evaluate(MOTIVATING_QUERY).unwrap();
+//! assert!(answer.contains(ids.n2));
+//! let report = engine.interactive_with_validation(MOTIVATING_QUERY, 0).unwrap();
+//! assert!(report.goal_reached);
+//! ```
+//!
+//! The pre-builder API remains available: [`Gps::new`] constructs an
+//! adjacency-backed engine with default options.
+
+use crate::error::GpsError;
+use crate::render;
+use crate::scenario::{self, ScenarioReport, StaticLabelingOutcome};
+use gps_graph::{CsrGraph, Graph, GraphBackend, Neighborhood, NodeId, PathEnumerator, PrefixTree};
+use gps_interactive::halt::HaltConfig;
+use gps_interactive::session::{Session, SessionConfig, SessionOutcome};
+use gps_interactive::strategy::{
+    DegreeStrategy, InformativePathsStrategy, RandomStrategy, Strategy,
+};
+use gps_interactive::user::User;
+use gps_learner::{Label, Learner};
+use gps_rpq::{EvalCache, PathQuery, QueryAnswer};
+
+/// Which node-proposal strategy the engine runs interactive sessions with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyChoice {
+    /// The paper's practical strategy: most short uncovered paths first.
+    InformativePaths {
+        /// Path-length bound used when counting uncovered paths.
+        bound: usize,
+    },
+    /// Highest out-degree first.
+    Degree,
+    /// Uniformly random unlabeled node (reproducible per seed).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Default for StrategyChoice {
+    fn default() -> Self {
+        StrategyChoice::InformativePaths { bound: 3 }
+    }
+}
+
+impl StrategyChoice {
+    /// Instantiates the chosen strategy for backend `B`.
+    pub fn instantiate<B: GraphBackend>(&self) -> Box<dyn Strategy<B>> {
+        match *self {
+            StrategyChoice::InformativePaths { bound } => {
+                Box::new(InformativePathsStrategy::with_bound(bound))
+            }
+            StrategyChoice::Degree => Box::new(DegreeStrategy),
+            StrategyChoice::Random { seed } => Box::new(RandomStrategy::seeded(seed)),
+        }
+    }
+}
+
+/// Builder for [`Engine`]: pick the backend, the strategy and every session
+/// option, then [`build`](GpsBuilder::build) (adjacency backend) or
+/// [`build_csr`](GpsBuilder::build_csr) (CSR snapshot backend).
+#[derive(Debug, Clone)]
+pub struct GpsBuilder {
+    graph: Graph,
+    learner: Learner,
+    session: SessionConfig,
+    strategy: StrategyChoice,
+}
+
+impl GpsBuilder {
+    /// Starts a builder over `graph` with the system defaults.
+    pub fn new(graph: Graph) -> Self {
+        Self {
+            graph,
+            learner: Learner::default(),
+            session: SessionConfig::default(),
+            strategy: StrategyChoice::default(),
+        }
+    }
+
+    /// Starts a builder from a textual edge list (see [`gps_graph::io`]).
+    pub fn from_edge_list(text: &str) -> Result<Self, GpsError> {
+        Ok(Self::new(gps_graph::io::parse_edge_list(text)?))
+    }
+
+    /// Replaces the learner configuration.
+    pub fn learner(mut self, learner: Learner) -> Self {
+        self.learner = learner;
+        self
+    }
+
+    /// Sets the path-length bound shared by the learner, the coverage and
+    /// the pruning.
+    pub fn path_bound(mut self, bound: usize) -> Self {
+        self.learner.path_bound = bound;
+        self.session.path_bound = bound;
+        self
+    }
+
+    /// Sets the radius of the first neighborhood shown for a proposed node.
+    pub fn initial_radius(mut self, radius: u32) -> Self {
+        self.session.initial_radius = radius;
+        self
+    }
+
+    /// Sets the maximum radius the user can zoom out to.
+    pub fn max_radius(mut self, radius: u32) -> Self {
+        self.session.max_radius = radius;
+        self
+    }
+
+    /// Enables or disables the path-validation step (Figure 3(c)).
+    pub fn with_path_validation(mut self, enabled: bool) -> Self {
+        self.session.with_path_validation = enabled;
+        self
+    }
+
+    /// Replaces the halt conditions.
+    pub fn halt(mut self, halt: HaltConfig) -> Self {
+        self.session.halt = halt;
+        self
+    }
+
+    /// Bounds the number of label interactions.
+    pub fn max_interactions(mut self, max_interactions: usize) -> Self {
+        self.session.halt.max_interactions = max_interactions;
+        self
+    }
+
+    /// Chooses the node-proposal strategy for interactive sessions.
+    pub fn strategy(mut self, strategy: StrategyChoice) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the whole session configuration at once, including its
+    /// embedded learner (which becomes the engine's learner).
+    pub fn session_config(mut self, config: SessionConfig) -> Self {
+        self.learner = config.learner.clone();
+        self.session = config;
+        self
+    }
+
+    /// Builds an engine over the mutable adjacency-list backend.
+    pub fn build(self) -> Engine<Graph> {
+        let mut session = self.session;
+        session.learner = self.learner.clone();
+        let cache = EvalCache::new(&self.graph);
+        Engine {
+            backend: self.graph,
+            learner: self.learner,
+            session,
+            strategy: self.strategy,
+            cache,
+        }
+    }
+
+    /// Builds an engine over an immutable CSR snapshot of the graph — the
+    /// cache-friendly backend for read-heavy interactive and bulk-evaluation
+    /// workloads.
+    pub fn build_csr(self) -> Engine<CsrGraph> {
+        let mut session = self.session;
+        session.learner = self.learner.clone();
+        let backend = CsrGraph::from_graph(&self.graph);
+        // Clone the snapshot into the cache rather than re-walking it.
+        let cache = EvalCache::from_csr(backend.clone());
+        Engine {
+            backend,
+            learner: self.learner,
+            session,
+            strategy: self.strategy,
+            cache,
+        }
+    }
+}
+
+/// The GPS system bound to one graph backend.
+///
+/// See the [module docs](self) for the builder-based construction; the
+/// methods mirror the operations the demo paper describes — query
+/// evaluation, neighborhood rendering, and the three demonstration
+/// scenarios.
+#[derive(Debug)]
+pub struct Engine<B: GraphBackend = Graph> {
+    backend: B,
+    learner: Learner,
+    session: SessionConfig,
+    strategy: StrategyChoice,
+    cache: EvalCache,
+}
+
+/// The historical name of the adjacency-backed engine.
+pub type Gps = Engine<Graph>;
+
+impl Engine<Graph> {
+    /// Creates an adjacency-backed engine with default options.
+    pub fn new(graph: Graph) -> Self {
+        GpsBuilder::new(graph).build()
+    }
+
+    /// Creates an engine with a custom learner configuration.
+    pub fn with_learner(graph: Graph, learner: Learner) -> Self {
+        GpsBuilder::new(graph).learner(learner).build()
+    }
+
+    /// Starts a builder over `graph`; finish with
+    /// [`build`](GpsBuilder::build) or [`build_csr`](GpsBuilder::build_csr).
+    pub fn builder(graph: Graph) -> GpsBuilder {
+        GpsBuilder::new(graph)
+    }
+}
+
+impl<B: GraphBackend> Engine<B> {
+    /// Wraps an existing backend with default options (no builder knobs).
+    pub fn from_backend(backend: B) -> Self {
+        let cache = EvalCache::new(&backend);
+        let learner = Learner::default();
+        let session = SessionConfig {
+            learner: learner.clone(),
+            ..SessionConfig::default()
+        };
+        Self {
+            backend,
+            learner,
+            session,
+            strategy: StrategyChoice::default(),
+            cache,
+        }
+    }
+
+    /// The underlying backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The underlying backend (historical name).
+    pub fn graph(&self) -> &B {
+        &self.backend
+    }
+
+    /// The learner configuration.
+    pub fn learner(&self) -> &Learner {
+        &self.learner
+    }
+
+    /// The session configuration interactive scenarios run with.
+    pub fn session_config(&self) -> &SessionConfig {
+        &self.session
+    }
+
+    /// The configured node-proposal strategy.
+    pub fn strategy(&self) -> StrategyChoice {
+        self.strategy
+    }
+
+    /// Takes an immutable CSR snapshot of the current backend.
+    pub fn snapshot(&self) -> CsrGraph {
+        CsrGraph::from_backend(&self.backend)
+    }
+
+    // ------------------------------------------------------------- queries
+
+    /// Parses a query in the paper's syntax against this graph's alphabet.
+    pub fn parse_query(&self, syntax: &str) -> Result<PathQuery, GpsError> {
+        Ok(PathQuery::parse(syntax, self.backend.labels())?)
+    }
+
+    /// Parses and evaluates a query, returning the selected nodes.  Repeated
+    /// evaluations of the same expression are served from a cache.
+    pub fn evaluate(&self, syntax: &str) -> Result<QueryAnswer, GpsError> {
+        let query = self.parse_query(syntax)?;
+        Ok((*self.cache.evaluate(query.regex())).clone())
+    }
+
+    /// Renders the answer of a query as `{N1, N2, …}`.
+    pub fn evaluate_rendered(&self, syntax: &str) -> Result<String, GpsError> {
+        let answer = self.evaluate(syntax)?;
+        Ok(render::render_node_set(&self.backend, &answer.nodes()))
+    }
+
+    /// Resolves a node by display name.
+    pub fn node(&self, name: &str) -> Result<NodeId, GpsError> {
+        self.backend
+            .node_by_name(name)
+            .ok_or_else(|| GpsError::UnknownNode(name.to_string()))
+    }
+
+    // -------------------------------------------------------- visualization
+
+    /// Extracts the neighborhood of a node at the given radius (Figure 3(a)).
+    pub fn neighborhood(&self, node: NodeId, radius: u32) -> Neighborhood {
+        Neighborhood::extract(&self.backend, node, radius)
+    }
+
+    /// Renders the neighborhood of a node at the given radius.
+    pub fn render_neighborhood(&self, node: NodeId, radius: u32) -> String {
+        render::render_neighborhood(&self.backend, &self.neighborhood(node, radius), None)
+    }
+
+    /// Renders the zoom-out from radius `radius` to `radius + 1`, marking the
+    /// newly revealed nodes (Figure 3(b)).
+    pub fn render_zoom(&self, node: NodeId, radius: u32) -> String {
+        let hood = self.neighborhood(node, radius);
+        let (larger, delta) = hood.zoom_out(&self.backend);
+        render::render_neighborhood(&self.backend, &larger, Some(&delta))
+    }
+
+    /// Renders the prefix tree of a node's paths up to `bound`, highlighting
+    /// `suggested` (Figure 3(c)).
+    pub fn render_prefix_tree(
+        &self,
+        node: NodeId,
+        bound: usize,
+        suggested: &[gps_graph::LabelId],
+    ) -> String {
+        let words = PathEnumerator::new(bound).words_from(&self.backend, node);
+        let tree = PrefixTree::from_words(&words);
+        render::render_prefix_tree(&self.backend, &tree, &suggested.to_vec())
+    }
+
+    // ------------------------------------------------------------- sessions
+
+    /// Starts an interactive session over this engine's backend with its
+    /// configured session options.
+    pub fn new_session(&self) -> Session<'_, B> {
+        Session::new(&self.backend, self.session.clone())
+    }
+
+    /// Runs a full interactive session against `user` with the configured
+    /// strategy and options.
+    pub fn specify<U: User<B> + ?Sized>(&self, user: &mut U) -> SessionOutcome {
+        let mut strategy = self.strategy.instantiate::<B>();
+        let mut session = self.new_session();
+        session.run(strategy.as_mut(), user)
+    }
+
+    // ------------------------------------------------------------ scenarios
+
+    /// Scenario 1 — static labeling: the user labels arbitrary nodes and the
+    /// system proposes a consistent query or reports the inconsistency.
+    pub fn static_labeling(&self, labels: &[(NodeId, Label)]) -> StaticLabelingOutcome {
+        scenario::static_labeling(&self.backend, labels, &self.learner)
+    }
+
+    /// Scenario 2 — interactive labeling without path validation, against a
+    /// simulated user whose hidden goal query is `goal_syntax`.
+    pub fn interactive_without_validation(
+        &self,
+        goal_syntax: &str,
+        _seed: u64,
+    ) -> Result<ScenarioReport, GpsError> {
+        let goal = self.parse_query(goal_syntax)?;
+        let config = SessionConfig {
+            with_path_validation: false,
+            ..self.session.clone()
+        };
+        let mut strategy = self.strategy.instantiate::<B>();
+        Ok(scenario::interactive_with_options(
+            &self.backend,
+            &goal,
+            config,
+            strategy.as_mut(),
+        ))
+    }
+
+    /// Scenario 3 — interactive labeling with path validation (the core of
+    /// GPS), against a simulated user whose hidden goal query is
+    /// `goal_syntax`.
+    pub fn interactive_with_validation(
+        &self,
+        goal_syntax: &str,
+        _seed: u64,
+    ) -> Result<ScenarioReport, GpsError> {
+        let goal = self.parse_query(goal_syntax)?;
+        let config = SessionConfig {
+            with_path_validation: true,
+            ..self.session.clone()
+        };
+        let mut strategy = self.strategy.instantiate::<B>();
+        Ok(scenario::interactive_with_options(
+            &self.backend,
+            &goal,
+            config,
+            strategy.as_mut(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+    use gps_interactive::user::SimulatedUser;
+
+    fn gps() -> (Gps, gps_datasets::figure1::Figure1) {
+        let (graph, ids) = figure1_graph();
+        (Gps::new(graph), ids)
+    }
+
+    #[test]
+    fn evaluation_matches_the_paper() {
+        let (gps, ids) = gps();
+        let answer = gps.evaluate(MOTIVATING_QUERY).unwrap();
+        assert_eq!(answer.nodes(), vec![ids.n1, ids.n2, ids.n4, ids.n6]);
+        assert_eq!(
+            gps.evaluate_rendered(MOTIVATING_QUERY).unwrap(),
+            "{N1, N2, N4, N6}"
+        );
+    }
+
+    #[test]
+    fn evaluation_is_cached() {
+        let (gps, _) = gps();
+        gps.evaluate(MOTIVATING_QUERY).unwrap();
+        gps.evaluate(MOTIVATING_QUERY).unwrap();
+        let bus = gps.evaluate("bus").unwrap();
+        assert!(!bus.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_propagated() {
+        let (gps, _) = gps();
+        assert!(matches!(gps.evaluate("spaceship"), Err(GpsError::Parse(_))));
+        assert!(gps.parse_query("(bus").is_err());
+        assert!(matches!(gps.node("Nowhere"), Err(GpsError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn rendering_helpers_produce_figures() {
+        let (gps, ids) = gps();
+        let fig3a = gps.render_neighborhood(ids.n2, 2);
+        assert!(fig3a.contains("radius 2"));
+        let fig3b = gps.render_zoom(ids.n2, 2);
+        assert!(fig3b.contains("*new*"));
+        let graph = gps.graph();
+        let bus = graph.label_id("bus").unwrap();
+        let cinema = graph.label_id("cinema").unwrap();
+        let fig3c = gps.render_prefix_tree(ids.n2, 3, &[bus, bus, cinema]);
+        assert!(fig3c.contains("◀ candidate"));
+    }
+
+    #[test]
+    fn scenarios_run_through_the_facade() {
+        let (gps, ids) = gps();
+        let static_outcome =
+            gps.static_labeling(&[(ids.n2, Label::Positive), (ids.n5, Label::Negative)]);
+        assert!(matches!(static_outcome, StaticLabelingOutcome::Learned(_)));
+
+        let report = gps
+            .interactive_with_validation(MOTIVATING_QUERY, 0)
+            .unwrap();
+        assert!(report.goal_reached);
+        let report2 = gps
+            .interactive_without_validation(MOTIVATING_QUERY, 0)
+            .unwrap();
+        assert!(report2.consistent_with_labels);
+    }
+
+    #[test]
+    fn custom_learner_configuration() {
+        let (graph, _) = figure1_graph();
+        let gps = Gps::with_learner(graph, Learner::with_bound(3));
+        assert_eq!(gps.learner().path_bound, 3);
+        assert!(gps.graph().node_count() == 10);
+    }
+
+    #[test]
+    fn builder_configures_every_layer() {
+        let (graph, _) = figure1_graph();
+        let engine = Engine::builder(graph)
+            .path_bound(3)
+            .initial_radius(1)
+            .max_radius(4)
+            .with_path_validation(false)
+            .max_interactions(7)
+            .strategy(StrategyChoice::Degree)
+            .build();
+        assert_eq!(engine.learner().path_bound, 3);
+        let config = engine.session_config();
+        assert_eq!(config.path_bound, 3);
+        assert_eq!(config.initial_radius, 1);
+        assert_eq!(config.max_radius, 4);
+        assert!(!config.with_path_validation);
+        assert_eq!(config.halt.max_interactions, 7);
+        assert_eq!(engine.strategy(), StrategyChoice::Degree);
+        assert_eq!(
+            config.learner.path_bound, 3,
+            "learner propagates to sessions"
+        );
+    }
+
+    #[test]
+    fn interactive_scenarios_honor_builder_knobs() {
+        let (graph, _) = figure1_graph();
+        // A one-interaction budget must cut the session short regardless of
+        // convergence; with the degree strategy and no stop-on-goal the
+        // session must run exactly one interaction.
+        let engine = Engine::builder(graph)
+            .strategy(StrategyChoice::Degree)
+            .halt(gps_interactive::halt::HaltConfig {
+                max_interactions: 1,
+                stop_on_goal: false,
+            })
+            .build();
+        let report = engine
+            .interactive_with_validation(MOTIVATING_QUERY, 0)
+            .unwrap();
+        assert_eq!(report.interactions, 1, "budget knob must reach sessions");
+    }
+
+    #[test]
+    fn session_config_adopts_its_learner() {
+        let (graph, _) = figure1_graph();
+        let config = gps_interactive::session::SessionConfig {
+            learner: Learner::with_bound(2),
+            path_bound: 2,
+            ..Default::default()
+        };
+        let engine = Engine::builder(graph).session_config(config).build();
+        assert_eq!(engine.learner().path_bound, 2);
+        assert_eq!(engine.session_config().learner.path_bound, 2);
+    }
+
+    #[test]
+    fn csr_engine_answers_like_the_adjacency_engine() {
+        let (graph, _) = figure1_graph();
+        let adjacency = Engine::builder(graph.clone()).build();
+        let csr = Engine::builder(graph).build_csr();
+        assert_eq!(
+            adjacency.evaluate(MOTIVATING_QUERY).unwrap().nodes(),
+            csr.evaluate(MOTIVATING_QUERY).unwrap().nodes()
+        );
+        assert_eq!(
+            adjacency.evaluate_rendered("bus").unwrap(),
+            csr.evaluate_rendered("bus").unwrap()
+        );
+    }
+
+    #[test]
+    fn interactive_scenarios_run_on_the_csr_backend() {
+        let (graph, _) = figure1_graph();
+        let engine = Engine::builder(graph).build_csr();
+        let report = engine
+            .interactive_with_validation(MOTIVATING_QUERY, 0)
+            .unwrap();
+        assert!(report.goal_reached, "report: {report:?}");
+    }
+
+    #[test]
+    fn specify_runs_the_configured_strategy() {
+        let (graph, _) = figure1_graph();
+        let engine = Engine::builder(graph).build();
+        let goal = engine.parse_query(MOTIVATING_QUERY).unwrap();
+        let mut user = SimulatedUser::new(goal.clone(), engine.backend());
+        let outcome = engine.specify(&mut user);
+        let learned = outcome.learned.expect("a query is learned");
+        assert_eq!(
+            learned.answer.nodes(),
+            goal.evaluate(engine.backend()).nodes()
+        );
+    }
+
+    #[test]
+    fn from_backend_wraps_a_snapshot_directly() {
+        let (graph, ids) = figure1_graph();
+        let snapshot = gps_graph::CsrGraph::from_graph(&graph);
+        let engine = Engine::from_backend(snapshot);
+        assert!(engine.evaluate("cinema").unwrap().contains(ids.n4));
+        assert_eq!(engine.snapshot().node_count(), 10);
+    }
+
+    #[test]
+    fn builder_from_edge_list_parses() {
+        let engine = GpsBuilder::from_edge_list("N1 tram N4\nN4 cinema C1\n")
+            .unwrap()
+            .build();
+        assert_eq!(engine.backend().node_count(), 3);
+        assert!(GpsBuilder::from_edge_list("one two\n").is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! The unified error type of the GPS facade.
+//!
+//! Each layer crate has its own focused error enum (`ParseError` in
+//! `gps-automata`, `LearnError` in `gps-learner`, `IoError` in `gps-graph`).
+//! The [`Engine`](crate::Engine) surfaces all of them behind one typed
+//! [`GpsError`], so applications match on a single enum and `?` works across
+//! layers.
+
+use gps_automata::parser::ParseError;
+use gps_graph::io::IoError;
+use gps_learner::LearnError;
+use std::fmt;
+
+/// Any error the GPS facade can produce.
+#[derive(Debug)]
+pub enum GpsError {
+    /// A query failed to parse against the graph's alphabet.
+    Parse(ParseError),
+    /// The learner could not produce a consistent query.
+    Learn(LearnError),
+    /// Graph (de)serialization failed.
+    Io(IoError),
+    /// A node was referenced by a name the graph does not contain.
+    UnknownNode(String),
+}
+
+impl fmt::Display for GpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpsError::Parse(e) => write!(f, "query parse error: {e}"),
+            GpsError::Learn(e) => write!(f, "learning error: {e}"),
+            GpsError::Io(e) => write!(f, "graph i/o error: {e}"),
+            GpsError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for GpsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpsError::Parse(e) => Some(e),
+            GpsError::Learn(e) => Some(e),
+            GpsError::Io(e) => Some(e),
+            GpsError::UnknownNode(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for GpsError {
+    fn from(e: ParseError) -> Self {
+        GpsError::Parse(e)
+    }
+}
+
+impl From<LearnError> for GpsError {
+    fn from(e: LearnError) -> Self {
+        GpsError::Learn(e)
+    }
+}
+
+impl From<IoError> for GpsError {
+    fn from(e: IoError) -> Self {
+        GpsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_graph::NodeId;
+
+    #[test]
+    fn displays_carry_layer_context() {
+        let learn: GpsError = LearnError::NoPositiveExamples.into();
+        assert!(learn.to_string().contains("learning error"));
+        let unknown = GpsError::UnknownNode("Nowhere".to_string());
+        assert!(unknown.to_string().contains("Nowhere"));
+        let inconsistent: GpsError = LearnError::InconsistentResult {
+            node: NodeId::new(3),
+        }
+        .into();
+        assert!(inconsistent.to_string().contains("n3"));
+    }
+
+    #[test]
+    fn sources_chain_to_layer_errors() {
+        use std::error::Error as _;
+        let learn: GpsError = LearnError::NoPositiveExamples.into();
+        assert!(learn.source().is_some());
+        assert!(GpsError::UnknownNode("x".into()).source().is_none());
+    }
+}

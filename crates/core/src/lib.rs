@@ -3,48 +3,82 @@
 //! GPS ("a system for interactive Graph Path query Specification") assists a
 //! non-expert user in specifying a path query — a regular expression over
 //! edge labels — on a graph database, by interactively labeling nodes as
-//! positive or negative examples on small, easy-to-visualize fragments of the
-//! graph.  This crate ties the substrates together and exposes the system the
-//! demo paper describes:
+//! positive or negative examples on small, easy-to-visualize fragments of
+//! the graph.  This crate ties the substrates together behind a
+//! backend-agnostic, builder-style facade:
 //!
-//! * [`Gps`] — the facade: load a graph, run any of the three demonstration
-//!   scenarios, inspect/learn/evaluate queries;
+//! * [`Engine`] — the facade, generic over [`gps_graph::GraphBackend`]:
+//!   evaluate queries, render neighborhoods and prefix trees, run interactive
+//!   sessions and the three demonstration scenarios on either the mutable
+//!   adjacency [`gps_graph::Graph`] or the immutable
+//!   [`gps_graph::CsrGraph`] snapshot;
+//! * [`GpsBuilder`] — one place to choose the backend, the node-proposal
+//!   strategy, the halt conditions and the zoom/validation options;
+//! * [`GpsError`] — the typed error unifying the per-layer error enums;
 //! * [`render`] — the textual "visualization" layer standing in for the demo
-//!   GUI: neighborhoods with "…" continuation markers and zoom highlighting
-//!   (Figure 3(a)/(b)) and prefix trees with a highlighted candidate path
-//!   (Figure 3(c));
-//! * [`scenario`] — the three demonstration scenarios: static labeling,
-//!   interactive labeling without path validation, and interactive labeling
-//!   with path validation;
-//! * [`transcript`] — serializable session transcripts.
+//!   GUI (Figure 3(a)–(c) of the paper);
+//! * [`scenario`] — the three demonstration scenarios;
+//! * [`transcript`] — serializable session transcripts;
+//! * [`prelude`] — one `use gps_core::prelude::*;` for the common types.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use gps_core::Gps;
+//! use gps_core::prelude::*;
 //! use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
 //!
 //! let (graph, ids) = figure1_graph();
-//! let gps = Gps::new(graph);
+//!
+//! // Build the engine on the immutable CSR backend with explicit options.
+//! let engine = Engine::builder(graph)
+//!     .strategy(StrategyChoice::InformativePaths { bound: 3 })
+//!     .initial_radius(2)
+//!     .build_csr();
 //!
 //! // Evaluate the motivating query of the paper.
-//! let answer = gps.evaluate(MOTIVATING_QUERY).unwrap();
+//! let answer = engine.evaluate(MOTIVATING_QUERY).unwrap();
 //! assert!(answer.contains(ids.n2));
 //!
 //! // Run the full interactive scenario against a simulated user who has the
 //! // motivating query in mind.
-//! let report = gps.interactive_with_validation(MOTIVATING_QUERY, 0).unwrap();
+//! let report = engine.interactive_with_validation(MOTIVATING_QUERY, 0).unwrap();
 //! assert!(report.goal_reached);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod gps;
+pub mod engine;
+pub mod error;
 pub mod render;
 pub mod scenario;
 pub mod transcript;
 
-pub use gps::Gps;
+pub use engine::{Engine, Gps, GpsBuilder, StrategyChoice};
+pub use error::GpsError;
 pub use scenario::{ScenarioReport, StaticLabelingOutcome};
 pub use transcript::Transcript;
+
+/// The most common imports in one place.
+///
+/// ```
+/// use gps_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::engine::{Engine, Gps, GpsBuilder, StrategyChoice};
+    pub use crate::error::GpsError;
+    pub use crate::scenario::{ScenarioReport, StaticLabelingOutcome};
+    pub use crate::transcript::Transcript;
+    pub use gps_graph::{
+        CsrGraph, Edge, EdgeId, Graph, GraphBackend, LabelId, LabelInterner, Neighborhood,
+        NeighborhoodDelta, NodeId, Path, PathEnumerator, PrefixTree, Word,
+    };
+    pub use gps_interactive::halt::{HaltConfig, HaltReason};
+    pub use gps_interactive::session::{Session, SessionConfig, SessionOutcome};
+    pub use gps_interactive::strategy::{
+        DegreeStrategy, InformativePathsStrategy, RandomStrategy, Strategy, StrategyContext,
+    };
+    pub use gps_interactive::user::{ScriptedUser, SimulatedUser, User, UserResponse};
+    pub use gps_learner::{ExampleSet, Label, LearnedQuery, Learner};
+    pub use gps_rpq::{EvalCache, NegativeCoverage, PathQuery, QueryAnswer};
+}

@@ -8,14 +8,14 @@
 //! (Figure 3(b)), and an indented prefix tree with a `◀ candidate` marker on
 //! the suggested path (Figure 3(c)).
 
-use gps_graph::{Graph, Neighborhood, NeighborhoodDelta, NodeId, PrefixTree, Word};
+use gps_graph::{GraphBackend, Neighborhood, NeighborhoodDelta, NodeId, PrefixTree, Word};
 
 /// Renders a neighborhood as indented text.
 ///
 /// `delta` — when rendering the result of a zoom-out, the nodes added by the
 /// zoom are marked `*new*`, mirroring the blue highlighting of Figure 3(b).
-pub fn render_neighborhood(
-    graph: &Graph,
+pub fn render_neighborhood<B: GraphBackend>(
+    graph: &B,
     neighborhood: &Neighborhood,
     delta: Option<&NeighborhoodDelta>,
 ) -> String {
@@ -42,7 +42,11 @@ pub fn render_neighborhood(
             "  [{distance}] {}{marker}\n",
             graph.node_name(node)
         ));
-        for (_, edge) in neighborhood.edges().iter().filter(|(_, e)| e.source == node) {
+        for (_, edge) in neighborhood
+            .edges()
+            .iter()
+            .filter(|(_, e)| e.source == node)
+        {
             out.push_str(&format!(
                 "      --{}--> {}\n",
                 graph.label_name(edge.label).unwrap_or("?"),
@@ -57,7 +61,11 @@ pub fn render_neighborhood(
 }
 
 /// Renders a prefix tree of candidate words, marking the suggested path.
-pub fn render_prefix_tree(graph: &Graph, tree: &PrefixTree, suggested: &Word) -> String {
+pub fn render_prefix_tree<B: GraphBackend>(
+    graph: &B,
+    tree: &PrefixTree,
+    suggested: &Word,
+) -> String {
     let mut out = String::new();
     out.push_str("candidate paths\n");
     // Track, for each depth, the word spelled so far so we can compare the
@@ -83,7 +91,7 @@ pub fn render_prefix_tree(graph: &Graph, tree: &PrefixTree, suggested: &Word) ->
 
 /// Renders a one-line description of a labeled answer set, e.g.
 /// `{N1, N2, N4, N6}`.
-pub fn render_node_set(graph: &Graph, nodes: &[NodeId]) -> String {
+pub fn render_node_set<B: GraphBackend>(graph: &B, nodes: &[NodeId]) -> String {
     let names: Vec<&str> = nodes.iter().map(|&n| graph.node_name(n)).collect();
     format!("{{{}}}", names.join(", "))
 }

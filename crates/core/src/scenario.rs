@@ -14,9 +14,9 @@
 //!    guarantees the generalization uses the paths she cares about.
 
 use crate::transcript::Transcript;
-use gps_graph::{Graph, NodeId};
+use gps_graph::{GraphBackend, NodeId};
 use gps_interactive::session::{Session, SessionConfig, SessionOutcome};
-use gps_interactive::strategy::InformativePathsStrategy;
+use gps_interactive::strategy::{InformativePathsStrategy, Strategy};
 use gps_interactive::user::SimulatedUser;
 use gps_learner::{consistency, ExampleSet, Label, LearnedQuery, Learner};
 use gps_rpq::PathQuery;
@@ -39,8 +39,8 @@ pub enum StaticLabelingOutcome {
 }
 
 /// Runs the static-labeling scenario on a user-provided example set.
-pub fn static_labeling(
-    graph: &Graph,
+pub fn static_labeling<B: GraphBackend>(
+    graph: &B,
     labels: &[(NodeId, Label)],
     learner: &Learner,
 ) -> StaticLabelingOutcome {
@@ -89,8 +89,8 @@ pub struct ScenarioReport {
     pub transcript: Transcript,
 }
 
-fn report_from_outcome(
-    graph: &Graph,
+fn report_from_outcome<B: GraphBackend>(
+    graph: &B,
     goal: &PathQuery,
     scenario: &str,
     outcome: &SessionOutcome,
@@ -104,9 +104,7 @@ fn report_from_outcome(
     let consistent_with_labels = outcome
         .learned
         .as_ref()
-        .map(|l| {
-            consistency::check_answer(&l.answer, &outcome.examples).is_consistent()
-        })
+        .map(|l| consistency::check_answer(&l.answer, &outcome.examples).is_consistent())
         .unwrap_or(false);
     ScenarioReport {
         scenario: scenario.to_string(),
@@ -123,10 +121,30 @@ fn report_from_outcome(
     }
 }
 
+/// Runs an interactive scenario with an explicit session configuration and
+/// node-proposal strategy — the entry point the engine's builder knobs feed
+/// into.  The scenario label follows `config.with_path_validation`.
+pub fn interactive_with_options<B: GraphBackend>(
+    graph: &B,
+    goal: &PathQuery,
+    config: SessionConfig,
+    strategy: &mut dyn Strategy<B>,
+) -> ScenarioReport {
+    let scenario = if config.with_path_validation {
+        "interactive+validation"
+    } else {
+        "interactive"
+    };
+    let mut user = SimulatedUser::new(goal.clone(), graph);
+    let mut session = Session::new(graph, config);
+    let outcome = session.run(strategy, &mut user);
+    report_from_outcome(graph, goal, scenario, &outcome)
+}
+
 /// Runs the interactive scenario *without* path validation against a
 /// simulated user whose hidden goal is `goal`.
-pub fn interactive_without_validation(
-    graph: &Graph,
+pub fn interactive_without_validation<B: GraphBackend>(
+    graph: &B,
     goal: &PathQuery,
     seed: u64,
 ) -> ScenarioReport {
@@ -135,32 +153,29 @@ pub fn interactive_without_validation(
 
 /// Runs the full interactive scenario *with* path validation (the core of
 /// GPS) against a simulated user whose hidden goal is `goal`.
-pub fn interactive_with_validation(graph: &Graph, goal: &PathQuery, seed: u64) -> ScenarioReport {
+pub fn interactive_with_validation<B: GraphBackend>(
+    graph: &B,
+    goal: &PathQuery,
+    seed: u64,
+) -> ScenarioReport {
     run_interactive(graph, goal, SessionConfig::default(), seed)
 }
 
-fn run_interactive(
-    graph: &Graph,
+fn run_interactive<B: GraphBackend>(
+    graph: &B,
     goal: &PathQuery,
     config: SessionConfig,
     _seed: u64,
 ) -> ScenarioReport {
-    let scenario = if config.with_path_validation {
-        "interactive+validation"
-    } else {
-        "interactive"
-    };
-    let mut user = SimulatedUser::new(goal.clone(), graph);
     let mut strategy = InformativePathsStrategy::with_bound(config.path_bound.min(3));
-    let mut session = Session::new(graph, config);
-    let outcome = session.run(&mut strategy, &mut user);
-    report_from_outcome(graph, goal, scenario, &outcome)
+    interactive_with_options(graph, goal, config, &mut strategy)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+    use gps_graph::Graph;
 
     fn goal(graph: &Graph) -> PathQuery {
         PathQuery::parse(MOTIVATING_QUERY, graph.labels()).unwrap()

@@ -5,7 +5,7 @@
 //! sequence of proposed nodes with their labels and validated paths, the
 //! final learned query, and the session statistics.
 
-use gps_graph::Graph;
+use gps_graph::GraphBackend;
 use gps_interactive::session::SessionOutcome;
 use gps_interactive::SessionStats;
 use gps_learner::Label;
@@ -42,7 +42,7 @@ pub struct Transcript {
 impl Transcript {
     /// Builds a transcript from a session outcome, resolving names against
     /// the graph the session ran on.
-    pub fn from_outcome(graph: &Graph, outcome: &SessionOutcome) -> Self {
+    pub fn from_outcome<B: GraphBackend>(graph: &B, outcome: &SessionOutcome) -> Self {
         let entries = outcome
             .transcript
             .iter()
@@ -139,7 +139,11 @@ mod tests {
         let transcript = Transcript::from_outcome(&g, &outcome);
         assert_eq!(transcript.entries.len(), outcome.stats.interactions);
         for entry in &transcript.entries {
-            assert!(entry.node.starts_with('N') || entry.node.starts_with('C') || entry.node.starts_with('R'));
+            assert!(
+                entry.node.starts_with('N')
+                    || entry.node.starts_with('C')
+                    || entry.node.starts_with('R')
+            );
             assert!(entry.label == "+" || entry.label == "-");
         }
         assert!(transcript.learned_query.is_some());

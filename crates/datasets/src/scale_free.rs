@@ -71,11 +71,7 @@ pub fn generate(config: &ScaleFreeConfig) -> Graph {
     graph
 }
 
-fn pick_label(
-    rng: &mut StdRng,
-    labels: &[gps_graph::LabelId],
-    skewed: bool,
-) -> gps_graph::LabelId {
+fn pick_label(rng: &mut StdRng, labels: &[gps_graph::LabelId], skewed: bool) -> gps_graph::LabelId {
     if !skewed || labels.len() == 1 {
         return labels[rng.gen_range(0..labels.len())];
     }

@@ -78,10 +78,8 @@ pub struct TransportNetwork {
 /// Generates a transport network from `config`.
 pub fn generate(config: &TransportConfig) -> TransportNetwork {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut graph = Graph::with_capacity(
-        config.rows * config.cols * 2,
-        config.rows * config.cols * 4,
-    );
+    let mut graph =
+        Graph::with_capacity(config.rows * config.cols * 2, config.rows * config.cols * 4);
     let tram = graph.label("tram");
     let bus = graph.label("bus");
     let cinema = graph.label("cinema");

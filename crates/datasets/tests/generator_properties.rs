@@ -9,52 +9,76 @@ use gps_datasets::synthetic::{self, SyntheticConfig};
 use gps_datasets::transport::{self, TransportConfig};
 use gps_datasets::{queries, Workload};
 use gps_graph::stats::GraphStats;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn transport_generator_honours_size_and_connectivity(neighborhoods in 4usize..60, seed in 0u64..1000) {
+#[test]
+fn transport_generator_honours_size_and_connectivity() {
+    let mut rng = StdRng::seed_from_u64(201);
+    for _ in 0..16 {
+        let neighborhoods = rng.gen_range(4usize..60);
+        let seed = rng.gen_range(0u64..1000);
         let net = transport::generate(&TransportConfig::with_neighborhoods(neighborhoods, seed));
-        prop_assert!(net.neighborhoods.len() >= neighborhoods);
-        prop_assert_eq!(
+        assert!(net.neighborhoods.len() >= neighborhoods);
+        assert_eq!(
             net.graph.node_count(),
             net.neighborhoods.len() + net.facilities.len()
         );
         let stats = GraphStats::compute(&net.graph);
-        prop_assert_eq!(stats.weak_component_count, 1, "transport networks are connected");
+        assert_eq!(
+            stats.weak_component_count, 1,
+            "transport networks are connected"
+        );
         // Facilities are sinks with exactly one incoming edge.
         for &f in &net.facilities {
-            prop_assert_eq!(net.graph.out_degree(f), 0);
-            prop_assert_eq!(net.graph.in_degree(f), 1);
+            assert_eq!(net.graph.out_degree(f), 0);
+            assert_eq!(net.graph.in_degree(f), 1);
         }
     }
+}
 
-    #[test]
-    fn synthetic_generator_is_seed_deterministic(nodes in 1usize..80, seed in 0u64..1000) {
+#[test]
+fn synthetic_generator_is_seed_deterministic() {
+    let mut rng = StdRng::seed_from_u64(202);
+    for _ in 0..16 {
+        let nodes = rng.gen_range(1usize..80);
+        let seed = rng.gen_range(0u64..1000);
         let a = synthetic::generate(&SyntheticConfig::with_nodes(nodes, seed));
         let b = synthetic::generate(&SyntheticConfig::with_nodes(nodes, seed));
-        prop_assert_eq!(a.node_count(), b.node_count());
-        prop_assert_eq!(
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(
             a.edges().map(|(_, e)| e).collect::<Vec<_>>(),
             b.edges().map(|(_, e)| e).collect::<Vec<_>>()
         );
     }
+}
 
-    #[test]
-    fn scale_free_generator_produces_connected_graphs(nodes in 2usize..120, seed in 0u64..1000) {
-        let graph = scale_free::generate(&ScaleFreeConfig { nodes, seed, ..ScaleFreeConfig::default() });
-        prop_assert_eq!(graph.node_count(), nodes);
+#[test]
+fn scale_free_generator_produces_connected_graphs() {
+    let mut rng = StdRng::seed_from_u64(203);
+    for _ in 0..16 {
+        let nodes = rng.gen_range(2usize..120);
+        let seed = rng.gen_range(0u64..1000);
+        let graph = scale_free::generate(&ScaleFreeConfig {
+            nodes,
+            seed,
+            ..ScaleFreeConfig::default()
+        });
+        assert_eq!(graph.node_count(), nodes);
         let stats = GraphStats::compute(&graph);
-        prop_assert_eq!(stats.weak_component_count, 1);
+        assert_eq!(stats.weak_component_count, 1);
     }
+}
 
-    #[test]
-    fn biological_generator_keeps_all_interaction_labels(entities in 5usize..100, seed in 0u64..1000) {
+#[test]
+fn biological_generator_keeps_all_interaction_labels() {
+    let mut rng = StdRng::seed_from_u64(204);
+    for _ in 0..16 {
+        let entities = rng.gen_range(5usize..100);
+        let seed = rng.gen_range(0u64..1000);
         let graph = biological::generate(&BiologicalConfig::with_entities(entities, seed));
-        prop_assert_eq!(graph.node_count(), entities);
-        prop_assert_eq!(graph.label_count(), biological::INTERACTION_LABELS.len());
+        assert_eq!(graph.node_count(), entities);
+        assert_eq!(graph.label_count(), biological::INTERACTION_LABELS.len());
     }
 }
 

@@ -1,0 +1,266 @@
+//! The [`GraphBackend`] trait — the storage-agnostic read interface every
+//! query layer is written against.
+//!
+//! GPS interleaves traversal-heavy RPQ evaluation, neighborhood rendering and
+//! DFA learning over one graph store.  Historically all of that code was
+//! hardwired to the concrete mutable [`Graph`](crate::Graph); this trait
+//! abstracts the read operations those layers actually need — node/label
+//! counts, forward and reverse labeled-neighbor iteration, degrees, and
+//! label-interner access — so the same algorithms run unchanged on:
+//!
+//! * [`Graph`](crate::Graph) — the mutable adjacency-list store (build and
+//!   mutate freely, pay pointer-chasing on traversal);
+//! * [`CsrGraph`](crate::CsrGraph) — the immutable compressed-sparse-row
+//!   snapshot (no mutation, cache-friendly contiguous scans).
+//!
+//! Future backends (sharded, memory-mapped, cached) only need to implement
+//! this trait to light up RPQ evaluation, interactive sessions, learning and
+//! rendering.
+//!
+//! ## Design notes
+//!
+//! Iteration is exposed through generic associated types so that every
+//! backend's natural iterator (slice scans for CSR, adjacency-vector walks
+//! for the mutable graph) is monomorphized into the query layers with zero
+//! dispatch cost — the hot RPQ loop compiles down to the same code as the
+//! hand-specialized CSR evaluator it replaced.  The trait is therefore not
+//! object-safe; the layers take `B: GraphBackend` type parameters instead of
+//! `&dyn` references.
+
+use crate::graph::Edge;
+use crate::ids::{EdgeId, LabelId, NodeId};
+use crate::labels::LabelInterner;
+
+/// Read-only access to an edge-labeled directed multigraph.
+///
+/// See the [module docs](self) for the design rationale.  All methods take
+/// node identifiers issued by this backend; passing foreign identifiers may
+/// panic (mirroring the concrete stores).
+pub trait GraphBackend {
+    /// Iterator over `(label, neighbor)` pairs (targets for
+    /// [`successors`](Self::successors), sources for
+    /// [`predecessors`](Self::predecessors)).
+    type Neighbors<'a>: Iterator<Item = (LabelId, NodeId)> + 'a
+    where
+        Self: 'a;
+
+    /// Iterator over `(edge id, edge)` pairs incident to a node.
+    type IncidentEdges<'a>: Iterator<Item = (EdgeId, Edge)> + 'a
+    where
+        Self: 'a;
+
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+
+    /// Number of edges.
+    fn edge_count(&self) -> usize;
+
+    /// The label interner (the alphabet of the graph).
+    fn labels(&self) -> &LabelInterner;
+
+    /// The display name of a node.
+    ///
+    /// # Panics
+    /// Panics when `node` does not belong to this backend.
+    fn node_name(&self, node: NodeId) -> &str;
+
+    /// Looks up the first node bearing `name`.
+    fn node_by_name(&self, name: &str) -> Option<NodeId>;
+
+    /// Outgoing `(label, target)` pairs of `node`, in storage order.
+    fn successors(&self, node: NodeId) -> Self::Neighbors<'_>;
+
+    /// Incoming `(label, source)` pairs of `node`, in storage order.
+    fn predecessors(&self, node: NodeId) -> Self::Neighbors<'_>;
+
+    /// Outgoing edges of `node` as `(EdgeId, Edge)` pairs.
+    fn out_edges(&self, node: NodeId) -> Self::IncidentEdges<'_>;
+
+    /// Incoming edges of `node` as `(EdgeId, Edge)` pairs.
+    fn in_edges(&self, node: NodeId) -> Self::IncidentEdges<'_>;
+
+    /// Out-degree of `node`.
+    fn out_degree(&self, node: NodeId) -> usize;
+
+    /// In-degree of `node`.
+    fn in_degree(&self, node: NodeId) -> usize;
+
+    // ------------------------------------------------------------- provided
+
+    /// Number of distinct labels (alphabet size).
+    fn label_count(&self) -> usize {
+        self.labels().len()
+    }
+
+    /// The name of a label, if it exists.
+    fn label_name(&self, label: LabelId) -> Option<&str> {
+        self.labels().name(label)
+    }
+
+    /// Looks up a label by name without interning.
+    fn label_id(&self, name: &str) -> Option<LabelId> {
+        self.labels().get(name)
+    }
+
+    /// Returns `true` when `node` is a valid identifier of this backend.
+    fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.node_count()
+    }
+
+    /// Returns `true` when the backend has no nodes.
+    fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// All node identifiers, in ascending order.
+    fn nodes(&self) -> NodeIds {
+        NodeIds {
+            range: 0..self.node_count(),
+        }
+    }
+
+    /// All edges as `(EdgeId, Edge)` pairs, grouped by source node.
+    ///
+    /// Deliberately *not* named `edges`: the inherent
+    /// [`Graph::edges`](crate::Graph::edges) iterates in insertion order,
+    /// while backends only guarantee the edge *multiset* — a distinct name
+    /// keeps the ordering difference visible when code moves from concrete
+    /// to generic.
+    fn edges_by_source(&self) -> BackendEdges<'_, Self>
+    where
+        Self: Sized,
+    {
+        BackendEdges {
+            backend: self,
+            nodes: self.nodes(),
+            current: None,
+        }
+    }
+
+    /// Returns `true` when at least one `source --label--> target` edge
+    /// exists.
+    fn has_edge(&self, source: NodeId, label: LabelId, target: NodeId) -> bool {
+        self.successors(source)
+            .any(|(l, t)| l == label && t == target)
+    }
+}
+
+/// Iterator over the node identifiers of a backend.
+#[derive(Debug, Clone)]
+pub struct NodeIds {
+    range: std::ops::Range<usize>,
+}
+
+impl Iterator for NodeIds {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.range.next().map(NodeId::from)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for NodeIds {
+    fn next_back(&mut self) -> Option<NodeId> {
+        self.range.next_back().map(NodeId::from)
+    }
+}
+
+impl ExactSizeIterator for NodeIds {}
+
+/// Iterator over all edges of a backend, node by node.
+pub struct BackendEdges<'a, B: GraphBackend> {
+    backend: &'a B,
+    nodes: NodeIds,
+    current: Option<B::IncidentEdges<'a>>,
+}
+
+impl<'a, B: GraphBackend> Iterator for BackendEdges<'a, B> {
+    type Item = (EdgeId, Edge);
+
+    fn next(&mut self) -> Option<(EdgeId, Edge)> {
+        loop {
+            if let Some(edges) = &mut self.current {
+                if let Some(item) = edges.next() {
+                    return Some(item);
+                }
+            }
+            let node = self.nodes.next()?;
+            self.current = Some(self.backend.out_edges(node));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::graph::Graph;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        g.add_edge_by_name(a, "x", b);
+        g.add_edge_by_name(b, "y", c);
+        g.add_edge_by_name(a, "y", c);
+        g
+    }
+
+    fn exercise<B: GraphBackend>(backend: &B) {
+        assert_eq!(backend.node_count(), 3);
+        assert_eq!(backend.edge_count(), 3);
+        assert_eq!(backend.label_count(), 2);
+        assert!(!backend.is_empty());
+        let a = backend.node_by_name("A").unwrap();
+        let c = backend.node_by_name("C").unwrap();
+        assert_eq!(backend.node_name(a), "A");
+        assert_eq!(backend.out_degree(a), 2);
+        assert_eq!(backend.in_degree(c), 2);
+        assert!(backend.contains_node(a));
+        assert!(!backend.contains_node(NodeId::new(9)));
+        let x = backend.label_id("x").unwrap();
+        let b = backend.node_by_name("B").unwrap();
+        assert!(backend.has_edge(a, x, b));
+        assert!(!backend.has_edge(a, x, c));
+        assert_eq!(backend.nodes().count(), 3);
+        assert_eq!(backend.edges_by_source().count(), 3);
+        assert_eq!(backend.successors(a).count(), 2);
+        assert_eq!(backend.predecessors(c).count(), 2);
+        assert_eq!(backend.label_name(x), Some("x"));
+    }
+
+    #[test]
+    fn adjacency_backend_satisfies_the_contract() {
+        exercise(&sample());
+    }
+
+    #[test]
+    fn csr_backend_satisfies_the_contract() {
+        exercise(&CsrGraph::from_graph(&sample()));
+    }
+
+    #[test]
+    fn backends_agree_on_edge_multisets() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        let mut graph_edges: Vec<(EdgeId, Edge)> = g.edges_by_source().collect();
+        let mut csr_edges: Vec<(EdgeId, Edge)> = csr.edges_by_source().collect();
+        graph_edges.sort_by_key(|&(id, _)| id);
+        csr_edges.sort_by_key(|&(id, _)| id);
+        assert_eq!(graph_edges, csr_edges);
+    }
+
+    #[test]
+    fn node_ids_iterate_both_ways() {
+        let g = sample();
+        let forward: Vec<NodeId> = GraphBackend::nodes(&g).collect();
+        let backward: Vec<NodeId> = GraphBackend::nodes(&g).rev().collect();
+        assert_eq!(forward.len(), 3);
+        assert_eq!(backward.first(), forward.last());
+    }
+}

@@ -1,12 +1,24 @@
-//! Immutable compressed-sparse-row (CSR) snapshot of a [`Graph`].
+//! Immutable compressed-sparse-row (CSR) snapshot of a graph.
 //!
 //! The interactive loop and the RPQ evaluator traverse the graph heavily and
-//! never mutate it.  [`CsrGraph`] packs the adjacency into two flat arrays
-//! (offsets + `(label, target)` pairs) for cache-friendly scans, and keeps a
-//! reverse CSR for backward traversals used by the evaluator's fixed point.
+//! never mutate it.  [`CsrGraph`] packs the adjacency into flat arrays
+//! (offsets + `(label, target)` pairs) for cache-friendly scans, keeps a
+//! reverse CSR for backward traversals used by the evaluator's fixed point,
+//! and — since it implements [`GraphBackend`] — serves as a first-class
+//! drop-in store for every query layer: RPQ evaluation, neighborhoods, path
+//! enumeration, learning and interactive sessions all run directly on the
+//! snapshot.
+//!
+//! The snapshot carries the node names and the label interner of its source
+//! so rendering and query parsing work against it; the original edge
+//! identifiers are preserved per adjacency entry so neighborhood extraction
+//! and zoom deltas agree exactly with the mutable [`Graph`] backend.
 
-use crate::graph::Graph;
-use crate::ids::{LabelId, NodeId};
+use crate::backend::GraphBackend;
+use crate::graph::{Edge, Graph};
+use crate::ids::{EdgeId, LabelId, NodeId};
+use crate::labels::LabelInterner;
+use std::collections::BTreeMap;
 
 /// One packed adjacency entry: the label of an edge and its other endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,59 +32,85 @@ pub struct CsrEntry {
 /// An immutable CSR snapshot with both forward and reverse adjacency.
 #[derive(Debug, Clone, Default)]
 pub struct CsrGraph {
-    node_count: usize,
-    label_count: usize,
+    node_names: Vec<String>,
+    name_index: BTreeMap<String, NodeId>,
+    labels: LabelInterner,
     fwd_offsets: Vec<u32>,
     fwd_entries: Vec<CsrEntry>,
+    /// Original edge id of each forward entry (aligned with `fwd_entries`).
+    fwd_edge_ids: Vec<EdgeId>,
     rev_offsets: Vec<u32>,
     rev_entries: Vec<CsrEntry>,
+    /// Original edge id of each reverse entry (aligned with `rev_entries`).
+    rev_edge_ids: Vec<EdgeId>,
 }
 
 impl CsrGraph {
     /// Builds a CSR snapshot from a mutable [`Graph`].
     pub fn from_graph(graph: &Graph) -> Self {
-        let n = graph.node_count();
-        let m = graph.edge_count();
+        Self::from_backend(graph)
+    }
+
+    /// Builds a CSR snapshot from any backend.
+    pub fn from_backend<B: GraphBackend>(backend: &B) -> Self {
+        let n = backend.node_count();
+        let m = backend.edge_count();
+
+        let node_names: Vec<String> = backend
+            .nodes()
+            .map(|node| backend.node_name(node).to_string())
+            .collect();
+        let mut name_index = BTreeMap::new();
+        for (i, name) in node_names.iter().enumerate() {
+            name_index.entry(name.clone()).or_insert(NodeId::from(i));
+        }
 
         let mut fwd_offsets = Vec::with_capacity(n + 1);
         let mut fwd_entries = Vec::with_capacity(m);
+        let mut fwd_edge_ids = Vec::with_capacity(m);
         fwd_offsets.push(0);
-        for node in graph.nodes() {
-            for (label, target) in graph.successors(node) {
+        for node in backend.nodes() {
+            for (edge_id, edge) in backend.out_edges(node) {
                 fwd_entries.push(CsrEntry {
-                    label,
-                    node: target,
+                    label: edge.label,
+                    node: edge.target,
                 });
+                fwd_edge_ids.push(edge_id);
             }
             fwd_offsets.push(fwd_entries.len() as u32);
         }
 
         let mut rev_offsets = Vec::with_capacity(n + 1);
         let mut rev_entries = Vec::with_capacity(m);
+        let mut rev_edge_ids = Vec::with_capacity(m);
         rev_offsets.push(0);
-        for node in graph.nodes() {
-            for (label, source) in graph.predecessors(node) {
+        for node in backend.nodes() {
+            for (edge_id, edge) in backend.in_edges(node) {
                 rev_entries.push(CsrEntry {
-                    label,
-                    node: source,
+                    label: edge.label,
+                    node: edge.source,
                 });
+                rev_edge_ids.push(edge_id);
             }
             rev_offsets.push(rev_entries.len() as u32);
         }
 
         Self {
-            node_count: n,
-            label_count: graph.label_count(),
+            node_names,
+            name_index,
+            labels: backend.labels().clone(),
             fwd_offsets,
             fwd_entries,
+            fwd_edge_ids,
             rev_offsets,
             rev_entries,
+            rev_edge_ids,
         }
     }
 
     /// Number of nodes in the snapshot.
     pub fn node_count(&self) -> usize {
-        self.node_count
+        self.node_names.len()
     }
 
     /// Number of edges in the snapshot.
@@ -82,15 +120,33 @@ impl CsrGraph {
 
     /// Alphabet size of the underlying graph at snapshot time.
     pub fn label_count(&self) -> usize {
-        self.label_count
+        self.labels.len()
+    }
+
+    /// The label interner captured at snapshot time.
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// The display name of a node.
+    ///
+    /// # Panics
+    /// Panics if `node` does not belong to this snapshot.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.index()]
+    }
+
+    /// Looks up the first node bearing `name`.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
     }
 
     /// Iterates over all node identifiers.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.node_count).map(NodeId::from)
+        (0..self.node_count()).map(NodeId::from)
     }
 
-    /// Outgoing `(label, target)` entries of `node`.
+    /// Outgoing `(label, target)` entries of `node` as a contiguous slice.
     #[inline]
     pub fn out(&self, node: NodeId) -> &[CsrEntry] {
         let i = node.index();
@@ -99,7 +155,7 @@ impl CsrGraph {
         &self.fwd_entries[lo..hi]
     }
 
-    /// Incoming `(label, source)` entries of `node`.
+    /// Incoming `(label, source)` entries of `node` as a contiguous slice.
     #[inline]
     pub fn inc(&self, node: NodeId) -> &[CsrEntry] {
         let i = node.index();
@@ -119,11 +175,139 @@ impl CsrGraph {
     pub fn in_degree(&self, node: NodeId) -> usize {
         self.inc(node).len()
     }
+
+    #[inline]
+    fn fwd_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        let i = node.index();
+        self.fwd_offsets[i] as usize..self.fwd_offsets[i + 1] as usize
+    }
+
+    #[inline]
+    fn rev_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        let i = node.index();
+        self.rev_offsets[i] as usize..self.rev_offsets[i + 1] as usize
+    }
 }
 
 impl From<&Graph> for CsrGraph {
     fn from(graph: &Graph) -> Self {
         Self::from_graph(graph)
+    }
+}
+
+/// Iterator over `(label, neighbor)` pairs of a CSR slice.
+pub struct CsrNeighbors<'a> {
+    entries: std::slice::Iter<'a, CsrEntry>,
+}
+
+impl<'a> Iterator for CsrNeighbors<'a> {
+    type Item = (LabelId, NodeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<(LabelId, NodeId)> {
+        self.entries.next().map(|entry| (entry.label, entry.node))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.entries.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for CsrNeighbors<'a> {}
+
+/// Iterator over `(EdgeId, Edge)` pairs of a CSR slice, reconstructing the
+/// full edge records from the pivot node.
+pub struct CsrIncidentEdges<'a> {
+    entries: std::slice::Iter<'a, CsrEntry>,
+    ids: std::slice::Iter<'a, EdgeId>,
+    pivot: NodeId,
+    reverse: bool,
+}
+
+impl<'a> Iterator for CsrIncidentEdges<'a> {
+    type Item = (EdgeId, Edge);
+
+    #[inline]
+    fn next(&mut self) -> Option<(EdgeId, Edge)> {
+        let entry = self.entries.next()?;
+        let id = *self.ids.next().expect("edge ids aligned with entries");
+        let edge = if self.reverse {
+            Edge::new(entry.node, entry.label, self.pivot)
+        } else {
+            Edge::new(self.pivot, entry.label, entry.node)
+        };
+        Some((id, edge))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.entries.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for CsrIncidentEdges<'a> {}
+
+impl GraphBackend for CsrGraph {
+    type Neighbors<'a> = CsrNeighbors<'a>;
+    type IncidentEdges<'a> = CsrIncidentEdges<'a>;
+
+    fn node_count(&self) -> usize {
+        CsrGraph::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        CsrGraph::edge_count(self)
+    }
+
+    fn labels(&self) -> &LabelInterner {
+        CsrGraph::labels(self)
+    }
+
+    fn node_name(&self, node: NodeId) -> &str {
+        CsrGraph::node_name(self, node)
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        CsrGraph::node_by_name(self, name)
+    }
+
+    fn successors(&self, node: NodeId) -> CsrNeighbors<'_> {
+        CsrNeighbors {
+            entries: self.out(node).iter(),
+        }
+    }
+
+    fn predecessors(&self, node: NodeId) -> CsrNeighbors<'_> {
+        CsrNeighbors {
+            entries: self.inc(node).iter(),
+        }
+    }
+
+    fn out_edges(&self, node: NodeId) -> CsrIncidentEdges<'_> {
+        let range = self.fwd_range(node);
+        CsrIncidentEdges {
+            entries: self.fwd_entries[range.clone()].iter(),
+            ids: self.fwd_edge_ids[range].iter(),
+            pivot: node,
+            reverse: false,
+        }
+    }
+
+    fn in_edges(&self, node: NodeId) -> CsrIncidentEdges<'_> {
+        let range = self.rev_range(node);
+        CsrIncidentEdges {
+            entries: self.rev_entries[range.clone()].iter(),
+            ids: self.rev_edge_ids[range].iter(),
+            pivot: node,
+            reverse: true,
+        }
+    }
+
+    fn out_degree(&self, node: NodeId) -> usize {
+        CsrGraph::out_degree(self, node)
+    }
+
+    fn in_degree(&self, node: NodeId) -> usize {
+        CsrGraph::in_degree(self, node)
     }
 }
 
@@ -196,5 +380,40 @@ mod tests {
         let (g, _) = diamond();
         let csr: CsrGraph = (&g).into();
         assert_eq!(csr.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn snapshot_carries_names_and_labels() {
+        let (g, n) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_name(n[0]), "a");
+        assert_eq!(csr.node_by_name("d"), Some(n[3]));
+        assert_eq!(csr.node_by_name("missing"), None);
+        assert_eq!(csr.labels().get("x"), g.label_id("x"));
+    }
+
+    #[test]
+    fn incident_edges_preserve_original_ids() {
+        let (g, n) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let graph_out: Vec<(EdgeId, Edge)> = g.out_edges(n[0]).collect();
+        let csr_out: Vec<(EdgeId, Edge)> = GraphBackend::out_edges(&csr, n[0]).collect();
+        assert_eq!(graph_out, csr_out);
+        let graph_in: Vec<(EdgeId, Edge)> = g.in_edges(n[3]).collect();
+        let csr_in: Vec<(EdgeId, Edge)> = GraphBackend::in_edges(&csr, n[3]).collect();
+        assert_eq!(graph_in, csr_in);
+    }
+
+    #[test]
+    fn snapshot_of_a_snapshot_is_identical() {
+        let (g, _) = diamond();
+        let once = CsrGraph::from_graph(&g);
+        let twice = CsrGraph::from_backend(&once);
+        assert_eq!(once.node_count(), twice.node_count());
+        assert_eq!(once.edge_count(), twice.edge_count());
+        for node in once.nodes() {
+            assert_eq!(once.out(node), twice.out(node));
+            assert_eq!(once.inc(node), twice.inc(node));
+        }
     }
 }

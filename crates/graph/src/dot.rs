@@ -7,7 +7,7 @@
 //! with a double border, nodes revealed by the last zoom are drawn in blue,
 //! and frontier nodes carry a dashed "…" edge.
 
-use crate::graph::Graph;
+use crate::backend::GraphBackend;
 use crate::ids::NodeId;
 use crate::neighborhood::{Neighborhood, NeighborhoodDelta};
 use std::fmt::Write as _;
@@ -17,7 +17,7 @@ fn quote(name: &str) -> String {
 }
 
 /// Exports the whole graph as a DOT digraph.
-pub fn graph_to_dot(graph: &Graph, name: &str) -> String {
+pub fn graph_to_dot<B: GraphBackend>(graph: &B, name: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph {} {{", quote(name));
     let _ = writeln!(out, "  rankdir=LR;");
@@ -25,7 +25,7 @@ pub fn graph_to_dot(graph: &Graph, name: &str) -> String {
     for node in graph.nodes() {
         let _ = writeln!(out, "  {};", quote(graph.node_name(node)));
     }
-    for (_, edge) in graph.edges() {
+    for (_, edge) in graph.edges_by_source() {
         let _ = writeln!(
             out,
             "  {} -> {} [label={}];",
@@ -41,8 +41,8 @@ pub fn graph_to_dot(graph: &Graph, name: &str) -> String {
 /// Exports a neighborhood fragment as a DOT digraph, following the visual
 /// conventions of Figure 3 (see module docs).  `delta` marks the nodes
 /// revealed by the last zoom-out in blue.
-pub fn neighborhood_to_dot(
-    graph: &Graph,
+pub fn neighborhood_to_dot<B: GraphBackend>(
+    graph: &B,
     neighborhood: &Neighborhood,
     delta: Option<&NeighborhoodDelta>,
 ) -> String {
@@ -74,7 +74,11 @@ pub fn neighborhood_to_dot(
         let new_edge = delta
             .map(|d| d.added_edges.contains(edge_id))
             .unwrap_or(false);
-        let color = if new_edge { ", color=blue, fontcolor=blue" } else { "" };
+        let color = if new_edge {
+            ", color=blue, fontcolor=blue"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  {} -> {} [label={}{color}];",
@@ -101,6 +105,7 @@ pub fn neighborhood_to_dot(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
 
     fn sample() -> Graph {
         let mut g = Graph::new();

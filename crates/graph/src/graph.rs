@@ -6,6 +6,7 @@
 //! staying simple to reason about; read-heavy code converts it to a
 //! [`crate::CsrGraph`] snapshot first.
 
+use crate::backend::GraphBackend;
 use crate::ids::{EdgeId, LabelId, NodeId};
 use crate::labels::LabelInterner;
 use serde::{Deserialize, Serialize};
@@ -273,6 +274,119 @@ impl Graph {
     }
 }
 
+/// Iterator over the `(label, neighbor)` pairs of an adjacency list.
+pub struct AdjacencyNeighbors<'a> {
+    edges: &'a [Edge],
+    ids: std::slice::Iter<'a, EdgeId>,
+    reverse: bool,
+}
+
+impl<'a> Iterator for AdjacencyNeighbors<'a> {
+    type Item = (LabelId, NodeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<(LabelId, NodeId)> {
+        self.ids.next().map(|id| {
+            let edge = self.edges[id.index()];
+            if self.reverse {
+                (edge.label, edge.source)
+            } else {
+                (edge.label, edge.target)
+            }
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for AdjacencyNeighbors<'a> {}
+
+/// Iterator over the `(EdgeId, Edge)` pairs of an adjacency list.
+pub struct AdjacencyEdges<'a> {
+    edges: &'a [Edge],
+    ids: std::slice::Iter<'a, EdgeId>,
+}
+
+impl<'a> Iterator for AdjacencyEdges<'a> {
+    type Item = (EdgeId, Edge);
+
+    #[inline]
+    fn next(&mut self) -> Option<(EdgeId, Edge)> {
+        self.ids.next().map(|&id| (id, self.edges[id.index()]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for AdjacencyEdges<'a> {}
+
+impl GraphBackend for Graph {
+    type Neighbors<'a> = AdjacencyNeighbors<'a>;
+    type IncidentEdges<'a> = AdjacencyEdges<'a>;
+
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        Graph::edge_count(self)
+    }
+
+    fn labels(&self) -> &LabelInterner {
+        Graph::labels(self)
+    }
+
+    fn node_name(&self, node: NodeId) -> &str {
+        Graph::node_name(self, node)
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        Graph::node_by_name(self, name)
+    }
+
+    fn successors(&self, node: NodeId) -> AdjacencyNeighbors<'_> {
+        AdjacencyNeighbors {
+            edges: &self.edges,
+            ids: self.out_adjacency[node.index()].iter(),
+            reverse: false,
+        }
+    }
+
+    fn predecessors(&self, node: NodeId) -> AdjacencyNeighbors<'_> {
+        AdjacencyNeighbors {
+            edges: &self.edges,
+            ids: self.in_adjacency[node.index()].iter(),
+            reverse: true,
+        }
+    }
+
+    fn out_edges(&self, node: NodeId) -> AdjacencyEdges<'_> {
+        AdjacencyEdges {
+            edges: &self.edges,
+            ids: self.out_adjacency[node.index()].iter(),
+        }
+    }
+
+    fn in_edges(&self, node: NodeId) -> AdjacencyEdges<'_> {
+        AdjacencyEdges {
+            edges: &self.edges,
+            ids: self.in_adjacency[node.index()].iter(),
+        }
+    }
+
+    fn out_degree(&self, node: NodeId) -> usize {
+        Graph::out_degree(self, node)
+    }
+
+    fn in_degree(&self, node: NodeId) -> usize {
+        Graph::in_degree(self, node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,7 +496,7 @@ mod tests {
         assert_eq!(restored.node_count(), g.node_count());
         assert_eq!(restored.edge_count(), g.edge_count());
         assert_eq!(restored.node_by_name("A"), Some(a));
-        assert_eq!(restored.label_id("y").is_some(), true);
+        assert!(restored.label_id("y").is_some());
         assert_eq!(restored.in_degree(c), 2);
     }
 

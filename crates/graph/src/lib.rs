@@ -9,11 +9,13 @@
 //! learning or interaction — and exposes exactly the primitives the rest of
 //! the system needs:
 //!
+//! * [`backend::GraphBackend`] — the storage-agnostic read interface all
+//!   query layers are generic over (see its module docs for the design);
 //! * [`Graph`] — the mutable adjacency-list store with forward and reverse
 //!   adjacency, label interning and node naming;
-//! * [`csr::CsrGraph`] — an immutable, cache-friendly snapshot used by the
-//!   traversal-heavy evaluation and learning code;
-//! * [`traversal`] — BFS/DFS, distances and reachability;
+//! * [`csr::CsrGraph`] — an immutable, cache-friendly snapshot; a first-class
+//!   backend for the traversal-heavy evaluation and learning code;
+//! * [`traversal`] — BFS/DFS, distances and reachability, over any backend;
 //! * [`neighborhood`] — the *k*-neighborhood subgraphs the user is shown
 //!   (Figure 3(a)/(b) of the paper), including the frontier markers ("…")
 //!   and the delta highlighting used when zooming out;
@@ -26,7 +28,7 @@
 //! ## Example
 //!
 //! ```
-//! use gps_graph::Graph;
+//! use gps_graph::{CsrGraph, Graph, GraphBackend};
 //!
 //! let mut g = Graph::new();
 //! let n1 = g.add_node("N1");
@@ -40,11 +42,20 @@
 //! assert_eq!(g.node_count(), 3);
 //! assert_eq!(g.edge_count(), 2);
 //! assert_eq!(g.out_degree(n1), 1);
+//!
+//! // Snapshot to the immutable CSR backend: both stores satisfy
+//! // `GraphBackend`, so every query layer runs on either.
+//! let csr = CsrGraph::from_graph(&g);
+//! fn describe<B: GraphBackend>(b: &B) -> (usize, usize) {
+//!     (b.node_count(), b.edge_count())
+//! }
+//! assert_eq!(describe(&g), describe(&csr));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod csr;
 pub mod dot;
 pub mod graph;
@@ -57,6 +68,7 @@ pub mod prefix_tree;
 pub mod stats;
 pub mod traversal;
 
+pub use backend::GraphBackend;
 pub use csr::CsrGraph;
 pub use graph::{Edge, Graph};
 pub use ids::{EdgeId, LabelId, NodeId};

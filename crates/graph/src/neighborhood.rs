@@ -9,7 +9,8 @@
 //! continuation information, and [`NeighborhoodDelta`] captures the zoom
 //! highlight.
 
-use crate::graph::{Edge, Graph};
+use crate::backend::GraphBackend;
+use crate::graph::Edge;
 use crate::ids::{EdgeId, NodeId};
 use crate::traversal::{bfs, Direction};
 use std::collections::BTreeSet;
@@ -34,7 +35,7 @@ pub struct Neighborhood {
 impl Neighborhood {
     /// Extracts the neighborhood of `center` with the given `radius`
     /// (maximum number of edges from the center).
-    pub fn extract(graph: &Graph, center: NodeId, radius: u32) -> Self {
+    pub fn extract<B: GraphBackend>(graph: &B, center: NodeId, radius: u32) -> Self {
         let distances = bfs(graph, center, Some(radius), Direction::Forward);
         let mut nodes: Vec<(NodeId, u32)> = distances.reachable().collect();
         nodes.sort_by_key(|&(n, _)| n);
@@ -123,7 +124,7 @@ impl Neighborhood {
 
     /// Zooms out by one: returns the neighborhood of the same center with
     /// radius `radius + 1` together with the delta against `self`.
-    pub fn zoom_out(&self, graph: &Graph) -> (Neighborhood, NeighborhoodDelta) {
+    pub fn zoom_out<B: GraphBackend>(&self, graph: &B) -> (Neighborhood, NeighborhoodDelta) {
         let larger = Neighborhood::extract(graph, self.center, self.radius + 1);
         let delta = NeighborhoodDelta::between(self, &larger);
         (larger, delta)

@@ -7,7 +7,7 @@
 //! sequences.  Paths are walks: nodes and edges may repeat, which is why a
 //! length bound (and optionally a result cap) is always applied.
 
-use crate::graph::Graph;
+use crate::backend::GraphBackend;
 use crate::ids::{LabelId, NodeId};
 use std::collections::BTreeSet;
 
@@ -48,7 +48,10 @@ impl Path {
 
     /// The node the path ends at.
     pub fn end(&self) -> NodeId {
-        *self.nodes.last().expect("path always has at least one node")
+        *self
+            .nodes
+            .last()
+            .expect("path always has at least one node")
     }
 
     /// Extends the path by one edge.
@@ -65,13 +68,13 @@ impl Path {
     }
 
     /// Renders the word using the graph's label names, e.g. `bus·bus·cinema`.
-    pub fn render_word(&self, graph: &Graph) -> String {
+    pub fn render_word<B: GraphBackend>(&self, graph: &B) -> String {
         render_word(graph, &self.word)
     }
 }
 
 /// Renders a word using the graph's label names, joining labels with `·`.
-pub fn render_word(graph: &Graph, word: &[LabelId]) -> String {
+pub fn render_word<B: GraphBackend>(graph: &B, word: &[LabelId]) -> String {
     if word.is_empty() {
         return "ε".to_string();
     }
@@ -130,7 +133,7 @@ impl PathEnumerator {
     /// Enumerates all paths of length `1..=max_length` (plus the empty path
     /// when configured) starting at `start`, in breadth-first (shortest
     /// first) order, deterministically following edge insertion order.
-    pub fn paths_from(&self, graph: &Graph, start: NodeId) -> Vec<Path> {
+    pub fn paths_from<B: GraphBackend>(&self, graph: &B, start: NodeId) -> Vec<Path> {
         let mut result = Vec::new();
         if self.include_empty {
             result.push(Path::empty(start));
@@ -160,7 +163,7 @@ impl PathEnumerator {
     }
 
     /// The set of distinct words spelled by paths from `start`.
-    pub fn words_from(&self, graph: &Graph, start: NodeId) -> BTreeSet<Word> {
+    pub fn words_from<B: GraphBackend>(&self, graph: &B, start: NodeId) -> BTreeSet<Word> {
         self.paths_from(graph, start)
             .into_iter()
             .map(|p| p.word)
@@ -169,7 +172,7 @@ impl PathEnumerator {
 
     /// The shortest paths from `start`, grouped: for every distinct word, a
     /// single witness path (the first found in BFS order).
-    pub fn witness_paths_from(&self, graph: &Graph, start: NodeId) -> Vec<Path> {
+    pub fn witness_paths_from<B: GraphBackend>(&self, graph: &B, start: NodeId) -> Vec<Path> {
         let mut seen = BTreeSet::new();
         let mut witnesses = Vec::new();
         for path in self.paths_from(graph, start) {
@@ -184,6 +187,7 @@ impl PathEnumerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
 
     /// The Figure 1 sub-structure around N2 used in Figure 3(c):
     /// N2 -bus-> N1, N2 -bus-> N3, N2 -restaurant-> R1,
@@ -268,9 +272,7 @@ mod tests {
     #[test]
     fn max_paths_caps_enumeration() {
         let (g, n2) = n2_fragment();
-        let paths = PathEnumerator::new(6)
-            .with_max_paths(5)
-            .paths_from(&g, n2);
+        let paths = PathEnumerator::new(6).with_max_paths(5).paths_from(&g, n2);
         assert_eq!(paths.len(), 5);
     }
 

@@ -110,7 +110,10 @@ impl PrefixTree {
     }
 
     /// Children of a trie node, in label order.
-    pub fn children(&self, node: PrefixNodeId) -> impl Iterator<Item = (LabelId, PrefixNodeId)> + '_ {
+    pub fn children(
+        &self,
+        node: PrefixNodeId,
+    ) -> impl Iterator<Item = (LabelId, PrefixNodeId)> + '_ {
         self.children[node].iter().map(|(&l, &n)| (l, n))
     }
 
@@ -173,7 +176,10 @@ mod tests {
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.word_count(), 0);
         assert!(!tree.contains(&[]));
-        assert!(tree.contains_prefix(&[]), "empty word is a prefix of anything");
+        assert!(
+            tree.contains_prefix(&[]),
+            "empty word is a prefix of anything"
+        );
     }
 
     #[test]
@@ -233,7 +239,8 @@ mod tests {
 
     #[test]
     fn longest_word_prefers_length() {
-        let tree = PrefixTree::from_words(vec![vec![l(5)], vec![l(0), l(1), l(2)], vec![l(9), l(9)]]);
+        let tree =
+            PrefixTree::from_words(vec![vec![l(5)], vec![l(0), l(1), l(2)], vec![l(9), l(9)]]);
         assert_eq!(tree.longest_word(), Some(vec![l(0), l(1), l(2)]));
         assert_eq!(PrefixTree::new().longest_word(), None);
     }

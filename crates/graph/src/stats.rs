@@ -2,7 +2,7 @@
 //! connectivity.  Used by the dataset generators' self-checks and by the
 //! benchmark harness when reporting workload characteristics.
 
-use crate::graph::Graph;
+use crate::backend::GraphBackend;
 use crate::ids::LabelId;
 use crate::traversal::weakly_connected_components;
 use std::collections::BTreeMap;
@@ -34,7 +34,7 @@ pub struct GraphStats {
 
 impl GraphStats {
     /// Computes statistics for `graph`.
-    pub fn compute(graph: &Graph) -> Self {
+    pub fn compute<B: GraphBackend>(graph: &B) -> Self {
         let node_count = graph.node_count();
         let edge_count = graph.edge_count();
         let mut min_out = usize::MAX;
@@ -56,7 +56,7 @@ impl GraphStats {
             min_out = 0;
         }
         let mut label_histogram = BTreeMap::new();
-        for (_, edge) in graph.edges() {
+        for (_, edge) in graph.edges_by_source() {
             *label_histogram.entry(edge.label).or_insert(0) += 1;
         }
         Self {
@@ -95,23 +95,19 @@ impl GraphStats {
 }
 
 /// Per-label edge counts with label names resolved, for display.
-pub fn label_usage(graph: &Graph) -> Vec<(String, usize)> {
+pub fn label_usage<B: GraphBackend>(graph: &B) -> Vec<(String, usize)> {
     let stats = GraphStats::compute(graph);
     stats
         .label_histogram
         .iter()
-        .map(|(&label, &count)| {
-            (
-                graph.label_name(label).unwrap_or("?").to_string(),
-                count,
-            )
-        })
+        .map(|(&label, &count)| (graph.label_name(label).unwrap_or("?").to_string(), count))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
 
     fn sample() -> Graph {
         let mut g = Graph::new();

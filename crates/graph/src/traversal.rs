@@ -4,7 +4,7 @@
 //! ([`crate::neighborhood`]) and for the informativeness analysis in the
 //! interactive layer.
 
-use crate::graph::Graph;
+use crate::backend::GraphBackend;
 use crate::ids::NodeId;
 use std::collections::VecDeque;
 
@@ -60,8 +60,8 @@ pub enum Direction {
     Both,
 }
 
-fn neighbors<'a>(
-    graph: &'a Graph,
+fn neighbors<'a, B: GraphBackend>(
+    graph: &'a B,
     node: NodeId,
     direction: Direction,
 ) -> Box<dyn Iterator<Item = NodeId> + 'a> {
@@ -79,8 +79,8 @@ fn neighbors<'a>(
 
 /// Breadth-first search from `start`, optionally bounded by `max_depth`
 /// (number of edges), following edges in the given `direction`.
-pub fn bfs(
-    graph: &Graph,
+pub fn bfs<B: GraphBackend>(
+    graph: &B,
     start: NodeId,
     max_depth: Option<u32>,
     direction: Direction,
@@ -107,13 +107,13 @@ pub fn bfs(
 }
 
 /// Unbounded forward BFS from `start`.
-pub fn bfs_forward(graph: &Graph, start: NodeId) -> BfsDistances {
+pub fn bfs_forward<B: GraphBackend>(graph: &B, start: NodeId) -> BfsDistances {
     bfs(graph, start, None, Direction::Forward)
 }
 
 /// Returns the nodes reachable from `start` (forward direction), including
 /// `start` itself, in BFS order.
-pub fn reachable_from(graph: &Graph, start: NodeId) -> Vec<NodeId> {
+pub fn reachable_from<B: GraphBackend>(graph: &B, start: NodeId) -> Vec<NodeId> {
     let mut order = Vec::new();
     let mut visited = vec![false; graph.node_count()];
     let mut queue = VecDeque::new();
@@ -133,7 +133,7 @@ pub fn reachable_from(graph: &Graph, start: NodeId) -> Vec<NodeId> {
 
 /// Depth-first search that invokes `visit` on every node reachable from
 /// `start` in pre-order.
-pub fn dfs_preorder(graph: &Graph, start: NodeId, mut visit: impl FnMut(NodeId)) {
+pub fn dfs_preorder<B: GraphBackend>(graph: &B, start: NodeId, mut visit: impl FnMut(NodeId)) {
     let mut visited = vec![false; graph.node_count()];
     let mut stack = vec![start];
     while let Some(node) = stack.pop() {
@@ -154,7 +154,7 @@ pub fn dfs_preorder(graph: &Graph, start: NodeId, mut visit: impl FnMut(NodeId))
 
 /// Returns `true` if `target` is reachable from `source` following forward
 /// edges.
-pub fn is_reachable(graph: &Graph, source: NodeId, target: NodeId) -> bool {
+pub fn is_reachable<B: GraphBackend>(graph: &B, source: NodeId, target: NodeId) -> bool {
     if source == target {
         return true;
     }
@@ -164,7 +164,7 @@ pub fn is_reachable(graph: &Graph, source: NodeId, target: NodeId) -> bool {
 /// Weakly connected components, ignoring edge direction.  Returns one vector
 /// of node ids per component, each sorted by node id; components are sorted
 /// by their smallest node id.
-pub fn weakly_connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+pub fn weakly_connected_components<B: GraphBackend>(graph: &B) -> Vec<Vec<NodeId>> {
     let mut component = vec![usize::MAX; graph.node_count()];
     let mut components = Vec::new();
     for start in graph.nodes() {
@@ -194,6 +194,7 @@ pub fn weakly_connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
 
     /// a -> b -> c -> d, plus e isolated, plus d -> b cycle edge.
     fn chain_with_cycle() -> (Graph, Vec<NodeId>) {

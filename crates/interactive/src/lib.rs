@@ -7,6 +7,11 @@
 //! the label, prunes nodes that became uninformative, and re-learns a
 //! candidate query until a halt condition is met.
 //!
+//! Every piece is generic over [`gps_graph::GraphBackend`] (defaulting to
+//! the mutable [`gps_graph::Graph`]), so whole sessions — strategies, users,
+//! zooming, pruning and validation included — run unchanged on the immutable
+//! [`gps_graph::CsrGraph`] snapshot.
+//!
 //! * [`strategy`] — node-proposal strategies `Υ` (random, degree-based, and
 //!   the informative-paths strategy of the paper);
 //! * [`pruning`] — the uninformative-node pruning state;

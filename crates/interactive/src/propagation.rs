@@ -16,7 +16,7 @@
 //! information for the learner); they are reported so the UI can display them
 //! and so the pruning layer can skip them.
 
-use gps_graph::{Graph, NodeId, PathEnumerator, Word};
+use gps_graph::{GraphBackend, NodeId, PathEnumerator, Word};
 use gps_learner::ExampleSet;
 use gps_rpq::NegativeCoverage;
 
@@ -44,8 +44,8 @@ impl PropagatedLabels {
 /// Computes the labels implied by `examples` on `graph`.
 ///
 /// `coverage` must have been built from the same example set (its negatives).
-pub fn propagate(
-    graph: &Graph,
+pub fn propagate<B: GraphBackend>(
+    graph: &B,
     examples: &ExampleSet,
     coverage: &NegativeCoverage,
     bound: usize,
@@ -83,6 +83,7 @@ pub fn propagate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gps_graph::Graph;
 
     /// Two symmetric branches:
     /// A -x-> B -y-> C     D -x-> E -y-> F     G -z-> H
@@ -159,8 +160,7 @@ mod tests {
         let mut examples = ExampleSet::new();
         examples.set_validated_path(a, vec![x, y]);
         examples.add_negative(g.node_by_name("G").unwrap());
-        let coverage =
-            NegativeCoverage::from_negatives(&g, [g.node_by_name("G").unwrap()], 3);
+        let coverage = NegativeCoverage::from_negatives(&g, [g.node_by_name("G").unwrap()], 3);
         let propagated = propagate(&g, &examples, &coverage, 3);
         assert_eq!(
             propagated.len(),

@@ -9,7 +9,7 @@
 //! [`PruningState`] maintains this set incrementally and exposes the numbers
 //! the pruning-effectiveness experiment (E4) reports.
 
-use gps_graph::{Graph, NodeId};
+use gps_graph::{GraphBackend, NodeId};
 use gps_learner::ExampleSet;
 use gps_rpq::NegativeCoverage;
 use std::collections::BTreeSet;
@@ -39,9 +39,9 @@ impl PruningState {
     /// Recomputes the pruned set from scratch: labeled nodes plus nodes that
     /// are uninformative under the current negative coverage.  Returns the
     /// number of *newly* pruned nodes.
-    pub fn refresh(
+    pub fn refresh<B: GraphBackend>(
         &mut self,
-        graph: &Graph,
+        graph: &B,
         examples: &ExampleSet,
         coverage: &NegativeCoverage,
     ) -> usize {
@@ -70,18 +70,21 @@ impl PruningState {
     }
 
     /// The nodes that may still be proposed to the user, in id order.
-    pub fn candidates<'a>(&'a self, graph: &'a Graph) -> impl Iterator<Item = NodeId> + 'a {
+    pub fn candidates<'a, B: GraphBackend>(
+        &'a self,
+        graph: &'a B,
+    ) -> impl Iterator<Item = NodeId> + 'a {
         graph.nodes().filter(move |n| !self.is_pruned(*n))
     }
 
     /// Number of candidate (not yet pruned) nodes.
-    pub fn candidate_count(&self, graph: &Graph) -> usize {
+    pub fn candidate_count<B: GraphBackend>(&self, graph: &B) -> usize {
         self.candidates(graph).count()
     }
 
     /// Fraction of the graph's nodes that has been pruned (0.0 for an empty
     /// graph).
-    pub fn pruned_fraction(&self, graph: &Graph) -> f64 {
+    pub fn pruned_fraction<B: GraphBackend>(&self, graph: &B) -> f64 {
         if graph.node_count() == 0 {
             0.0
         } else {
@@ -93,6 +96,7 @@ impl PruningState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gps_graph::Graph;
 
     /// N5 -bus-> N6 -cinema-> C2; N5 -restaurant-> R2; N8 isolated.
     fn sample() -> Graph {

@@ -14,7 +14,7 @@ use crate::strategy::{Strategy, StrategyContext};
 use crate::user::{User, UserResponse};
 use crate::validation;
 use crate::zoom::ZoomState;
-use gps_graph::{Graph, NodeId, Word};
+use gps_graph::{Graph, GraphBackend, NodeId, Word};
 use gps_learner::{ExampleSet, Label, LearnedQuery, Learner};
 use gps_rpq::NegativeCoverage;
 use std::time::Instant;
@@ -91,10 +91,12 @@ pub struct SessionOutcome {
     pub examples: ExampleSet,
 }
 
-/// An in-progress interactive specification session.
+/// An in-progress interactive specification session over backend `B`
+/// (defaults to the mutable [`Graph`]; run sessions on a
+/// [`gps_graph::CsrGraph`] snapshot for cache-friendly traversal).
 #[derive(Debug)]
-pub struct Session<'g> {
-    graph: &'g Graph,
+pub struct Session<'g, B: GraphBackend = Graph> {
+    graph: &'g B,
     config: SessionConfig,
     examples: ExampleSet,
     coverage: NegativeCoverage,
@@ -104,9 +106,9 @@ pub struct Session<'g> {
     transcript: Vec<InteractionRecord>,
 }
 
-impl<'g> Session<'g> {
+impl<'g, B: GraphBackend> Session<'g, B> {
     /// Creates a session over `graph`.
-    pub fn new(graph: &'g Graph, config: SessionConfig) -> Self {
+    pub fn new(graph: &'g B, config: SessionConfig) -> Self {
         let coverage = NegativeCoverage::new(config.path_bound);
         let pruning = PruningState::new(config.path_bound);
         Self {
@@ -144,7 +146,7 @@ impl<'g> Session<'g> {
     /// Performs one interaction.  Returns `Some(reason)` when a halt
     /// condition fired (either before or after the interaction), `None` when
     /// the loop should continue.
-    pub fn step<S: Strategy + ?Sized, U: User + ?Sized>(
+    pub fn step<S: Strategy<B> + ?Sized, U: User<B> + ?Sized>(
         &mut self,
         strategy: &mut S,
         user: &mut U,
@@ -257,7 +259,7 @@ impl<'g> Session<'g> {
         None
     }
 
-    fn validate_path<U: User + ?Sized>(
+    fn validate_path<U: User<B> + ?Sized>(
         &mut self,
         user: &mut U,
         node: NodeId,
@@ -279,7 +281,7 @@ impl<'g> Session<'g> {
 
     /// Runs the loop to completion and consumes the session state into a
     /// [`SessionOutcome`].
-    pub fn run<S: Strategy + ?Sized, U: User + ?Sized>(
+    pub fn run<S: Strategy<B> + ?Sized, U: User<B> + ?Sized>(
         &mut self,
         strategy: &mut S,
         user: &mut U,
@@ -318,7 +320,11 @@ mod tests {
         let mut user = SimulatedUser::new(goal.clone(), &g);
         let mut session = Session::new(&g, SessionConfig::default());
         let outcome = session.run(&mut InformativePathsStrategy::default(), &mut user);
-        assert!(outcome.halt_reason.is_convergence(), "{:?}", outcome.halt_reason);
+        assert!(
+            outcome.halt_reason.is_convergence(),
+            "{:?}",
+            outcome.halt_reason
+        );
         let learned = outcome.learned.expect("a query was learned");
         assert_eq!(learned.answer.nodes(), goal.evaluate(&g).nodes());
         assert!(outcome.stats.interactions >= 1);
@@ -360,7 +366,11 @@ mod tests {
         let outcome = session.run(&mut InformativePathsStrategy::default(), &mut user);
         // N2 requires a zoom (its witness has length 3); if it was proposed,
         // the zoom counter reflects it.
-        if outcome.transcript.iter().any(|r| g.node_name(r.node) == "N2") {
+        if outcome
+            .transcript
+            .iter()
+            .any(|r| g.node_name(r.node) == "N2")
+        {
             assert!(outcome.stats.zooms >= 1);
         }
     }

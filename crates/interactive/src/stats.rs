@@ -133,8 +133,10 @@ mod tests {
 
     #[test]
     fn serde_skips_durations() {
-        let mut stats = SessionStats::default();
-        stats.interactions = 3;
+        let mut stats = SessionStats {
+            interactions: 3,
+            ..SessionStats::default()
+        };
         stats.record_interaction_time(Duration::from_secs(1));
         let json = serde_json::to_string(&stats).unwrap();
         let back: SessionStats = serde_json::from_str(&json).unwrap();

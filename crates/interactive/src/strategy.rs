@@ -15,17 +15,20 @@
 //!   the most short uncovered paths.
 
 use crate::pruning::PruningState;
-use gps_graph::{Graph, NodeId};
+use gps_graph::{Graph, GraphBackend, NodeId};
 use gps_learner::ExampleSet;
 use gps_rpq::NegativeCoverage;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Everything a strategy may look at when choosing the next node.
+///
+/// Generic over the [`GraphBackend`] the session runs on; defaults to the
+/// mutable [`Graph`] so existing call sites read naturally.
 #[derive(Debug, Clone, Copy)]
-pub struct StrategyContext<'a> {
+pub struct StrategyContext<'a, B: GraphBackend = Graph> {
     /// The graph database.
-    pub graph: &'a Graph,
+    pub graph: &'a B,
     /// The examples collected so far.
     pub examples: &'a ExampleSet,
     /// The coverage induced by the negative examples.
@@ -34,17 +37,21 @@ pub struct StrategyContext<'a> {
     pub pruning: &'a PruningState,
 }
 
-/// A node-proposal strategy.
-pub trait Strategy {
+/// A node-proposal strategy over backend `B` (defaults to [`Graph`]).
+///
+/// The provided strategies implement `Strategy<B>` for every backend, so one
+/// strategy value can drive sessions on the mutable graph and on CSR
+/// snapshots alike.
+pub trait Strategy<B: GraphBackend = Graph> {
     /// A short name used in experiment reports.
     fn name(&self) -> &'static str;
 
     /// Proposes the next node to label, or `None` when every node is either
     /// labeled or pruned.
-    fn propose(&mut self, ctx: &StrategyContext<'_>) -> Option<NodeId>;
+    fn propose(&mut self, ctx: &StrategyContext<'_, B>) -> Option<NodeId>;
 }
 
-fn candidates(ctx: &StrategyContext<'_>) -> Vec<NodeId> {
+fn candidates<B: GraphBackend>(ctx: &StrategyContext<'_, B>) -> Vec<NodeId> {
     ctx.graph
         .nodes()
         .filter(|&n| !ctx.pruning.is_pruned(n) && !ctx.examples.is_labeled(n))
@@ -73,12 +80,12 @@ impl Default for RandomStrategy {
     }
 }
 
-impl Strategy for RandomStrategy {
+impl<B: GraphBackend> Strategy<B> for RandomStrategy {
     fn name(&self) -> &'static str {
         "random"
     }
 
-    fn propose(&mut self, ctx: &StrategyContext<'_>) -> Option<NodeId> {
+    fn propose(&mut self, ctx: &StrategyContext<'_, B>) -> Option<NodeId> {
         let candidates = candidates(ctx);
         if candidates.is_empty() {
             return None;
@@ -92,12 +99,12 @@ impl Strategy for RandomStrategy {
 #[derive(Debug, Clone, Default)]
 pub struct DegreeStrategy;
 
-impl Strategy for DegreeStrategy {
+impl<B: GraphBackend> Strategy<B> for DegreeStrategy {
     fn name(&self) -> &'static str {
         "degree"
     }
 
-    fn propose(&mut self, ctx: &StrategyContext<'_>) -> Option<NodeId> {
+    fn propose(&mut self, ctx: &StrategyContext<'_, B>) -> Option<NodeId> {
         candidates(ctx)
             .into_iter()
             .max_by_key(|&n| (ctx.graph.out_degree(n), std::cmp::Reverse(n)))
@@ -126,17 +133,17 @@ impl InformativePathsStrategy {
 
     /// The informativeness score of a node: its number of uncovered words up
     /// to the bound.
-    pub fn score(&self, ctx: &StrategyContext<'_>, node: NodeId) -> usize {
+    pub fn score<B: GraphBackend>(&self, ctx: &StrategyContext<'_, B>, node: NodeId) -> usize {
         ctx.coverage.uncovered_count(ctx.graph, node)
     }
 }
 
-impl Strategy for InformativePathsStrategy {
+impl<B: GraphBackend> Strategy<B> for InformativePathsStrategy {
     fn name(&self) -> &'static str {
         "informative-paths"
     }
 
-    fn propose(&mut self, ctx: &StrategyContext<'_>) -> Option<NodeId> {
+    fn propose(&mut self, ctx: &StrategyContext<'_, B>) -> Option<NodeId> {
         candidates(ctx)
             .into_iter()
             .map(|n| (self.score(ctx, n), n))
@@ -181,8 +188,18 @@ mod tests {
         ] {
             for _ in 0..5 {
                 let proposal = strategy.propose(&ctx).unwrap();
-                assert_ne!(proposal, ids.n2, "{} proposed a labeled node", strategy.name());
-                assert_ne!(proposal, ids.n1, "{} proposed a pruned node", strategy.name());
+                assert_ne!(
+                    proposal,
+                    ids.n2,
+                    "{} proposed a labeled node",
+                    strategy.name()
+                );
+                assert_ne!(
+                    proposal,
+                    ids.n1,
+                    "{} proposed a pruned node",
+                    strategy.name()
+                );
             }
         }
     }
@@ -210,11 +227,7 @@ mod tests {
         let mut strategy = InformativePathsStrategy::default();
         let proposal = strategy.propose(&ctx).unwrap();
         // The proposal has the maximum score among all nodes.
-        let best_score = g
-            .nodes()
-            .map(|n| strategy.score(&ctx, n))
-            .max()
-            .unwrap();
+        let best_score = g.nodes().map(|n| strategy.score(&ctx, n)).max().unwrap();
         assert_eq!(strategy.score(&ctx, proposal), best_score);
         assert!(best_score > 0);
         // Facility nodes score zero.
@@ -257,9 +270,15 @@ mod tests {
 
     #[test]
     fn strategies_report_names() {
-        assert_eq!(RandomStrategy::default().name(), "random");
-        assert_eq!(DegreeStrategy.name(), "degree");
-        assert_eq!(InformativePathsStrategy::default().name(), "informative-paths");
+        assert_eq!(
+            Strategy::<Graph>::name(&RandomStrategy::default()),
+            "random"
+        );
+        assert_eq!(Strategy::<Graph>::name(&DegreeStrategy), "degree");
+        assert_eq!(
+            Strategy::<Graph>::name(&InformativePathsStrategy::default()),
+            "informative-paths"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! goal query — the oracle model used by the experiments in the companion
 //! research paper — with a configurable zooming behaviour.
 
-use gps_graph::{Graph, Neighborhood, NodeId, Word};
+use gps_graph::{Graph, GraphBackend, Neighborhood, NodeId, Word};
 use gps_learner::LearnedQuery;
 use gps_rpq::PathQuery;
 
@@ -22,22 +22,18 @@ pub enum UserResponse {
     ZoomOut,
 }
 
-/// A participant in the interactive protocol.
-pub trait User {
+/// A participant in the interactive protocol, over backend `B` (defaults to
+/// [`Graph`]).
+pub trait User<B: GraphBackend = Graph> {
     /// Asked to label `node` given the currently visible `neighborhood`.
-    fn label_node(
-        &mut self,
-        graph: &Graph,
-        node: NodeId,
-        neighborhood: &Neighborhood,
-    ) -> UserResponse;
+    fn label_node(&mut self, graph: &B, node: NodeId, neighborhood: &Neighborhood) -> UserResponse;
 
     /// Asked to validate the `suggested` word for a positive `node`, given
     /// all `candidates`; returns the word the user actually has in mind
     /// (which must be one of the candidates).
     fn validate_path(
         &mut self,
-        graph: &Graph,
+        graph: &B,
         node: NodeId,
         candidates: &[Word],
         suggested: &Word,
@@ -45,7 +41,7 @@ pub trait User {
 
     /// Asked whether the user is satisfied with the current hypothesis (an
     /// optional early stop).  The default never stops early.
-    fn satisfied_with(&mut self, _graph: &Graph, _hypothesis: &LearnedQuery) -> bool {
+    fn satisfied_with(&mut self, _graph: &B, _hypothesis: &LearnedQuery) -> bool {
         false
     }
 }
@@ -70,7 +66,7 @@ pub struct SimulatedUser {
 
 impl SimulatedUser {
     /// Creates a simulated user for `goal` on `graph`.
-    pub fn new(goal: PathQuery, graph: &Graph) -> Self {
+    pub fn new<B: GraphBackend>(goal: PathQuery, graph: &B) -> Self {
         let answer_cache = goal.evaluate(graph);
         Self {
             goal,
@@ -97,13 +93,8 @@ impl SimulatedUser {
     }
 }
 
-impl User for SimulatedUser {
-    fn label_node(
-        &mut self,
-        graph: &Graph,
-        node: NodeId,
-        neighborhood: &Neighborhood,
-    ) -> UserResponse {
+impl<B: GraphBackend> User<B> for SimulatedUser {
+    fn label_node(&mut self, graph: &B, node: NodeId, neighborhood: &Neighborhood) -> UserResponse {
         if !self.wants(node) {
             return UserResponse::Negative;
         }
@@ -124,7 +115,7 @@ impl User for SimulatedUser {
 
     fn validate_path(
         &mut self,
-        _graph: &Graph,
+        _graph: &B,
         _node: NodeId,
         candidates: &[Word],
         suggested: &Word,
@@ -137,7 +128,7 @@ impl User for SimulatedUser {
             .unwrap_or_else(|| suggested.clone())
     }
 
-    fn satisfied_with(&mut self, graph: &Graph, hypothesis: &LearnedQuery) -> bool {
+    fn satisfied_with(&mut self, graph: &B, hypothesis: &LearnedQuery) -> bool {
         // The simulated user is satisfied exactly when the hypothesis gives
         // the same answer as her goal on the whole (visible) graph.
         let goal_answer = self.goal.evaluate(graph);
@@ -178,8 +169,8 @@ impl ScriptedUser {
     }
 }
 
-impl User for ScriptedUser {
-    fn label_node(&mut self, _: &Graph, _: NodeId, _: &Neighborhood) -> UserResponse {
+impl<B: GraphBackend> User<B> for ScriptedUser {
+    fn label_node(&mut self, _: &B, _: NodeId, _: &Neighborhood) -> UserResponse {
         let response = self
             .responses
             .get(self.next_response)
@@ -189,7 +180,7 @@ impl User for ScriptedUser {
         response
     }
 
-    fn validate_path(&mut self, _: &Graph, _: NodeId, _: &[Word], suggested: &Word) -> Word {
+    fn validate_path(&mut self, _: &B, _: NodeId, _: &[Word], suggested: &Word) -> Word {
         let validation = self
             .validations
             .get(self.next_validation)

@@ -7,7 +7,7 @@
 //! whose length equals the last neighborhood radius, because the user zoomed
 //! out exactly that far before answering.
 
-use gps_graph::{Graph, NodeId, PathEnumerator, PrefixTree, Word};
+use gps_graph::{GraphBackend, NodeId, PathEnumerator, PrefixTree, Word};
 use gps_rpq::NegativeCoverage;
 
 /// The prompt shown to the user for path validation: the candidate words (as
@@ -41,8 +41,8 @@ impl PathValidationPrompt {
 ///
 /// Returns `None` when the node has no uncovered word within the radius (the
 /// node should not have been proposed in that case).
-pub fn build_prompt(
-    graph: &Graph,
+pub fn build_prompt<B: GraphBackend>(
+    graph: &B,
     node: NodeId,
     radius: usize,
     coverage: &NegativeCoverage,

@@ -6,7 +6,7 @@
 //! and the deltas, and refuses to zoom past the point where nothing new can
 //! be revealed (or past a configurable cap).
 
-use gps_graph::{Graph, Neighborhood, NeighborhoodDelta, NodeId};
+use gps_graph::{GraphBackend, Neighborhood, NeighborhoodDelta, NodeId};
 
 /// The zooming state for one proposed node.
 #[derive(Debug, Clone)]
@@ -20,7 +20,12 @@ pub struct ZoomState {
 impl ZoomState {
     /// Starts zooming on `node` with the given initial radius (the paper uses
     /// 2) and a maximum radius cap.
-    pub fn new(graph: &Graph, node: NodeId, initial_radius: u32, max_radius: u32) -> Self {
+    pub fn new<B: GraphBackend>(
+        graph: &B,
+        node: NodeId,
+        initial_radius: u32,
+        max_radius: u32,
+    ) -> Self {
         let current = Neighborhood::extract(graph, node, initial_radius);
         Self {
             node,
@@ -64,7 +69,7 @@ impl ZoomState {
 
     /// Zooms out by one ring.  Returns the delta, or `None` when zooming is
     /// no longer possible.
-    pub fn zoom_out(&mut self, graph: &Graph) -> Option<&NeighborhoodDelta> {
+    pub fn zoom_out<B: GraphBackend>(&mut self, graph: &B) -> Option<&NeighborhoodDelta> {
         if !self.can_zoom() {
             return None;
         }

@@ -5,10 +5,10 @@
 
 use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
 use gps_interactive::halt::{HaltConfig, HaltReason};
+use gps_interactive::pruning::PruningState;
 use gps_interactive::session::{Session, SessionConfig};
 use gps_interactive::strategy::{InformativePathsStrategy, Strategy, StrategyContext};
 use gps_interactive::user::{ScriptedUser, SimulatedUser, User, UserResponse};
-use gps_interactive::pruning::PruningState;
 use gps_learner::{consistency, ExampleSet, Learner};
 use gps_rpq::{NegativeCoverage, PathQuery};
 
@@ -97,8 +97,7 @@ fn with_validation_the_same_examples_seed_the_goal_paths() {
     // Build the validation prompt N2 would get at radius 3 and check the
     // simulated user corrects the suggestion to a goal-accepted word.
     let coverage = NegativeCoverage::from_negatives(&graph, [ids.n5], 4);
-    let prompt =
-        gps_interactive::validation::build_prompt(&graph, ids.n2, 3, &coverage).unwrap();
+    let prompt = gps_interactive::validation::build_prompt(&graph, ids.n2, 3, &coverage).unwrap();
     let chosen = user.validate_path(&graph, ids.n2, &prompt.candidates, &prompt.suggested);
     assert!(goal.dfa().accepts(&chosen));
 }
@@ -127,10 +126,7 @@ fn strategy_context_is_reusable_across_strategies() {
 #[test]
 fn scripted_positive_then_negative_is_recorded_in_order() {
     let (graph, _) = figure1_graph();
-    let mut user = ScriptedUser::new(
-        vec![UserResponse::Positive, UserResponse::Negative],
-        vec![],
-    );
+    let mut user = ScriptedUser::new(vec![UserResponse::Positive, UserResponse::Negative], vec![]);
     let mut strategy = InformativePathsStrategy::default();
     let config = SessionConfig {
         halt: HaltConfig {

@@ -9,13 +9,13 @@
 //! would provide through the interactive protocol with path validation.
 
 use crate::examples::ExampleSet;
-use gps_graph::Graph;
+use gps_graph::GraphBackend;
 use gps_rpq::PathQuery;
 
 /// Builds the example set a fully cooperative user would provide for `goal`
 /// on `graph`: every selected node is a positive example with its shortest
 /// witness path validated, every other node is a negative example.
-pub fn characteristic_sample(graph: &Graph, goal: &PathQuery) -> ExampleSet {
+pub fn characteristic_sample<B: GraphBackend>(graph: &B, goal: &PathQuery) -> ExampleSet {
     let answer = goal.evaluate(graph);
     let mut examples = ExampleSet::new();
     for node in graph.nodes() {
@@ -40,8 +40,8 @@ pub fn characteristic_sample(graph: &Graph, goal: &PathQuery) -> ExampleSet {
 /// `max_positives` positive and `max_negatives` negative examples (taken in
 /// node-id order).  Used by the experiments that study convergence as a
 /// function of the number of examples.
-pub fn partial_sample(
-    graph: &Graph,
+pub fn partial_sample<B: GraphBackend>(
+    graph: &B,
     goal: &PathQuery,
     max_positives: usize,
     max_negatives: usize,
@@ -66,6 +66,7 @@ pub fn partial_sample(
 mod tests {
     use super::*;
     use crate::learn::Learner;
+    use gps_graph::Graph;
 
     fn transport_graph() -> Graph {
         let mut g = Graph::new();

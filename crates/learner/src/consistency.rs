@@ -7,7 +7,7 @@
 //! bounded path is covered by negative nodes.
 
 use crate::examples::ExampleSet;
-use gps_graph::{Graph, NodeId};
+use gps_graph::{GraphBackend, NodeId};
 use gps_rpq::{NegativeCoverage, PathQuery, QueryAnswer};
 
 /// The verdict of checking a query against an example set.
@@ -29,7 +29,11 @@ impl Consistency {
 }
 
 /// Checks whether `query` is consistent with `examples` on `graph`.
-pub fn check_query(graph: &Graph, query: &PathQuery, examples: &ExampleSet) -> Consistency {
+pub fn check_query<B: GraphBackend>(
+    graph: &B,
+    query: &PathQuery,
+    examples: &ExampleSet,
+) -> Consistency {
     check_answer(&query.evaluate(graph), examples)
 }
 
@@ -64,8 +68,8 @@ pub enum Infeasibility {
 ///
 /// This is the test the static-labeling scenario uses to tell the user her
 /// labeling is inconsistent.
-pub fn check_satisfiable(
-    graph: &Graph,
+pub fn check_satisfiable<B: GraphBackend>(
+    graph: &B,
     examples: &ExampleSet,
     bound: usize,
 ) -> Option<Infeasibility> {
@@ -81,6 +85,7 @@ pub fn check_satisfiable(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gps_graph::Graph;
 
     /// N2 -bus-> N1 -tram-> N4 -cinema-> C1; N5 -bus-> N1 (so N5's only
     /// words are prefixes of bus·tram·cinema); N6 -cinema-> C2.

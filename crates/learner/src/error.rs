@@ -72,12 +72,17 @@ mod tests {
             node: NodeId::new(1),
         };
         assert!(e.to_string().contains("n1"));
-        assert!(LearnError::NoPositiveExamples.to_string().contains("positive"));
+        assert!(LearnError::NoPositiveExamples
+            .to_string()
+            .contains("positive"));
     }
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(LearnError::NoPositiveExamples, LearnError::NoPositiveExamples);
+        assert_eq!(
+            LearnError::NoPositiveExamples,
+            LearnError::NoPositiveExamples
+        );
         assert_ne!(
             LearnError::NoPositiveExamples,
             LearnError::PositiveFullyCovered {

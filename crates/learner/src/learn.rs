@@ -13,7 +13,7 @@ use crate::merge::generalize;
 use crate::path_selection::{select_paths, SelectedPaths};
 use gps_automata::state_elim::dfa_to_regex;
 use gps_automata::{Dfa, Regex};
-use gps_graph::{Graph, NodeId, PathEnumerator, Word};
+use gps_graph::{GraphBackend, NodeId, PathEnumerator, Word};
 use gps_rpq::{eval, NegativeCoverage, QueryAnswer};
 
 /// Tunable parameters of the learner.
@@ -72,7 +72,11 @@ impl Learner {
     ///   — the labeling is inconsistent within the length bound;
     /// * [`LearnError::InconsistentResult`] — the generalized query still
     ///   selects a negative node (the bound was too small to separate them).
-    pub fn learn(&self, graph: &Graph, examples: &ExampleSet) -> Result<LearnedQuery, LearnError> {
+    pub fn learn<B: GraphBackend>(
+        &self,
+        graph: &B,
+        examples: &ExampleSet,
+    ) -> Result<LearnedQuery, LearnError> {
         if examples.positive_count() == 0 {
             return Err(LearnError::NoPositiveExamples);
         }
@@ -110,7 +114,7 @@ impl Learner {
     /// The words (up to the bound) of every negative node, plus ε (a nullable
     /// hypothesis would select every node and is never a meaningful path
     /// query).
-    fn negative_words(&self, graph: &Graph, examples: &ExampleSet) -> Vec<Word> {
+    fn negative_words<B: GraphBackend>(&self, graph: &B, examples: &ExampleSet) -> Vec<Word> {
         let negatives = examples.negatives();
         let mut words: Vec<Word> = vec![Vec::new()];
         let enumerator =
@@ -128,6 +132,7 @@ impl Learner {
 mod tests {
     use super::*;
     use gps_automata::printer;
+    use gps_graph::Graph;
     use gps_rpq::PathQuery;
 
     /// The full Figure 1 graph of the paper.

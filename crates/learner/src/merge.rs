@@ -99,7 +99,7 @@ impl MergeTable {
     }
 
     /// Extracts the quotient DFA (reachable classes only, renumbered).
-    fn to_dfa(&mut self) -> Dfa {
+    fn quotient_dfa(&mut self) -> Dfa {
         let n = self.parent.len();
         // Resolve representatives.
         let reps: Vec<usize> = (0..n).map(|s| self.find(s)).collect();
@@ -167,7 +167,7 @@ pub fn generalize(positive_words: &[Word], negative_words: &[Word]) -> Dfa {
             red.push(blue);
         }
     }
-    gps_automata::minimize::minimize(&table.to_dfa())
+    gps_automata::minimize::minimize(&table.quotient_dfa())
 }
 
 /// Convenience wrapper: generalizes and also checks the stated invariants,
@@ -234,11 +234,7 @@ mod tests {
         let cinema = l(2);
         let restaurant = l(3);
         let positives = vec![vec![bus, tram, cinema], vec![cinema]];
-        let negatives = vec![
-            vec![restaurant],
-            vec![tram, restaurant],
-            vec![tram, bus],
-        ];
+        let negatives = vec![vec![restaurant], vec![tram, restaurant], vec![tram, bus]];
         let dfa = generalize(&positives, &negatives);
         // All positives accepted, no negative accepted.
         assert!(dfa.accepts(&[bus, tram, cinema]));

@@ -8,7 +8,7 @@
 
 use crate::error::LearnError;
 use crate::examples::ExampleSet;
-use gps_graph::{Graph, NodeId, PathEnumerator, Word};
+use gps_graph::{GraphBackend, NodeId, PathEnumerator, Word};
 use gps_rpq::NegativeCoverage;
 use std::collections::BTreeMap;
 
@@ -20,8 +20,8 @@ pub type SelectedPaths = BTreeMap<NodeId, Word>;
 /// * `bound` — the maximum path length considered;
 /// * validated paths recorded in `examples` take precedence over automatic
 ///   selection but are still checked against the coverage.
-pub fn select_paths(
-    graph: &Graph,
+pub fn select_paths<B: GraphBackend>(
+    graph: &B,
     examples: &ExampleSet,
     coverage: &NegativeCoverage,
     bound: usize,
@@ -45,8 +45,8 @@ pub fn select_paths(
 /// The shortest word of `node` (length ≤ `bound`) not covered by the
 /// negatives, ties broken lexicographically; `None` when every word is
 /// covered (or the node has no outgoing path at all).
-pub fn smallest_uncovered_word(
-    graph: &Graph,
+pub fn smallest_uncovered_word<B: GraphBackend>(
+    graph: &B,
     node: NodeId,
     coverage: &NegativeCoverage,
     bound: usize,
@@ -62,6 +62,7 @@ pub fn smallest_uncovered_word(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gps_graph::Graph;
 
     /// N2 -bus-> N1 -tram-> N4 -cinema-> C1; N2 -restaurant-> R1;
     /// N5 -restaurant-> R2; N6 -cinema-> C2.

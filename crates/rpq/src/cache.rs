@@ -9,7 +9,7 @@
 
 use crate::eval::{evaluate_csr, QueryAnswer};
 use gps_automata::{Dfa, Regex};
-use gps_graph::{CsrGraph, Graph};
+use gps_graph::{CsrGraph, GraphBackend};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,9 +24,9 @@ pub struct EvalCache {
 }
 
 impl EvalCache {
-    /// Creates a cache for `graph` (snapshotting it).
-    pub fn new(graph: &Graph) -> Self {
-        Self::from_csr(CsrGraph::from_graph(graph))
+    /// Creates a cache for any backend (snapshotting it).
+    pub fn new<B: GraphBackend>(graph: &B) -> Self {
+        Self::from_csr(CsrGraph::from_backend(graph))
     }
 
     /// Creates a cache from an existing CSR snapshot.

@@ -7,7 +7,7 @@
 //! negative: the goal query cannot select via that word, because it would
 //! then also select the negative node.
 
-use gps_graph::{Graph, NodeId, PathEnumerator, PrefixTree, Word};
+use gps_graph::{GraphBackend, NodeId, PathEnumerator, PrefixTree, Word};
 use std::collections::BTreeSet;
 
 /// The set of words covered by the negative examples collected so far,
@@ -30,8 +30,8 @@ impl NegativeCoverage {
     }
 
     /// Creates a coverage seeded with a set of negative nodes.
-    pub fn from_negatives(
-        graph: &Graph,
+    pub fn from_negatives<B: GraphBackend>(
+        graph: &B,
         negatives: impl IntoIterator<Item = NodeId>,
         bound: usize,
     ) -> Self {
@@ -59,7 +59,7 @@ impl NegativeCoverage {
 
     /// Records `node` as a negative example: all its words up to the bound
     /// become covered.  Returns `false` when the node was already recorded.
-    pub fn add_negative(&mut self, graph: &Graph, node: NodeId) -> bool {
+    pub fn add_negative<B: GraphBackend>(&mut self, graph: &B, node: NodeId) -> bool {
         if !self.negatives.insert(node) {
             return false;
         }
@@ -77,7 +77,7 @@ impl NegativeCoverage {
     /// The words of `node` (up to the bound) that are *not* covered — the
     /// words that could still witness the node's membership in the goal
     /// query.
-    pub fn uncovered_words(&self, graph: &Graph, node: NodeId) -> Vec<Word> {
+    pub fn uncovered_words<B: GraphBackend>(&self, graph: &B, node: NodeId) -> Vec<Word> {
         PathEnumerator::new(self.bound)
             .words_from(graph, node)
             .into_iter()
@@ -87,7 +87,7 @@ impl NegativeCoverage {
 
     /// Number of uncovered words of `node` — the informativeness score used
     /// by the practical strategy of the paper.
-    pub fn uncovered_count(&self, graph: &Graph, node: NodeId) -> usize {
+    pub fn uncovered_count<B: GraphBackend>(&self, graph: &B, node: NodeId) -> usize {
         self.uncovered_words(graph, node).len()
     }
 
@@ -95,12 +95,12 @@ impl NegativeCoverage {
     /// path of the node (up to the bound) is covered by a negative example.
     /// Nodes with no outgoing paths at all are also uninformative (there is
     /// nothing to learn from them under non-nullable goal queries).
-    pub fn is_uninformative(&self, graph: &Graph, node: NodeId) -> bool {
+    pub fn is_uninformative<B: GraphBackend>(&self, graph: &B, node: NodeId) -> bool {
         self.uncovered_count(graph, node) == 0
     }
 
     /// All uninformative nodes of the graph under the current negatives.
-    pub fn uninformative_nodes(&self, graph: &Graph) -> Vec<NodeId> {
+    pub fn uninformative_nodes<B: GraphBackend>(&self, graph: &B) -> Vec<NodeId> {
         graph
             .nodes()
             .filter(|&n| self.is_uninformative(graph, n))
@@ -111,6 +111,7 @@ impl NegativeCoverage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gps_graph::Graph;
 
     /// N5 -bus-> N6 -cinema-> C2, N5 -restaurant-> R2 ; N7 isolated.
     fn sample() -> Graph {

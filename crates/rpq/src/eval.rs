@@ -8,7 +8,7 @@
 //! start nodes), then reads off the answer for every node at once.
 
 use gps_automata::Dfa;
-use gps_graph::{CsrGraph, Graph, LabelId, NodeId};
+use gps_graph::{CsrGraph, GraphBackend, LabelId, NodeId};
 use std::collections::{BTreeMap, VecDeque};
 
 /// The set of nodes selected by a query on a graph.
@@ -33,7 +33,7 @@ impl QueryAnswer {
         self.selected
             .iter()
             .enumerate()
-            .filter_map(|(i, &sel)| sel.then(|| NodeId::from(i)))
+            .filter_map(|(i, &sel)| sel.then_some(i).map(NodeId::from))
             .collect()
     }
 
@@ -48,7 +48,7 @@ impl QueryAnswer {
     }
 
     /// Resolves the selected nodes to their display names.
-    pub fn node_names<'g>(&self, graph: &'g Graph) -> Vec<&'g str> {
+    pub fn node_names<'g, B: GraphBackend>(&self, graph: &'g B) -> Vec<&'g str> {
         self.nodes()
             .into_iter()
             .map(|n| graph.node_name(n))
@@ -56,14 +56,15 @@ impl QueryAnswer {
     }
 }
 
-/// Evaluates a query DFA on a graph (building a CSR snapshot internally).
-pub fn evaluate(graph: &Graph, dfa: &Dfa) -> QueryAnswer {
-    evaluate_csr(&CsrGraph::from_graph(graph), dfa)
-}
-
-/// Evaluates a query DFA on a CSR snapshot.
-pub fn evaluate_csr(csr: &CsrGraph, dfa: &Dfa) -> QueryAnswer {
-    let n = csr.node_count();
+/// Evaluates a query DFA on any graph backend.
+///
+/// The product fixed point iterates the backend's reverse adjacency
+/// directly; the generic parameter is monomorphized, so evaluation over a
+/// [`CsrGraph`] compiles to the same contiguous-slice scans as the previous
+/// hand-specialized CSR evaluator, while the mutable [`gps_graph::Graph`]
+/// backend works without an up-front snapshot.
+pub fn evaluate<B: GraphBackend>(graph: &B, dfa: &Dfa) -> QueryAnswer {
+    let n = GraphBackend::node_count(graph);
     let s = dfa.state_count();
     if n == 0 || s == 0 {
         return QueryAnswer::from_flags(vec![false; n]);
@@ -99,10 +100,15 @@ pub fn evaluate_csr(csr: &CsrGraph, dfa: &Dfa) -> QueryAnswer {
     while let Some((node, state)) = queue.pop_front() {
         // Group the reverse DFA transitions into `label -> predecessor
         // states` on the fly; reverse graph edges give predecessor nodes.
-        for entry in csr.inc(NodeId::from(node)) {
-            for &(label, prev_state) in &rev_dfa[state] {
-                if label == entry.label {
-                    let prev = (entry.node.index(), prev_state);
+        // States with no incoming DFA transition need no graph scan at all.
+        let rev_transitions = &rev_dfa[state];
+        if rev_transitions.is_empty() {
+            continue;
+        }
+        for (entry_label, entry_node) in graph.predecessors(NodeId::from(node)) {
+            for &(label, prev_state) in rev_transitions {
+                if label == entry_label {
+                    let prev = (entry_node.index(), prev_state);
                     if !alive[idx(prev.0, prev.1)] {
                         alive[idx(prev.0, prev.1)] = true;
                         queue.push_back(prev);
@@ -117,16 +123,32 @@ pub fn evaluate_csr(csr: &CsrGraph, dfa: &Dfa) -> QueryAnswer {
     QueryAnswer::from_flags(selected)
 }
 
-/// Evaluates several query DFAs on the same graph, sharing the CSR snapshot.
-pub fn evaluate_many(graph: &Graph, dfas: &[&Dfa]) -> Vec<QueryAnswer> {
-    let csr = CsrGraph::from_graph(graph);
-    dfas.iter().map(|dfa| evaluate_csr(&csr, dfa)).collect()
+/// Evaluates a query DFA on a CSR snapshot.
+///
+/// Kept as a named entry point for callers that already hold a snapshot;
+/// equivalent to [`evaluate`] at `B = CsrGraph`.
+pub fn evaluate_csr(csr: &CsrGraph, dfa: &Dfa) -> QueryAnswer {
+    evaluate(csr, dfa)
+}
+
+/// Evaluates several query DFAs on the same graph.
+///
+/// Since [`evaluate`] runs on any backend directly, no intermediate CSR
+/// snapshot is built — callers holding a mutable [`gps_graph::Graph`] that
+/// want snapshot-speed bulk evaluation should snapshot once themselves and
+/// pass the [`CsrGraph`].
+pub fn evaluate_many<B: GraphBackend>(graph: &B, dfas: &[&Dfa]) -> Vec<QueryAnswer> {
+    dfas.iter().map(|dfa| evaluate(graph, dfa)).collect()
 }
 
 /// Counts, for every node, the number of distinct words of length at most
 /// `bound` spelled by its outgoing paths that the DFA accepts.  This is the
 /// quantity the informative-paths strategy scores nodes with.
-pub fn accepted_word_counts(graph: &Graph, dfa: &Dfa, bound: usize) -> BTreeMap<NodeId, usize> {
+pub fn accepted_word_counts<B: GraphBackend>(
+    graph: &B,
+    dfa: &Dfa,
+    bound: usize,
+) -> BTreeMap<NodeId, usize> {
     use gps_graph::PathEnumerator;
     let enumerator = PathEnumerator::new(bound);
     graph

@@ -5,7 +5,7 @@ use crate::witness::shortest_witness;
 use gps_automata::parser::{self, ParseError};
 use gps_automata::printer;
 use gps_automata::{Dfa, Regex};
-use gps_graph::{CsrGraph, Graph, LabelInterner, NodeId, Path};
+use gps_graph::{CsrGraph, GraphBackend, LabelInterner, NodeId, Path};
 
 /// A path query: a regular expression over edge labels together with its
 /// compiled minimal DFA.
@@ -46,26 +46,27 @@ impl PathQuery {
         printer::print(&self.regex, labels)
     }
 
-    /// Evaluates the query on a graph, returning the set of selected nodes.
-    pub fn evaluate(&self, graph: &Graph) -> QueryAnswer {
-        let csr = CsrGraph::from_graph(graph);
-        self.evaluate_csr(&csr)
+    /// Evaluates the query on any graph backend, returning the set of
+    /// selected nodes.
+    pub fn evaluate<B: GraphBackend>(&self, graph: &B) -> QueryAnswer {
+        crate::eval::evaluate(graph, &self.dfa)
     }
 
-    /// Evaluates the query on a pre-built CSR snapshot (avoids rebuilding the
-    /// snapshot when many queries run on the same graph).
+    /// Evaluates the query on a pre-built CSR snapshot (equivalent to
+    /// [`PathQuery::evaluate`] at `B = CsrGraph`; kept as a named entry
+    /// point for snapshot-holding callers).
     pub fn evaluate_csr(&self, csr: &CsrGraph) -> QueryAnswer {
         evaluate_csr(csr, &self.dfa)
     }
 
     /// Returns `true` if `node` is selected by the query on `graph`.
-    pub fn selects(&self, graph: &Graph, node: NodeId) -> bool {
+    pub fn selects<B: GraphBackend>(&self, graph: &B, node: NodeId) -> bool {
         self.evaluate(graph).contains(node)
     }
 
     /// Returns a shortest witness path for `node` (a path spelling an
     /// accepted word), or `None` when the node is not selected.
-    pub fn witness(&self, graph: &Graph, node: NodeId) -> Option<Path> {
+    pub fn witness<B: GraphBackend>(&self, graph: &B, node: NodeId) -> Option<Path> {
         shortest_witness(graph, &self.dfa, node)
     }
 
@@ -86,6 +87,7 @@ impl From<Regex> for PathQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gps_graph::Graph;
 
     fn figure1_like() -> Graph {
         let mut g = Graph::new();

@@ -7,19 +7,25 @@
 //! accepting path.
 
 use gps_automata::Dfa;
-use gps_graph::{Graph, NodeId, Path};
+use gps_graph::{GraphBackend, NodeId, Path};
 use std::collections::{HashMap, VecDeque};
+
+/// A `(graph node, DFA state)` configuration of the product search.
+type Config = (NodeId, usize);
+
+/// Parent links of the product BFS: configuration → (parent, edge label).
+type ParentMap = HashMap<Config, (Config, gps_graph::LabelId)>;
 
 /// Returns a shortest path starting at `node` whose word is accepted by
 /// `dfa`, or `None` when no such path exists (the node is not selected).
-pub fn shortest_witness(graph: &Graph, dfa: &Dfa, node: NodeId) -> Option<Path> {
+pub fn shortest_witness<B: GraphBackend>(graph: &B, dfa: &Dfa, node: NodeId) -> Option<Path> {
     witness_within(graph, dfa, node, usize::MAX)
 }
 
 /// Like [`shortest_witness`] but only considers paths of length at most
 /// `max_length` edges.
-pub fn witness_within(
-    graph: &Graph,
+pub fn witness_within<B: GraphBackend>(
+    graph: &B,
     dfa: &Dfa,
     node: NodeId,
     max_length: usize,
@@ -30,9 +36,8 @@ pub fn witness_within(
     }
     // BFS over (graph node, DFA state) configurations, remembering the parent
     // configuration and the edge taken so the path can be reconstructed.
-    let mut parents: HashMap<(NodeId, usize), ((NodeId, usize), gps_graph::LabelId)> =
-        HashMap::new();
-    let mut depth: HashMap<(NodeId, usize), usize> = HashMap::new();
+    let mut parents: ParentMap = HashMap::new();
+    let mut depth: HashMap<Config, usize> = HashMap::new();
     let mut queue = VecDeque::new();
     depth.insert(start_config, 0);
     queue.push_back(start_config);
@@ -61,11 +66,7 @@ pub fn witness_within(
     None
 }
 
-fn reconstruct(
-    start: NodeId,
-    accepting: (NodeId, usize),
-    parents: &HashMap<(NodeId, usize), ((NodeId, usize), gps_graph::LabelId)>,
-) -> Path {
+fn reconstruct(start: NodeId, accepting: Config, parents: &ParentMap) -> Path {
     let mut labels = Vec::new();
     let mut nodes = vec![accepting.0];
     let mut current = accepting;
@@ -85,7 +86,7 @@ fn reconstruct(
 
 /// Returns one shortest witness per selected node, in node-id order.  Nodes
 /// that are not selected are omitted.
-pub fn all_witnesses(graph: &Graph, dfa: &Dfa) -> Vec<Path> {
+pub fn all_witnesses<B: GraphBackend>(graph: &B, dfa: &Dfa) -> Vec<Path> {
     graph
         .nodes()
         .filter_map(|node| shortest_witness(graph, dfa, node))
@@ -96,6 +97,7 @@ pub fn all_witnesses(graph: &Graph, dfa: &Dfa) -> Vec<Path> {
 mod tests {
     use super::*;
     use gps_automata::Regex;
+    use gps_graph::Graph;
 
     fn chain() -> Graph {
         // N2 -bus-> N1 -tram-> N4 -cinema-> C1, plus N2 -restaurant-> R1.

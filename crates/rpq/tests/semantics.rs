@@ -56,7 +56,7 @@ fn unbounded_repetition_is_handled_by_the_product_fixed_point() {
     let x = g.label_id("x").unwrap();
     // A long fixed word x^10: the cycle provides it even though no simple
     // path is that long.
-    let dfa = Dfa::from_regex(&Regex::word(&vec![x; 10]));
+    let dfa = Dfa::from_regex(&Regex::word(&[x; 10]));
     let answer = eval::evaluate(&g, &dfa);
     assert!(answer.contains(g.node_by_name("a").unwrap()));
     let path = witness::shortest_witness(&g, &dfa, g.node_by_name("a").unwrap()).unwrap();

@@ -62,7 +62,9 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("=== Scenario 3: interactive labeling WITH path validation ===");
-    let report = gps.interactive_with_validation(MOTIVATING_QUERY, 0).unwrap();
+    let report = gps
+        .interactive_with_validation(MOTIVATING_QUERY, 0)
+        .unwrap();
     println!(
         "goal: {}\nlearned: {}\nconsistent with labels: {}\nequals the goal answer: {}\ninteractions: {} (+{} zooms)\n",
         report.goal,

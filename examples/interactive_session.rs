@@ -8,7 +8,9 @@
 use gps_core::Transcript;
 use gps_datasets::transport::{generate, TransportConfig};
 use gps_interactive::session::{Session, SessionConfig};
-use gps_interactive::strategy::{DegreeStrategy, InformativePathsStrategy, RandomStrategy, Strategy};
+use gps_interactive::strategy::{
+    DegreeStrategy, InformativePathsStrategy, RandomStrategy, Strategy,
+};
 use gps_interactive::user::SimulatedUser;
 use gps_rpq::PathQuery;
 
@@ -52,7 +54,10 @@ fn main() {
     // claim is that proposing informative nodes minimizes user effort.
     println!("=== strategy comparison (interactions to halt) ===");
     let strategies: Vec<(&str, Box<dyn Strategy>)> = vec![
-        ("informative-paths", Box::new(InformativePathsStrategy::default())),
+        (
+            "informative-paths",
+            Box::new(InformativePathsStrategy::default()),
+        ),
         ("degree", Box::new(DegreeStrategy)),
         ("random", Box::new(RandomStrategy::seeded(1))),
     ];

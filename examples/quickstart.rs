@@ -3,23 +3,34 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use gps_core::Gps;
+use gps_core::prelude::*;
 use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
-use gps_learner::Label;
 
 fn main() {
     // 1. The graph database of Figure 1: neighborhoods, cinemas, restaurants,
     //    tram and bus lines.
     let (graph, ids) = figure1_graph();
-    println!("Figure 1 graph: {} nodes, {} edges, alphabet {{tram, bus, cinema, restaurant}}",
-        graph.node_count(), graph.edge_count());
+    println!(
+        "Figure 1 graph: {} nodes, {} edges, alphabet {{tram, bus, cinema, restaurant}}",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
-    let gps = Gps::new(graph);
+    // Build the engine through the builder: pick the strategy and the zoom
+    // options, then snapshot to the immutable CSR backend — queries,
+    // rendering and interactive sessions all run on the snapshot.
+    let gps = Engine::builder(graph)
+        .strategy(StrategyChoice::InformativePaths { bound: 3 })
+        .initial_radius(2)
+        .build_csr();
 
     // 2. Evaluate the motivating query: from which neighborhoods can one
     //    reach a cinema using public transportation?
     println!("\nq = {MOTIVATING_QUERY}");
-    println!("q(G) = {}", gps.evaluate_rendered(MOTIVATING_QUERY).unwrap());
+    println!(
+        "q(G) = {}",
+        gps.evaluate_rendered(MOTIVATING_QUERY).unwrap()
+    );
 
     // 3. The same question, asked the GPS way: label a few nodes and let the
     //    system construct the query (static-labeling scenario).
@@ -44,11 +55,19 @@ fn main() {
     }
 
     // 4. The full interactive scenario with a simulated user who has the
-    //    motivating query in mind.
-    let report = gps.interactive_with_validation(MOTIVATING_QUERY, 0).unwrap();
+    //    motivating query in mind — running entirely on the CSR backend.
+    let report = gps
+        .interactive_with_validation(MOTIVATING_QUERY, 0)
+        .unwrap();
     println!(
-        "\nInteractive session: {} interactions, {} zooms, goal reached: {}",
+        "\nInteractive session (CSR backend): {} interactions, {} zooms, goal reached: {}",
         report.interactions, report.zooms, report.goal_reached
     );
     println!("learned: {}", report.learned.unwrap_or_default());
+
+    // 5. Typed errors across every layer: one enum, one match.
+    match gps.evaluate("(bus") {
+        Err(GpsError::Parse(e)) => println!("\nparse errors are typed: {e}"),
+        other => println!("unexpected: {other:?}"),
+    }
 }

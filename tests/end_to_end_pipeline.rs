@@ -91,7 +91,9 @@ fn learned_queries_transfer_to_grown_graphs() {
     // query is a regular expression, not a set of node ids.
     let graph = io::parse_edge_list(FIGURE1_EDGE_LIST).unwrap();
     let gps = Gps::new(graph.clone());
-    let report = gps.interactive_with_validation(MOTIVATING_QUERY, 0).unwrap();
+    let report = gps
+        .interactive_with_validation(MOTIVATING_QUERY, 0)
+        .unwrap();
     let learned_syntax = report.learned.expect("learned a query");
 
     let mut grown = graph.clone();
@@ -105,7 +107,10 @@ fn learned_queries_transfer_to_grown_graphs() {
 
     let learned = PathQuery::parse(&learned_syntax, grown.labels()).unwrap();
     let answer = learned.evaluate(&grown);
-    assert!(answer.contains(n7), "new neighborhood N7 reaches a cinema by tram");
+    assert!(
+        answer.contains(n7),
+        "new neighborhood N7 reaches a cinema by tram"
+    );
     assert!(answer.contains(n8));
     assert!(!answer.contains(c3));
 }

@@ -12,7 +12,11 @@ use gps_learner::characteristic::characteristic_sample;
 use gps_learner::Learner;
 use gps_rpq::PathQuery;
 
-fn run(graph: &gps_graph::Graph, goal: &PathQuery, strategy: &mut dyn Strategy) -> gps_interactive::session::SessionOutcome {
+fn run(
+    graph: &gps_graph::Graph,
+    goal: &PathQuery,
+    strategy: &mut dyn Strategy,
+) -> gps_interactive::session::SessionOutcome {
     let mut user = SimulatedUser::new(goal.clone(), graph);
     let mut session = Session::new(graph, SessionConfig::default());
     session.run(strategy, &mut user)
@@ -104,14 +108,10 @@ fn pruning_counters_are_monotone_and_end_high() {
 fn characteristic_samples_recover_goal_behaviour_on_all_families() {
     for workload in Workload::default_suite(23) {
         // Use a cheap goal per family to keep the test fast.
-        let goal = workload
-            .queries
-            .queries
-            .iter()
-            .find(|q| {
-                let n = q.evaluate(&workload.graph).len();
-                n > 0 && n < workload.graph.node_count()
-            });
+        let goal = workload.queries.queries.iter().find(|q| {
+            let n = q.evaluate(&workload.graph).len();
+            n > 0 && n < workload.graph.node_count()
+        });
         let Some(goal) = goal else { continue };
         // Scale-free and synthetic graphs can be dense; skip the largest to
         // keep CI fast while still covering the family.

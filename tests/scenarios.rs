@@ -70,7 +70,9 @@ fn s2_without_validation_is_consistent_but_not_necessarily_the_goal() {
 fn s3_with_validation_recovers_the_goal_on_figure1() {
     let (graph, _) = figure1_graph();
     let gps = Gps::new(graph);
-    let report = gps.interactive_with_validation(MOTIVATING_QUERY, 0).unwrap();
+    let report = gps
+        .interactive_with_validation(MOTIVATING_QUERY, 0)
+        .unwrap();
     assert!(report.goal_reached);
     assert!(report.consistent_with_labels);
     assert!(report.transcript.entries.len() == report.interactions);
@@ -105,7 +107,9 @@ fn s2_and_s3_use_comparable_numbers_of_interactions() {
     let without = gps
         .interactive_without_validation(MOTIVATING_QUERY, 0)
         .unwrap();
-    let with = gps.interactive_with_validation(MOTIVATING_QUERY, 0).unwrap();
+    let with = gps
+        .interactive_with_validation(MOTIVATING_QUERY, 0)
+        .unwrap();
     // Path validation costs the user one extra click per positive node but
     // not extra *labeling* interactions.
     assert!(with.interactions <= without.interactions + 2);

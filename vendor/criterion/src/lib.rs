@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!` — as a simple wall-clock harness: each benchmark is
+//! warmed up briefly, then timed over `sample_size` batches, and the mean,
+//! minimum and maximum per-iteration times are printed.  There is no
+//! statistical analysis, HTML report or comparison against saved baselines;
+//! results are also exposed programmatically via [`Criterion::take_results`]
+//! so harness binaries can persist them.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully-qualified benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample in nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, mirroring the real
+    /// API's builder call.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_benchmark(id.to_string(), DEFAULT_SAMPLES, f);
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Drains the results collected so far (used by harness binaries that
+    /// persist baselines).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+
+/// A group of benchmarks sharing a name prefix and a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().text);
+        let result = run_benchmark(id, self.sample_size, f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmarks a function parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.text);
+        let result = run_benchmark(id, self.sample_size, |b| f(b, input));
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> Self {
+        Self {
+            text: text.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, calling it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: calibrate how many iterations fit a sample budget.
+        let calibration_start = Instant::now();
+        black_box(f());
+        let single = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = (target.as_nanos() / single.as_nanos()).clamp(1, 10_000) as u64;
+
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: String, samples: usize, mut f: F) -> BenchResult {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples,
+        durations: Vec::new(),
+    };
+    f(&mut bencher);
+    let iters = bencher.iters_per_sample.max(1) as f64;
+    let per_iter: Vec<f64> = bencher
+        .durations
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters)
+        .collect();
+    let (mean, min, max, count) = if per_iter.is_empty() {
+        (0.0, 0.0, 0.0, 0)
+    } else {
+        let sum: f64 = per_iter.iter().sum();
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        (sum / per_iter.len() as f64, min, max, per_iter.len())
+    };
+    println!(
+        "bench {id:<60} mean {:>12} min {:>12} max {:>12} ({count} samples)",
+        format_ns(mean),
+        format_ns(min),
+        format_ns(max),
+    );
+    BenchResult {
+        id,
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples: count,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic, seedable pseudo-random generator with the small
+//! API surface this workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer and float ranges, and `Rng::gen_bool`.
+//! The generator is xorshift64* seeded through splitmix64 — statistically fine
+//! for synthetic dataset generation and reproducible per seed, but it is NOT
+//! the real `StdRng` (a different stream for the same seed) and it is NOT
+//! cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open).
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling; the slight modulo bias is
+                // irrelevant for dataset generation.
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end - start) as u64 + 1;
+                start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end as i128 - start as i128) as u64 + 1;
+                (start as i128 + (rng.next_u64() % span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(isize, i64, i32, i16, i8);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Maps a random word to `[0, 1)` using the top 53 bits.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The provided generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic xorshift64* generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 turns any seed (including 0) into a well-mixed
+            // non-zero state.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            Self {
+                state: if z == 0 { 0x2545_F491_4F6C_DD1D } else { z },
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_per_seed() {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds() {
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..1000 {
+                let v = rng.gen_range(3..17usize);
+                assert!((3..17).contains(&v));
+                let f = rng.gen_range(0.0..2.5f64);
+                assert!((0.0..2.5).contains(&f));
+            }
+        }
+
+        #[test]
+        fn gen_bool_extremes() {
+            let mut rng = StdRng::seed_from_u64(1);
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! real `serde` cannot be fetched.  This crate provides the minimal subset
+//! the workspace uses: the [`Serialize`] / [`Deserialize`] traits (expressed
+//! through a self-describing [`Value`] data model rather than serde's
+//! visitor machinery), derive macros for plain structs and enums, and the
+//! `#[serde(skip)]` field attribute.  `serde_json` (also vendored) renders
+//! [`Value`] to and from JSON text.
+//!
+//! Only what the workspace needs is implemented; this is not a general
+//! replacement for serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// A self-describing value tree — the data model that connects the traits to
+/// concrete formats (JSON in `serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with string keys, preserving insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as a map key (strings verbatim, integers by their
+    /// decimal form).  Non-scalar values have no key form.
+    pub fn as_key_string(&self) -> Option<String> {
+        match self {
+            Value::Str(s) => Some(s.clone()),
+            Value::UInt(u) => Some(u.to_string()),
+            Value::Int(i) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    /// Parses a map key back into a scalar value (integers when possible).
+    pub fn from_key_str(key: &str) -> Value {
+        if let Ok(u) = key.parse::<u64>() {
+            Value::UInt(u)
+        } else if let Ok(i) = key.parse::<i64>() {
+            Value::Int(i)
+        } else {
+            Value::Str(key.to_string())
+        }
+    }
+}
+
+/// Error raised when a [`Value`] cannot be converted into the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+
+    /// Creates a "missing field" error.
+    pub fn missing_field(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+
+    /// Creates an "unexpected value shape" error.
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        DeError(format!("expected {expected}, got {got:?}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be rendered into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------------------ scalars
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::UInt(u) => <$ty>::try_from(*u)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Value::Int(i) if *i >= 0 => <$ty>::try_from(*i as u64)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    other => Err(DeError::unexpected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$ty>::try_from(*i)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Value::UInt(u) => i64::try_from(*u)
+                        .ok()
+                        .and_then(|i| <$ty>::try_from(i).ok())
+                        .ok_or_else(|| DeError::custom("integer out of range")),
+                    other => Err(DeError::unexpected("signed integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Float(f) => Ok(*f as $ty),
+                    Value::Int(i) => Ok(*i as $ty),
+                    Value::UInt(u) => Ok(*u as $ty),
+                    other => Err(DeError::unexpected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::unexpected("single-character string", other)),
+        }
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(Deserialize::from_value).collect(),
+            other => Err(DeError::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .to_value()
+                        .as_key_string()
+                        .expect("map keys must serialize to scalars");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_value(&Value::from_key_str(k))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            other => Err(DeError::unexpected("map", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .to_value()
+                    .as_key_string()
+                    .expect("map keys must serialize to scalars");
+                (key, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: Default + std::hash::BuildHasher> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = K::from_value(&Value::from_key_str(k))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            other => Err(DeError::unexpected("map", other)),
+        }
+    }
+}

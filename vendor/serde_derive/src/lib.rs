@@ -1,0 +1,383 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's `Value` data model, without depending on `syn` or
+//! `quote` (neither is available offline).  The token stream is parsed by a
+//! small hand-rolled walker supporting exactly the shapes this workspace
+//! uses:
+//!
+//! * structs with named fields (with the `#[serde(skip)]` attribute);
+//! * tuple structs with a single field (newtypes);
+//! * enums whose variants are unit or single-field tuple variants.
+//!
+//! Generated code mirrors serde_json's external representation: newtypes
+//! serialize as their inner value, unit variants as strings, and newtype
+//! variants as single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field of a braced struct.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    /// `true` when the variant carries a single tuple payload.
+    newtype: bool,
+}
+
+/// The shapes of type definitions the derive supports.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    NewtypeStruct {
+        name: String,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    field.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.newtype {
+                    arms.push_str(&format!(
+                        "{name}::{0}(inner) => ::serde::Value::Map(vec![(\"{0}\".to_string(), ::serde::Serialize::to_value(inner))]),\n",
+                        v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{0} => ::serde::Value::Str(\"{0}\".to_string()),\n",
+                        v.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in fields {
+                if field.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        field.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: match value.get(\"{0}\") {{\n\
+                             Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                             None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                                 .map_err(|_| ::serde::DeError::missing_field(\"{0}\"))?,\n\
+                         }},\n",
+                        field.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok(Self {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok(Self(::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok(Self)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut newtype_arms = String::new();
+            let mut unit_arms = String::new();
+            for v in variants {
+                if v.newtype {
+                    newtype_arms.push_str(&format!(
+                        "if let Some(inner) = value.get(\"{0}\") {{\n\
+                             return Ok({name}::{0}(::serde::Deserialize::from_value(inner)?));\n\
+                         }}\n",
+                        v.name
+                    ));
+                } else {
+                    unit_arms.push_str(&format!("\"{0}\" => return Ok({name}::{0}),\n", v.name));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         {newtype_arms}\
+                         if let ::serde::Value::Str(s) = value {{\n\
+                             match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::custom(format!(\n\
+                             \"no variant of {name} matches {{value:?}}\"\n\
+                         )))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl must parse")
+}
+
+// ----------------------------------------------------------------- parsing
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected a type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde derive does not support generic types");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(group.stream());
+                if count == 1 {
+                    Shape::NewtypeStruct { name }
+                } else {
+                    panic!("the vendored serde derive only supports single-field tuple structs");
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(group.stream()),
+            },
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Skips `#[...]` attribute groups; returns `true` when one of the skipped
+/// attributes was `#[serde(skip)]` (or any serde attribute containing a bare
+/// `skip`).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(group)) = tokens.get(*i) {
+            let text = group.stream().to_string();
+            if text.starts_with("serde") && text.contains("skip") {
+                skip = true;
+            }
+            *i += 1;
+        } else {
+            panic!("expected an attribute body after `#`");
+        }
+    }
+    skip
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)` and friends carry a parenthesized group.
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected a field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, skip });
+        // Consume the trailing comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (commas nested inside
+/// angle brackets, parentheses or brackets belong to the type).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    // Groups (parens/brackets in array or tuple types) nest commas
+    // internally, so they never terminate the type; only punctuation can.
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i32 = 0;
+    for token in &tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not introduce a new field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected a variant name, found {other:?}"),
+        };
+        i += 1;
+        let mut newtype = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(group.stream());
+                if count != 1 {
+                    panic!("variant `{name}`: only single-field tuple variants are supported");
+                }
+                newtype = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                panic!("variant `{name}`: struct variants are not supported");
+            }
+            _ => {}
+        }
+        variants.push(Variant { name, newtype });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
