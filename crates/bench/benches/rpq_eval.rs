@@ -7,10 +7,13 @@
 //! scales far beyond demo size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gps_automata::Dfa;
 use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
 use gps_datasets::scale_free::{self, ScaleFreeConfig};
 use gps_datasets::synthetic::{self, SyntheticConfig};
 use gps_datasets::transport::{self, TransportConfig};
+use gps_datasets::Workload;
+use gps_exec::BatchEvaluator;
 use gps_graph::CsrGraph;
 use gps_rpq::PathQuery;
 use std::hint::black_box;
@@ -105,11 +108,74 @@ fn bench_backend_comparison(c: &mut Criterion) {
     group.finish();
 }
 
+/// Eval-mode comparison: the naive node-at-a-time evaluator vs. the
+/// `gps-exec` frontier engine on the same CSR snapshot (single query), on
+/// the scale-free workload the PR acceptance criterion is measured on.
+fn bench_eval_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_eval/mode");
+    group.sample_size(20);
+    let sf_graph = scale_free::generate(&ScaleFreeConfig {
+        nodes: 2_000,
+        seed: 11,
+        ..ScaleFreeConfig::default()
+    });
+    let sf_syntax = format!(
+        "({}+{})*.{}",
+        sf_graph.labels().name(gps_graph::LabelId::new(0)).unwrap(),
+        sf_graph.labels().name(gps_graph::LabelId::new(1)).unwrap(),
+        sf_graph.labels().name(gps_graph::LabelId::new(2)).unwrap(),
+    );
+    let query = PathQuery::parse(&sf_syntax, sf_graph.labels()).unwrap();
+    let csr = CsrGraph::from_graph(&sf_graph);
+    let frontier = BatchEvaluator::from_csr(&csr);
+    group.bench_function("scale_free/naive", |b| {
+        b.iter(|| black_box(query.evaluate_csr(&csr)))
+    });
+    group.bench_function("scale_free/frontier", |b| {
+        b.iter(|| black_box(frontier.evaluate(query.dfa())))
+    });
+    group.finish();
+}
+
+/// Batch workload: a 16-query batch evaluated query-by-query (naive loop)
+/// vs. the shared-scratch sequential batch API vs. the scoped-thread
+/// parallel executor.
+fn bench_batch_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_eval/batch");
+    group.sample_size(10);
+    let workload = Workload::scale_free_batch(2_000, 16, 11);
+    let csr = CsrGraph::from_graph(&workload.graph);
+    let frontier = BatchEvaluator::from_csr(&csr);
+    let dfas: Vec<&Dfa> = workload.queries.queries.iter().map(|q| q.dfa()).collect();
+    let threads = BatchEvaluator::default_threads();
+    group.bench_function("naive_loop", |b| {
+        b.iter(|| {
+            black_box(
+                workload
+                    .queries
+                    .queries
+                    .iter()
+                    .map(|q| q.evaluate_csr(&csr))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.bench_function("frontier_seq", |b| {
+        b.iter(|| black_box(frontier.evaluate_many(&dfas)))
+    });
+    group.bench_function("frontier_parallel", |b| {
+        b.iter(|| black_box(frontier.evaluate_many_parallel(&dfas, threads)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_figure1,
     bench_synthetic_sizes,
     bench_query_complexity,
-    bench_backend_comparison
+    bench_backend_comparison,
+    bench_eval_modes,
+    bench_batch_workload
 );
 criterion_main!(benches);

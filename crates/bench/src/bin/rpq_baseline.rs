@@ -1,27 +1,42 @@
-//! `rpq_baseline` — records the RPQ-evaluation backend baseline.
+//! `rpq_baseline` — records the RPQ-evaluation baseline across eval modes.
 //!
-//! Times `PathQuery::evaluate` on the adjacency-list and CSR backends over
-//! the transport and scale-free datasets (the same configurations as the
-//! `rpq_eval` Criterion bench) and writes the results to `BENCH_rpq.json`
-//! in the current directory, so regressions and backend parity can be
-//! tracked across PRs.
+//! Times query evaluation on the transport and scale-free datasets across
+//! every execution mode of the system and writes the results to
+//! `BENCH_rpq.json` in the current directory, so regressions and mode
+//! speedups can be tracked across PRs:
 //!
-//! Samples for the two backends are interleaved round-robin so slow clock
-//! or thermal drift cannot bias the comparison one way.
+//! * `adjacency-naive` — node-at-a-time evaluator on the mutable store;
+//! * `csr-naive` — node-at-a-time evaluator on the CSR snapshot;
+//! * `csr-frontier` — the `gps-exec` frontier engine (planner-chosen plan);
+//! * `batch-naive-loop` / `batch-frontier-seq` / `batch-frontier-parallel`
+//!   — a multi-query batch workload evaluated query-by-query vs. through
+//!   the shared-scratch batch API vs. the scoped-thread parallel executor
+//!   (per-batch timings).
+//!
+//! Samples for the compared modes are interleaved round-robin so clock or
+//! thermal drift cannot bias the comparison one way.
 //!
 //! ```text
-//! cargo run --release -p gps-bench --bin rpq_baseline
+//! cargo run --release -p gps-bench --bin rpq_baseline [-- --smoke]
 //! ```
+//!
+//! With `--smoke` the sample counts shrink and the run *asserts* the
+//! acceptance floors (frontier beating naive on scale-free, parallel batch
+//! beating the single-query loop), exiting non-zero on a perf regression —
+//! this is the CI guard.
 
+use gps_automata::Dfa;
 use gps_datasets::scale_free::{self, ScaleFreeConfig};
 use gps_datasets::transport::{self, TransportConfig};
+use gps_datasets::Workload;
+use gps_exec::BatchEvaluator;
 use gps_graph::{CsrGraph, Graph, LabelId};
 use gps_rpq::PathQuery;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 struct Record {
-    dataset: &'static str,
+    dataset: String,
     backend: &'static str,
     nodes: usize,
     edges: usize,
@@ -30,8 +45,6 @@ struct Record {
     min_ns: f64,
     iterations: u64,
 }
-
-const SAMPLES: usize = 30;
 
 /// Calibrates an iteration count for `f` targeting ~5 ms per sample.
 fn calibrate<O>(f: &mut impl FnMut() -> O) -> u64 {
@@ -56,54 +69,132 @@ fn summarize(samples: &[f64]) -> (f64, f64) {
     (mean, min)
 }
 
-fn bench_pair(dataset: &'static str, graph: &Graph, query: &PathQuery, records: &mut Vec<Record>) {
-    let csr = CsrGraph::from_graph(graph);
-    let syntax = query.display(graph.labels());
-
-    let mut run_adjacency = || query.evaluate(graph);
-    let mut run_csr = || query.evaluate(&csr);
-
-    // Warm both paths, then interleave the timed samples.
-    let adjacency_iters = calibrate(&mut run_adjacency);
-    let csr_iters = calibrate(&mut run_csr);
-    let mut adjacency_samples = Vec::with_capacity(SAMPLES);
-    let mut csr_samples = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
-        adjacency_samples.push(sample(adjacency_iters, &mut run_adjacency));
-        csr_samples.push(sample(csr_iters, &mut run_csr));
+/// Times a set of labeled closures with interleaved (round-robin) samples
+/// and appends one record per closure.
+fn bench_group(
+    dataset: &str,
+    graph_size: (usize, usize),
+    query: &str,
+    samples: usize,
+    runners: &mut [(&'static str, &mut dyn FnMut())],
+    records: &mut Vec<Record>,
+) {
+    let iters: Vec<u64> = runners.iter_mut().map(|(_, f)| calibrate(f)).collect();
+    let mut all_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); runners.len()];
+    for _ in 0..samples {
+        for ((series, (_, f)), &iters) in all_samples.iter_mut().zip(runners.iter_mut()).zip(&iters)
+        {
+            series.push(sample(iters, f));
+        }
     }
+    for (((name, _), series), &iterations) in runners.iter().zip(&all_samples).zip(&iters) {
+        let (mean_ns, min_ns) = summarize(series);
+        records.push(Record {
+            dataset: dataset.to_string(),
+            backend: name,
+            nodes: graph_size.0,
+            edges: graph_size.1,
+            query: query.to_string(),
+            mean_ns,
+            min_ns,
+            iterations,
+        });
+    }
+}
 
-    let (mean, min) = summarize(&adjacency_samples);
-    records.push(Record {
+fn single_query_records(
+    dataset: &str,
+    graph: &Graph,
+    query: &PathQuery,
+    samples: usize,
+    records: &mut Vec<Record>,
+) {
+    let csr = CsrGraph::from_graph(graph);
+    let frontier = BatchEvaluator::from_csr(&csr);
+    let syntax = query.display(graph.labels());
+    let dfa = query.dfa();
+
+    let mut run_adjacency = || {
+        black_box(query.evaluate(graph));
+    };
+    let mut run_csr = || {
+        black_box(query.evaluate(&csr));
+    };
+    let mut run_frontier = || {
+        black_box(frontier.evaluate(dfa));
+    };
+    bench_group(
         dataset,
-        backend: "adjacency",
-        nodes: graph.node_count(),
-        edges: graph.edge_count(),
-        query: syntax.clone(),
-        mean_ns: mean,
-        min_ns: min,
-        iterations: adjacency_iters,
-    });
-    let (mean, min) = summarize(&csr_samples);
-    records.push(Record {
-        dataset,
-        backend: "csr",
-        nodes: graph.node_count(),
-        edges: graph.edge_count(),
-        query: syntax,
-        mean_ns: mean,
-        min_ns: min,
-        iterations: csr_iters,
-    });
+        (graph.node_count(), graph.edge_count()),
+        &syntax,
+        samples,
+        &mut [
+            ("adjacency-naive", &mut run_adjacency),
+            ("csr-naive", &mut run_csr),
+            ("csr-frontier", &mut run_frontier),
+        ],
+        records,
+    );
+}
+
+fn batch_records(workload: &Workload, samples: usize, threads: usize, records: &mut Vec<Record>) {
+    let csr = CsrGraph::from_graph(&workload.graph);
+    let frontier = BatchEvaluator::from_csr(&csr);
+    let dfas: Vec<&Dfa> = workload.queries.queries.iter().map(|q| q.dfa()).collect();
+
+    let mut run_loop = || {
+        black_box(
+            workload
+                .queries
+                .queries
+                .iter()
+                .map(|q| q.evaluate_csr(&csr))
+                .collect::<Vec<_>>(),
+        );
+    };
+    let mut run_seq = || {
+        black_box(frontier.evaluate_many(&dfas));
+    };
+    let mut run_parallel = || {
+        black_box(frontier.evaluate_many_parallel(&dfas, threads));
+    };
+    bench_group(
+        &workload.name,
+        (workload.graph.node_count(), workload.graph.edge_count()),
+        &format!("batch of {} queries", dfas.len()),
+        samples,
+        &mut [
+            ("batch-naive-loop", &mut run_loop),
+            ("batch-frontier-seq", &mut run_seq),
+            ("batch-frontier-parallel", &mut run_parallel),
+        ],
+        records,
+    );
+}
+
+fn mean_of(records: &[Record], dataset: &str, backend: &str) -> f64 {
+    records
+        .iter()
+        .find(|r| r.dataset == dataset && r.backend == backend)
+        .map(|r| r.mean_ns)
+        .unwrap_or(f64::NAN)
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let samples = if smoke { 8 } else { 30 };
     let mut records = Vec::new();
 
     let net = transport::generate(&TransportConfig::with_neighborhoods(600, 7));
     let transport_query = PathQuery::parse("(tram+bus)*.cinema", net.graph.labels())
         .expect("transport alphabet contains the motivating labels");
-    bench_pair("transport-600", &net.graph, &transport_query, &mut records);
+    single_query_records(
+        "transport-600",
+        &net.graph,
+        &transport_query,
+        samples,
+        &mut records,
+    );
 
     let sf = scale_free::generate(&ScaleFreeConfig {
         nodes: 2_000,
@@ -116,11 +207,15 @@ fn main() {
         sf.labels(),
     )
     .expect("scale-free alphabet has at least three labels");
-    bench_pair("scale-free-2000", &sf, &sf_query, &mut records);
+    single_query_records("scale-free-2000", &sf, &sf_query, samples, &mut records);
+
+    let batch = Workload::scale_free_batch(2_000, 16, 11);
+    let threads = BatchEvaluator::default_threads();
+    batch_records(&batch, samples, threads, &mut records);
 
     // Render the records as JSON by hand (stable field order, no extra deps).
     let mut out = String::from(
-        "{\n  \"benchmark\": \"rpq_eval_backend_baseline\",\n  \"unit\": \"ns_per_eval\",\n  \"records\": [\n",
+        "{\n  \"benchmark\": \"rpq_eval_mode_baseline\",\n  \"unit\": \"ns_per_eval\",\n  \"records\": [\n",
     );
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
@@ -138,23 +233,46 @@ fn main() {
     }
     out.push_str("  ]\n}\n");
 
-    std::fs::write("BENCH_rpq.json", &out).expect("write BENCH_rpq.json");
+    if !smoke {
+        std::fs::write("BENCH_rpq.json", &out).expect("write BENCH_rpq.json");
+    }
     println!("{out}");
 
-    // Parity check mirrors the PR acceptance criterion: CSR at parity or
-    // faster than the adjacency backend on every dataset (with a small
-    // tolerance for timer noise).
-    for pair in records.chunks(2) {
-        let (adjacency, csr) = (&pair[0], &pair[1]);
-        let ratio = csr.min_ns / adjacency.min_ns;
-        println!(
-            "{}: csr/adjacency min ratio = {ratio:.3} ({})",
-            adjacency.dataset,
-            if ratio <= 1.05 {
-                "parity or faster"
-            } else {
-                "SLOWER"
-            },
-        );
+    // Headline ratios.  The full run reports them; the smoke run (CI)
+    // asserts conservative floors so perf regressions fail the build
+    // loudly without tripping on runner noise.
+    let mut failures = Vec::new();
+    for dataset in ["transport-600", "scale-free-2000"] {
+        let naive = mean_of(&records, dataset, "csr-naive");
+        let frontier = mean_of(&records, dataset, "csr-frontier");
+        let speedup = naive / frontier;
+        println!("{dataset}: frontier speedup over csr-naive = {speedup:.2}x");
+        // Written so that a NaN (missing record — e.g. a renamed dataset or
+        // backend string) fails the guard rather than vacuously passing.
+        if smoke && dataset == "scale-free-2000" && (speedup.is_nan() || speedup < 1.3) {
+            failures.push(format!(
+                "{dataset}: frontier speedup {speedup:.2}x below the 1.3x smoke floor"
+            ));
+        }
+    }
+    let batch_name = &batch.name;
+    let naive_loop = mean_of(&records, batch_name, "batch-naive-loop");
+    let seq = mean_of(&records, batch_name, "batch-frontier-seq");
+    let parallel = mean_of(&records, batch_name, "batch-frontier-parallel");
+    println!(
+        "{batch_name}: loop/seq = {:.2}x, loop/parallel = {:.2}x ({threads} threads)",
+        naive_loop / seq,
+        naive_loop / parallel,
+    );
+    if smoke && (parallel.is_nan() || naive_loop.is_nan() || parallel >= naive_loop) {
+        failures.push(format!(
+            "{batch_name}: parallel batch ({parallel:.0} ns) not faster than the single-query loop ({naive_loop:.0} ns)"
+        ));
+    }
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("SMOKE FAILURE: {failure}");
+        }
+        std::process::exit(1);
     }
 }

@@ -119,7 +119,16 @@ fn run(args: &[String]) -> Result<String, String> {
         "stats" => {
             let [graph_spec] = expect_args(args, 1)?;
             let graph = load_graph(graph_spec)?;
-            Ok(gps_graph::stats::GraphStats::compute(&graph).summary())
+            let mut out = gps_graph::stats::GraphStats::compute(&graph).summary();
+            let label_stats = gps_graph::stats::LabelStats::compute(&graph);
+            if !label_stats.per_label.is_empty() {
+                out.push_str("\nper-label:");
+                for line in label_stats.summary_lines(&graph) {
+                    out.push_str("\n  ");
+                    out.push_str(&line);
+                }
+            }
+            Ok(out)
         }
         other => Err(format!("unknown command {other:?}")),
     }

@@ -35,6 +35,7 @@
 use crate::error::GpsError;
 use crate::render;
 use crate::scenario::{self, ScenarioReport, StaticLabelingOutcome};
+use gps_exec::BatchEvaluator;
 use gps_graph::{CsrGraph, Graph, GraphBackend, Neighborhood, NodeId, PathEnumerator, PrefixTree};
 use gps_interactive::halt::HaltConfig;
 use gps_interactive::session::{Session, SessionConfig, SessionOutcome};
@@ -44,6 +45,47 @@ use gps_interactive::strategy::{
 use gps_interactive::user::User;
 use gps_learner::{Label, Learner};
 use gps_rpq::{EvalCache, PathQuery, QueryAnswer};
+
+/// Which execution engine the facade evaluates queries with.
+///
+/// Every mode computes the *same* answers (the conformance suite asserts
+/// byte-identical results); they differ only in how the product fixed point
+/// is driven:
+///
+/// * [`Naive`](EvalMode::Naive) — the reference node-at-a-time evaluator;
+/// * [`Frontier`](EvalMode::Frontier) — the `gps-exec` set-at-a-time bitset
+///   engine with direction-aware planning (fastest single-query latency);
+/// * [`Parallel`](EvalMode::Parallel) — the frontier engine plus the scoped
+///   `std::thread` batch executor: multi-query calls such as
+///   [`Engine::evaluate_many`] fan out across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Node-at-a-time reference evaluator.
+    #[default]
+    Naive,
+    /// Frontier-based bitset engine (`gps-exec`).
+    Frontier,
+    /// Frontier engine with the parallel batch executor.
+    Parallel,
+}
+
+impl EvalMode {
+    /// Builds the evaluation cache for a snapshot under this mode.
+    fn cache_for(self, csr: CsrGraph) -> EvalCache {
+        match self {
+            EvalMode::Naive => EvalCache::from_csr(csr),
+            EvalMode::Frontier => {
+                let evaluator = BatchEvaluator::from_csr(&csr);
+                EvalCache::with_evaluator(csr, Box::new(evaluator))
+            }
+            EvalMode::Parallel => {
+                let evaluator = BatchEvaluator::from_csr(&csr)
+                    .with_parallelism(BatchEvaluator::default_threads());
+                EvalCache::with_evaluator(csr, Box::new(evaluator))
+            }
+        }
+    }
+}
 
 /// Which node-proposal strategy the engine runs interactive sessions with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +132,7 @@ pub struct GpsBuilder {
     learner: Learner,
     session: SessionConfig,
     strategy: StrategyChoice,
+    eval_mode: EvalMode,
 }
 
 impl GpsBuilder {
@@ -100,6 +143,7 @@ impl GpsBuilder {
             learner: Learner::default(),
             session: SessionConfig::default(),
             strategy: StrategyChoice::default(),
+            eval_mode: EvalMode::default(),
         }
     }
 
@@ -158,6 +202,12 @@ impl GpsBuilder {
         self
     }
 
+    /// Chooses the query execution engine (see [`EvalMode`]).
+    pub fn eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
+    }
+
     /// Replaces the whole session configuration at once, including its
     /// embedded learner (which becomes the engine's learner).
     pub fn session_config(mut self, config: SessionConfig) -> Self {
@@ -170,12 +220,13 @@ impl GpsBuilder {
     pub fn build(self) -> Engine<Graph> {
         let mut session = self.session;
         session.learner = self.learner.clone();
-        let cache = EvalCache::new(&self.graph);
+        let cache = self.eval_mode.cache_for(CsrGraph::from_graph(&self.graph));
         Engine {
             backend: self.graph,
             learner: self.learner,
             session,
             strategy: self.strategy,
+            eval_mode: self.eval_mode,
             cache,
         }
     }
@@ -188,12 +239,13 @@ impl GpsBuilder {
         session.learner = self.learner.clone();
         let backend = CsrGraph::from_graph(&self.graph);
         // Clone the snapshot into the cache rather than re-walking it.
-        let cache = EvalCache::from_csr(backend.clone());
+        let cache = self.eval_mode.cache_for(backend.clone());
         Engine {
             backend,
             learner: self.learner,
             session,
             strategy: self.strategy,
+            eval_mode: self.eval_mode,
             cache,
         }
     }
@@ -211,6 +263,7 @@ pub struct Engine<B: GraphBackend = Graph> {
     learner: Learner,
     session: SessionConfig,
     strategy: StrategyChoice,
+    eval_mode: EvalMode,
     cache: EvalCache,
 }
 
@@ -238,7 +291,8 @@ impl Engine<Graph> {
 impl<B: GraphBackend> Engine<B> {
     /// Wraps an existing backend with default options (no builder knobs).
     pub fn from_backend(backend: B) -> Self {
-        let cache = EvalCache::new(&backend);
+        let eval_mode = EvalMode::default();
+        let cache = eval_mode.cache_for(CsrGraph::from_backend(&backend));
         let learner = Learner::default();
         let session = SessionConfig {
             learner: learner.clone(),
@@ -249,6 +303,7 @@ impl<B: GraphBackend> Engine<B> {
             learner,
             session,
             strategy: StrategyChoice::default(),
+            eval_mode,
             cache,
         }
     }
@@ -278,6 +333,11 @@ impl<B: GraphBackend> Engine<B> {
         self.strategy
     }
 
+    /// The configured query execution mode.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.eval_mode
+    }
+
     /// Takes an immutable CSR snapshot of the current backend.
     pub fn snapshot(&self) -> CsrGraph {
         CsrGraph::from_backend(&self.backend)
@@ -295,6 +355,27 @@ impl<B: GraphBackend> Engine<B> {
     pub fn evaluate(&self, syntax: &str) -> Result<QueryAnswer, GpsError> {
         let query = self.parse_query(syntax)?;
         Ok((*self.cache.evaluate(query.regex())).clone())
+    }
+
+    /// Parses and evaluates a batch of queries, returning the answers in
+    /// input order.
+    ///
+    /// Cache misses are handed to the configured execution engine in one
+    /// batch call, so under [`EvalMode::Parallel`] the uncached queries fan
+    /// out across worker threads and under [`EvalMode::Frontier`] they share
+    /// one scratch allocation.
+    pub fn evaluate_many(&self, syntaxes: &[&str]) -> Result<Vec<QueryAnswer>, GpsError> {
+        let queries: Vec<PathQuery> = syntaxes
+            .iter()
+            .map(|syntax| self.parse_query(syntax))
+            .collect::<Result<_, _>>()?;
+        let regexes: Vec<&gps_automata::Regex> = queries.iter().map(|q| q.regex()).collect();
+        Ok(self
+            .cache
+            .evaluate_many(&regexes)
+            .into_iter()
+            .map(|answer| (*answer).clone())
+            .collect())
     }
 
     /// Renders the answer of a query as `{N1, N2, …}`.
@@ -544,6 +625,56 @@ mod tests {
         let engine = Engine::builder(graph).session_config(config).build();
         assert_eq!(engine.learner().path_bound, 2);
         assert_eq!(engine.session_config().learner.path_bound, 2);
+    }
+
+    #[test]
+    fn eval_modes_agree_and_reach_the_engine() {
+        let (graph, ids) = figure1_graph();
+        let naive = Engine::builder(graph.clone()).build();
+        assert_eq!(naive.eval_mode(), EvalMode::Naive, "default mode");
+        for mode in [EvalMode::Frontier, EvalMode::Parallel] {
+            let engine = Engine::builder(graph.clone()).eval_mode(mode).build();
+            assert_eq!(engine.eval_mode(), mode);
+            assert_eq!(
+                engine.evaluate(MOTIVATING_QUERY).unwrap().nodes(),
+                naive.evaluate(MOTIVATING_QUERY).unwrap().nodes(),
+                "{mode:?}"
+            );
+            let csr_engine = Engine::builder(graph.clone()).eval_mode(mode).build_csr();
+            assert!(csr_engine.evaluate("cinema").unwrap().contains(ids.n4));
+        }
+    }
+
+    #[test]
+    fn evaluate_many_matches_per_query_evaluation() {
+        let (graph, _) = figure1_graph();
+        let queries = [MOTIVATING_QUERY, "cinema", "bus", MOTIVATING_QUERY];
+        let naive = Engine::builder(graph.clone()).build();
+        let expected: Vec<Vec<NodeId>> = queries
+            .iter()
+            .map(|q| naive.evaluate(q).unwrap().nodes())
+            .collect();
+        for mode in [EvalMode::Naive, EvalMode::Frontier, EvalMode::Parallel] {
+            let engine = Engine::builder(graph.clone()).eval_mode(mode).build();
+            let answers = engine.evaluate_many(&queries).unwrap();
+            assert_eq!(answers.len(), queries.len());
+            for (answer, expected) in answers.iter().zip(&expected) {
+                assert_eq!(&answer.nodes(), expected, "{mode:?}");
+            }
+            assert!(engine.evaluate_many(&["(bus"]).is_err(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn interactive_scenarios_run_under_the_frontier_mode() {
+        let (graph, _) = figure1_graph();
+        let engine = Engine::builder(graph)
+            .eval_mode(EvalMode::Frontier)
+            .build_csr();
+        let report = engine
+            .interactive_with_validation(MOTIVATING_QUERY, 0)
+            .unwrap();
+        assert!(report.goal_reached);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod render;
 pub mod scenario;
 pub mod transcript;
 
-pub use engine::{Engine, Gps, GpsBuilder, StrategyChoice};
+pub use engine::{Engine, EvalMode, Gps, GpsBuilder, StrategyChoice};
 pub use error::GpsError;
 pub use scenario::{ScenarioReport, StaticLabelingOutcome};
 pub use transcript::Transcript;
@@ -65,13 +65,14 @@ pub use transcript::Transcript;
 /// use gps_core::prelude::*;
 /// ```
 pub mod prelude {
-    pub use crate::engine::{Engine, Gps, GpsBuilder, StrategyChoice};
+    pub use crate::engine::{Engine, EvalMode, Gps, GpsBuilder, StrategyChoice};
     pub use crate::error::GpsError;
     pub use crate::scenario::{ScenarioReport, StaticLabelingOutcome};
     pub use crate::transcript::Transcript;
+    pub use gps_exec::{BatchEvaluator, Plan};
     pub use gps_graph::{
-        CsrGraph, Edge, EdgeId, Graph, GraphBackend, LabelId, LabelInterner, Neighborhood,
-        NeighborhoodDelta, NodeId, Path, PathEnumerator, PrefixTree, Word,
+        CsrGraph, Edge, EdgeId, Graph, GraphBackend, LabelId, LabelInterner, LabelStats,
+        Neighborhood, NeighborhoodDelta, NodeId, Path, PathEnumerator, PrefixTree, Word,
     };
     pub use gps_interactive::halt::{HaltConfig, HaltReason};
     pub use gps_interactive::session::{Session, SessionConfig, SessionOutcome};

@@ -108,6 +108,43 @@ pub fn transport_workload(graph: &Graph) -> QueryWorkload {
     }
 }
 
+/// A multi-query *batch* workload of `count` structurally varied queries —
+/// the input shape of the `gps-exec` batch/parallel execution engine and of
+/// the batch benchmarks.
+///
+/// Queries are generated deterministically by rotating through the graph's
+/// alphabet and five structural templates (single label, concatenation,
+/// star-reachability, union-under-star, starred suffix), so two calls with
+/// the same graph and count produce identical workloads.
+pub fn batch_workload(graph: &Graph, count: usize) -> QueryWorkload {
+    let labels: Vec<LabelId> = graph.labels().ids().collect();
+    let mut queries = Vec::with_capacity(count);
+    if labels.is_empty() {
+        return QueryWorkload {
+            name: "batch".to_string(),
+            queries,
+        };
+    }
+    let symbol = |i: usize| Regex::symbol(labels[i % labels.len()]);
+    for i in 0..count {
+        let a = symbol(i);
+        let b = symbol(i + 1);
+        let c = symbol(i + 2);
+        let regex = match i % 5 {
+            0 => a,
+            1 => Regex::concat([a, b]),
+            2 => Regex::concat([Regex::star(a), b]),
+            3 => Regex::concat([Regex::star(Regex::union([a, b])), c]),
+            _ => Regex::concat([a, Regex::star(Regex::union([b, c]))]),
+        };
+        queries.push(PathQuery::new(regex));
+    }
+    QueryWorkload {
+        name: "batch".to_string(),
+        queries,
+    }
+}
+
 /// The biological-domain workload used against [`crate::biological`]
 /// networks: regulatory-chain queries.
 pub fn biological_workload(graph: &Graph) -> QueryWorkload {
@@ -180,6 +217,22 @@ mod tests {
         let workload = biological_workload(&g);
         assert_eq!(workload.len(), 5);
         assert_eq!(workload.name, "biological");
+    }
+
+    #[test]
+    fn batch_workload_is_deterministic_and_sized() {
+        let (g, _) = figure1_graph();
+        let w1 = batch_workload(&g, 12);
+        let w2 = batch_workload(&g, 12);
+        assert_eq!(w1.len(), 12);
+        for (a, b) in w1.queries.iter().zip(&w2.queries) {
+            assert_eq!(a.regex(), b.regex());
+        }
+        // Structural variety: more than one distinct regex shape.
+        let distinct: std::collections::BTreeSet<String> =
+            w1.queries.iter().map(|q| q.display(g.labels())).collect();
+        assert!(distinct.len() >= 5, "got {distinct:?}");
+        assert!(batch_workload(&Graph::new(), 4).is_empty());
     }
 
     #[test]

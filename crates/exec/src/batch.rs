@@ -1,0 +1,393 @@
+//! The batch execution engine — one index, many queries.
+//!
+//! [`BatchEvaluator`] snapshots a graph into the label-partitioned
+//! [`LabelIndex`] once and then serves any number of queries over it:
+//! single evaluations, shared-scratch sequential batches
+//! ([`evaluate_many`](BatchEvaluator::evaluate_many)), an opt-in scoped
+//! `std::thread` parallel batch
+//! ([`evaluate_many_parallel`](BatchEvaluator::evaluate_many_parallel)), and
+//! direction-aware multi-source membership checks
+//! ([`evaluate_sources`](BatchEvaluator::evaluate_sources)).
+//!
+//! It implements [`DfaEvaluator`], so the `gps-rpq` evaluation cache — and
+//! through it the whole `gps-core` engine, sessions, learner and coverage —
+//! runs on the frontier engine by flipping the `EvalMode` builder knob.
+
+use crate::frontier::{evaluate_with, selects_from, Scratch};
+use crate::index::LabelIndex;
+use crate::planner::{self, Plan, PlanDecision};
+use gps_automata::Dfa;
+use gps_graph::{CsrGraph, GraphBackend, LabelStats, NodeId};
+use gps_rpq::{DfaEvaluator, PathQuery, QueryAnswer};
+
+/// Source-count threshold (relative to `node_count`) below which
+/// multi-source checks run per-source forward searches instead of one global
+/// fixed point.
+const FORWARD_SOURCE_FRACTION: usize = 16;
+
+/// A frontier-based batch evaluator bound to one graph snapshot.
+#[derive(Debug, Clone)]
+pub struct BatchEvaluator {
+    index: LabelIndex,
+    stats: LabelStats,
+    plan_override: Option<Plan>,
+    parallelism: Option<usize>,
+}
+
+impl BatchEvaluator {
+    /// Indexes `graph` (one edge sweep) and builds the evaluator.
+    pub fn new<B: GraphBackend>(graph: &B) -> Self {
+        Self::from_parts(LabelIndex::from_backend(graph), LabelStats::compute(graph))
+    }
+
+    /// Builds the evaluator from a CSR snapshot via its raw packed arrays.
+    pub fn from_csr(csr: &CsrGraph) -> Self {
+        Self::from_parts(LabelIndex::from_csr(csr), LabelStats::compute(csr))
+    }
+
+    fn from_parts(index: LabelIndex, stats: LabelStats) -> Self {
+        Self {
+            index,
+            stats,
+            plan_override: None,
+            parallelism: None,
+        }
+    }
+
+    /// Forces every query onto `plan` instead of consulting the planner
+    /// (used by the differential tests and benchmarks).
+    pub fn with_plan(mut self, plan: Plan) -> Self {
+        self.plan_override = Some(plan);
+        self
+    }
+
+    /// Enables the parallel executor for batch entry points: batches are
+    /// fanned out over up to `threads` scoped worker threads.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = Some(threads.max(1));
+        self
+    }
+
+    /// The label-partitioned index the evaluator sweeps.
+    pub fn index(&self) -> &LabelIndex {
+        &self.index
+    }
+
+    /// The per-label statistics the planner consults.
+    pub fn stats(&self) -> &LabelStats {
+        &self.stats
+    }
+
+    /// The configured worker-thread count, if the parallel executor is on.
+    pub fn parallelism(&self) -> Option<usize> {
+        self.parallelism
+    }
+
+    /// The plan the evaluator would run `dfa` with, and why.
+    pub fn plan_for(&self, dfa: &Dfa) -> PlanDecision {
+        let mut decision = planner::plan(&self.stats, dfa);
+        if let Some(plan) = self.plan_override {
+            decision.plan = plan;
+        }
+        decision
+    }
+
+    /// Evaluates one compiled DFA (fresh scratch).
+    pub fn evaluate(&self, dfa: &Dfa) -> QueryAnswer {
+        let mut scratch = Scratch::default();
+        self.evaluate_scratch(dfa, &mut scratch)
+    }
+
+    /// Evaluates one parsed query.
+    pub fn evaluate_query(&self, query: &PathQuery) -> QueryAnswer {
+        self.evaluate(query.dfa())
+    }
+
+    fn evaluate_scratch(&self, dfa: &Dfa, scratch: &mut Scratch) -> QueryAnswer {
+        evaluate_with(&self.index, dfa, self.plan_for(dfa).plan, scratch)
+    }
+
+    /// Evaluates a batch sequentially, sharing one scratch allocation across
+    /// all queries (answers in input order).
+    pub fn evaluate_many(&self, dfas: &[&Dfa]) -> Vec<QueryAnswer> {
+        let mut scratch = Scratch::default();
+        dfas.iter()
+            .map(|dfa| self.evaluate_scratch(dfa, &mut scratch))
+            .collect()
+    }
+
+    /// Evaluates a batch on up to `threads` scoped worker threads, each with
+    /// its own scratch, sharing the read-only index (answers in input
+    /// order).
+    pub fn evaluate_many_parallel(&self, dfas: &[&Dfa], threads: usize) -> Vec<QueryAnswer> {
+        let threads = threads.clamp(1, dfas.len().max(1));
+        if threads == 1 {
+            return self.evaluate_many(dfas);
+        }
+        let chunk = dfas.len().div_ceil(threads);
+        let mut results = Vec::with_capacity(dfas.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = dfas
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut scratch = Scratch::default();
+                        chunk
+                            .iter()
+                            .map(|dfa| self.evaluate_scratch(dfa, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("batch worker panicked"));
+            }
+        });
+        results
+    }
+
+    /// Default worker-thread count for the parallel executor.
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Direction-aware multi-source membership: returns, for each source,
+    /// whether it is selected by `dfa`.
+    ///
+    /// A handful of sources runs as per-source *forward* searches with early
+    /// exit; source sets that are a sizable fraction of the graph fall back
+    /// to one global (reverse/bidirectional) fixed point answering them all.
+    pub fn evaluate_sources(&self, dfa: &Dfa, sources: &[NodeId]) -> Vec<bool> {
+        let n = self.index.node_count();
+        if sources.len() * FORWARD_SOURCE_FRACTION <= n {
+            sources
+                .iter()
+                .map(|&source| selects_from(&self.index, dfa, source.index()))
+                .collect()
+        } else {
+            let answer = self.evaluate(dfa);
+            sources
+                .iter()
+                .map(|&source| answer.contains(source))
+                .collect()
+        }
+    }
+
+    /// Forward early-exit membership check for one node.
+    pub fn selects(&self, dfa: &Dfa, node: NodeId) -> bool {
+        selects_from(&self.index, dfa, node.index())
+    }
+}
+
+impl DfaEvaluator for BatchEvaluator {
+    fn evaluate_dfa(&self, dfa: &Dfa) -> QueryAnswer {
+        self.evaluate(dfa)
+    }
+
+    fn evaluate_dfas(&self, dfas: &[&Dfa]) -> Vec<QueryAnswer> {
+        match self.parallelism {
+            Some(threads) if dfas.len() > 1 => self.evaluate_many_parallel(dfas, threads),
+            _ => self.evaluate_many(dfas),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_automata::Regex;
+    use gps_graph::Graph;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let n1 = g.add_node("N1");
+        let n2 = g.add_node("N2");
+        let n4 = g.add_node("N4");
+        let c1 = g.add_node("C1");
+        g.add_edge_by_name(n2, "bus", n1);
+        g.add_edge_by_name(n1, "tram", n4);
+        g.add_edge_by_name(n4, "cinema", c1);
+        g
+    }
+
+    fn queries(g: &Graph) -> Vec<Dfa> {
+        let tram = g.label_id("tram").unwrap();
+        let bus = g.label_id("bus").unwrap();
+        let cinema = g.label_id("cinema").unwrap();
+        vec![
+            Dfa::from_regex(&Regex::symbol(cinema)),
+            Dfa::from_regex(&Regex::concat([
+                Regex::star(Regex::union([Regex::symbol(tram), Regex::symbol(bus)])),
+                Regex::symbol(cinema),
+            ])),
+            Dfa::from_regex(&Regex::star(Regex::symbol(bus))),
+            Dfa::from_regex(&Regex::Empty),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_naive_per_query() {
+        let g = sample();
+        let evaluator = BatchEvaluator::new(&g);
+        let dfas = queries(&g);
+        let refs: Vec<&Dfa> = dfas.iter().collect();
+        let batch = evaluator.evaluate_many(&refs);
+        for (dfa, answer) in dfas.iter().zip(&batch) {
+            assert_eq!(*answer, gps_rpq::eval::evaluate(&g, dfa));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_in_order() {
+        let g = sample();
+        let evaluator = BatchEvaluator::new(&g);
+        let dfas = queries(&g);
+        let refs: Vec<&Dfa> = dfas.iter().collect();
+        let sequential = evaluator.evaluate_many(&refs);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                evaluator.evaluate_many_parallel(&refs, threads),
+                sequential,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn trait_batch_honors_parallelism_knob() {
+        let g = sample();
+        let dfas = queries(&g);
+        let refs: Vec<&Dfa> = dfas.iter().collect();
+        let sequential = BatchEvaluator::new(&g).evaluate_dfas(&refs);
+        let parallel = BatchEvaluator::new(&g)
+            .with_parallelism(4)
+            .evaluate_dfas(&refs);
+        assert_eq!(sequential, parallel);
+        assert_eq!(
+            BatchEvaluator::new(&g).with_parallelism(0).parallelism(),
+            Some(1),
+            "thread count is clamped to at least one"
+        );
+    }
+
+    #[test]
+    fn evaluate_sources_agrees_with_global_answer() {
+        // The 4-node sample is below the forward-path threshold for any
+        // source count, so both calls here take the global branch…
+        let g = sample();
+        let evaluator = BatchEvaluator::new(&g);
+        let dfas = queries(&g);
+        let all: Vec<NodeId> = (0..g.node_count()).map(NodeId::from).collect();
+        for dfa in &dfas {
+            let expected = evaluator.evaluate(dfa);
+            let few = evaluator.evaluate_sources(dfa, &all[..1]);
+            assert_eq!(few[0], expected.contains(all[0]));
+            let many = evaluator.evaluate_sources(dfa, &all);
+            for (node, selected) in all.iter().zip(many) {
+                assert_eq!(selected, expected.contains(*node));
+            }
+        }
+
+        // …while a chain long enough that 1 source × FORWARD_SOURCE_FRACTION
+        // fits within the node count exercises the per-source forward search.
+        let mut chain = Graph::new();
+        let nodes: Vec<NodeId> = (0..(2 * FORWARD_SOURCE_FRACTION))
+            .map(|i| chain.add_node(format!("c{i}")))
+            .collect();
+        for window in nodes.windows(2) {
+            chain.add_edge_by_name(window[0], "step", window[1]);
+        }
+        let step = chain.label_id("step").unwrap();
+        let dfa = Dfa::from_regex(&Regex::concat([
+            Regex::star(Regex::symbol(step)),
+            Regex::symbol(step),
+        ]));
+        let evaluator = BatchEvaluator::new(&chain);
+        let expected = evaluator.evaluate(&dfa);
+        let probes = [nodes[0], *nodes.last().unwrap()];
+        assert!(probes.len() * FORWARD_SOURCE_FRACTION <= chain.node_count());
+        for (node, selected) in probes.iter().zip(evaluator.evaluate_sources(&dfa, &probes)) {
+            assert_eq!(selected, expected.contains(*node), "forward path {node}");
+        }
+    }
+
+    #[test]
+    fn forced_plans_all_agree() {
+        let g = sample();
+        let dfas = queries(&g);
+        for plan in [Plan::Reverse, Plan::Forward, Plan::Bidirectional] {
+            let evaluator = BatchEvaluator::new(&g).with_plan(plan);
+            for dfa in &dfas {
+                assert_eq!(
+                    evaluator.plan_for(dfa).plan,
+                    plan,
+                    "override wins over the planner"
+                );
+                assert_eq!(evaluator.evaluate(dfa), gps_rpq::eval::evaluate(&g, dfa));
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_query_accepts_parsed_queries() {
+        let g = sample();
+        let evaluator = BatchEvaluator::new(&g);
+        let query = PathQuery::parse("(tram+bus)*.cinema", g.labels()).unwrap();
+        assert_eq!(evaluator.evaluate_query(&query), query.evaluate(&g));
+        assert!(evaluator.selects(query.dfa(), g.node_by_name("N2").unwrap()));
+        assert!(!evaluator.selects(query.dfa(), g.node_by_name("C1").unwrap()));
+    }
+
+    #[test]
+    fn from_csr_matches_from_backend() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        let a = BatchEvaluator::new(&g);
+        let b = BatchEvaluator::from_csr(&csr);
+        for dfa in queries(&g) {
+            assert_eq!(a.evaluate(&dfa), b.evaluate(&dfa));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn foreign_label_queries_match_the_naive_evaluator() {
+        // A DFA compiled against a different (larger) interner: its label ids
+        // are not in this graph's alphabet.  The naive evaluator answers
+        // normally (no transition ever fires); all frontier modes must too.
+        let g = sample();
+        let foreign = gps_graph::LabelId::new(99);
+        let dfas = [
+            Dfa::from_regex(&Regex::symbol(foreign)),
+            Dfa::from_regex(&Regex::star(Regex::symbol(foreign))),
+        ];
+        for dfa in &dfas {
+            let expected = gps_rpq::eval::evaluate(&g, dfa);
+            let evaluator = BatchEvaluator::new(&g);
+            assert_eq!(evaluator.evaluate(dfa), expected);
+            for plan in [Plan::Reverse, Plan::Forward, Plan::Bidirectional] {
+                let forced = BatchEvaluator::new(&g).with_plan(plan);
+                assert_eq!(forced.evaluate(dfa), expected, "{plan:?}");
+            }
+            for node in 0..g.node_count() {
+                assert_eq!(
+                    evaluator.selects(dfa, NodeId::from(node)),
+                    expected.contains(NodeId::from(node))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_and_empty_batch() {
+        let g = Graph::new();
+        let evaluator = BatchEvaluator::new(&g);
+        assert!(evaluator.evaluate_many(&[]).is_empty());
+        assert!(evaluator.evaluate_many_parallel(&[], 4).is_empty());
+        assert!(evaluator
+            .evaluate_sources(&Dfa::epsilon_language(), &[])
+            .is_empty());
+    }
+}

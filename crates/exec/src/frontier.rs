@@ -1,0 +1,300 @@
+//! The frontier evaluator — set-at-a-time product fixed point.
+//!
+//! Semantics are identical to `gps_rpq::eval::evaluate`: a node `v` is
+//! selected iff configuration `(v, start)` can reach an accepting
+//! configuration in the product of the graph with the query DFA.  Where the
+//! naive evaluator propagates one `(node, state)` configuration at a time
+//! through a queue, this evaluator keeps one bitset of nodes per DFA state
+//! and advances the whole frontier per DFA transition in label-partitioned
+//! slice sweeps (semi-naive/delta evaluation: only configurations discovered
+//! in round `k` are expanded in round `k+1`).
+//!
+//! Each round runs in one of two modes (see [`Plan`]):
+//!
+//! * **push** — expand the frontier backward through the reverse adjacency;
+//! * **pull** — scan still-dead configurations forward for an alive
+//!   successor.
+//!
+//! [`Plan::Bidirectional`] re-picks the cheaper mode every round from the
+//! estimated frontier/dead edge volumes, mirroring direction-optimizing BFS.
+
+use crate::bitset::FixedBitSet;
+use crate::index::{Direction, LabelIndex};
+use crate::planner::Plan;
+use gps_automata::Dfa;
+use gps_graph::LabelId;
+use gps_rpq::QueryAnswer;
+
+/// Reusable allocation for one evaluation: per-state alive/frontier/delta
+/// bitsets.  Batch callers keep one `Scratch` per worker and amortize the
+/// allocations across every query of the workload.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    alive: Vec<FixedBitSet>,
+    frontier: Vec<FixedBitSet>,
+    next: Vec<FixedBitSet>,
+}
+
+impl Scratch {
+    /// Resizes for `states` × `nodes` and clears every bit.
+    fn prepare(&mut self, states: usize, nodes: usize) {
+        for set in [&mut self.alive, &mut self.frontier, &mut self.next] {
+            set.resize_with(states, FixedBitSet::default);
+            for bits in set.iter_mut() {
+                bits.reset(nodes);
+            }
+        }
+    }
+}
+
+/// Evaluates `dfa` over `index` with the given expansion plan, reusing
+/// `scratch` for the per-state bitsets.
+pub fn evaluate_with(
+    index: &LabelIndex,
+    dfa: &Dfa,
+    plan: Plan,
+    scratch: &mut Scratch,
+) -> QueryAnswer {
+    let n = index.node_count();
+    let s = dfa.state_count();
+    if n == 0 || s == 0 {
+        return QueryAnswer::from_flags(vec![false; n]);
+    }
+    scratch.prepare(s, n);
+
+    // DFA transitions, forward (pull) and reversed (push), plus per-state
+    // mean-degree weights for the adaptive cost model.
+    let mut rev_dfa: Vec<Vec<(LabelId, usize)>> = vec![Vec::new(); s];
+    let mut fwd_dfa: Vec<Vec<(LabelId, usize)>> = vec![Vec::new(); s];
+    let mut push_weight = vec![0.0f64; s];
+    let mut pull_weight = vec![0.0f64; s];
+    let mean_degree = |label: LabelId| index.label_edge_count(label) as f64 / n as f64;
+    for state in 0..s {
+        for (label, target) in dfa.transitions_from(state) {
+            rev_dfa[target].push((label, state));
+            fwd_dfa[state].push((label, target));
+            push_weight[target] += mean_degree(label);
+            pull_weight[state] += mean_degree(label);
+        }
+    }
+
+    // Seed: every configuration whose DFA state is accepting.
+    for state in 0..s {
+        if dfa.is_accepting(state) {
+            scratch.alive[state].insert_all();
+            scratch.frontier[state].insert_all();
+        }
+    }
+
+    let start = dfa.start();
+    loop {
+        // The answer only reads `alive[start]`; once every node is selected
+        // no further round can change it.
+        if scratch.alive[start].count() == n {
+            break;
+        }
+
+        let pull = match plan {
+            Plan::Reverse => false,
+            Plan::Forward => true,
+            Plan::Bidirectional => {
+                let push_cost: f64 = (0..s)
+                    .map(|q| scratch.frontier[q].count() as f64 * push_weight[q])
+                    .sum();
+                let pull_cost: f64 = (0..s)
+                    .map(|p| (n - scratch.alive[p].count()) as f64 * pull_weight[p])
+                    .sum();
+                pull_cost < push_cost
+            }
+        };
+
+        let mut progress = false;
+        if pull {
+            // Jacobi round: read `alive`, stage discoveries in `next`.
+            for (p, transitions) in fwd_dfa.iter().enumerate() {
+                if transitions.is_empty() {
+                    continue;
+                }
+                'dead: for w in scratch.alive[p].zeros() {
+                    for &(label, q) in transitions {
+                        for &u in index.neighbors(Direction::Forward, label, w) {
+                            if scratch.alive[q].contains(u as usize) {
+                                scratch.next[p].insert(w);
+                                continue 'dead;
+                            }
+                        }
+                    }
+                }
+            }
+            for p in 0..s {
+                progress |= scratch.alive[p].union_with(&scratch.next[p]);
+            }
+        } else {
+            // Gauss-Seidel round: mark `alive` immediately, collect the
+            // delta in `next`.
+            for (q, transitions) in rev_dfa.iter().enumerate() {
+                if scratch.frontier[q].is_empty() {
+                    continue;
+                }
+                for &(label, p) in transitions {
+                    for u in scratch.frontier[q].ones() {
+                        for &w in index.neighbors(Direction::Reverse, label, u) {
+                            if scratch.alive[p].insert(w as usize) {
+                                scratch.next[p].insert(w as usize);
+                                progress = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !progress {
+            break;
+        }
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+        for bits in &mut scratch.next {
+            bits.clear();
+        }
+    }
+
+    let selected = (0..n)
+        .map(|node| scratch.alive[start].contains(node))
+        .collect();
+    QueryAnswer::from_flags(selected)
+}
+
+/// Forward single-source check: does some path from `source` spell an
+/// accepted word?  Early-exits on the first accepting configuration, so for
+/// selective queries over a handful of sources this beats the global fixed
+/// point.
+pub fn selects_from(index: &LabelIndex, dfa: &Dfa, source: usize) -> bool {
+    let n = index.node_count();
+    let s = dfa.state_count();
+    if n == 0 || s == 0 || source >= n {
+        return false;
+    }
+    if dfa.is_accepting(dfa.start()) {
+        return true;
+    }
+    let mut fwd_dfa: Vec<Vec<(LabelId, usize)>> = vec![Vec::new(); s];
+    for (state, transitions) in fwd_dfa.iter_mut().enumerate() {
+        transitions.extend(dfa.transitions_from(state));
+    }
+    let mut visited: Vec<FixedBitSet> = (0..s).map(|_| FixedBitSet::new(n)).collect();
+    let mut queue = std::collections::VecDeque::new();
+    visited[dfa.start()].insert(source);
+    queue.push_back((source, dfa.start()));
+    while let Some((node, state)) = queue.pop_front() {
+        for &(label, next_state) in &fwd_dfa[state] {
+            for &u in index.neighbors(Direction::Forward, label, node) {
+                if visited[next_state].insert(u as usize) {
+                    if dfa.is_accepting(next_state) {
+                        return true;
+                    }
+                    queue.push_back((u as usize, next_state));
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_automata::Regex;
+    use gps_graph::Graph;
+
+    fn figure1_like() -> Graph {
+        let mut g = Graph::new();
+        let n1 = g.add_node("N1");
+        let n2 = g.add_node("N2");
+        let n4 = g.add_node("N4");
+        let c1 = g.add_node("C1");
+        g.add_edge_by_name(n2, "bus", n1);
+        g.add_edge_by_name(n1, "tram", n4);
+        g.add_edge_by_name(n4, "cinema", c1);
+        g
+    }
+
+    fn motivating(g: &Graph) -> Dfa {
+        let tram = g.label_id("tram").unwrap();
+        let bus = g.label_id("bus").unwrap();
+        let cinema = g.label_id("cinema").unwrap();
+        Dfa::from_regex(&Regex::concat([
+            Regex::star(Regex::union([Regex::symbol(tram), Regex::symbol(bus)])),
+            Regex::symbol(cinema),
+        ]))
+    }
+
+    fn eval(g: &Graph, dfa: &Dfa, plan: Plan) -> QueryAnswer {
+        let index = LabelIndex::from_backend(g);
+        let mut scratch = Scratch::default();
+        evaluate_with(&index, dfa, plan, &mut scratch)
+    }
+
+    #[test]
+    fn all_plans_match_the_naive_evaluator() {
+        let g = figure1_like();
+        let dfa = motivating(&g);
+        let expected = gps_rpq::eval::evaluate(&g, &dfa);
+        for plan in [Plan::Reverse, Plan::Forward, Plan::Bidirectional] {
+            assert_eq!(eval(&g, &dfa, plan), expected, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn epsilon_selects_everything_and_empty_nothing() {
+        let g = figure1_like();
+        for plan in [Plan::Reverse, Plan::Forward, Plan::Bidirectional] {
+            let eps = eval(&g, &Dfa::from_regex(&Regex::Epsilon), plan);
+            assert_eq!(eps.len(), g.node_count(), "{plan:?}");
+            let empty = eval(&g, &Dfa::from_regex(&Regex::Empty), plan);
+            assert!(empty.is_empty(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_different_shapes() {
+        let g = figure1_like();
+        let index = LabelIndex::from_backend(&g);
+        let mut scratch = Scratch::default();
+        let big = motivating(&g);
+        let small = Dfa::from_regex(&Regex::symbol(g.label_id("cinema").unwrap()));
+        let first = evaluate_with(&index, &big, Plan::Bidirectional, &mut scratch);
+        let second = evaluate_with(&index, &small, Plan::Bidirectional, &mut scratch);
+        let third = evaluate_with(&index, &big, Plan::Bidirectional, &mut scratch);
+        assert_eq!(first, third, "scratch reuse must not leak state");
+        assert_eq!(second, gps_rpq::eval::evaluate(&g, &small));
+    }
+
+    #[test]
+    fn selects_from_agrees_with_global_answer() {
+        let g = figure1_like();
+        let dfa = motivating(&g);
+        let index = LabelIndex::from_backend(&g);
+        let expected = gps_rpq::eval::evaluate(&g, &dfa);
+        for node in 0..g.node_count() {
+            assert_eq!(
+                selects_from(&index, &dfa, node),
+                expected.contains(gps_graph::NodeId::from(node)),
+                "node {node}"
+            );
+        }
+        assert!(!selects_from(&index, &dfa, 99), "out of range is false");
+    }
+
+    #[test]
+    fn cyclic_graphs_terminate() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge_by_name(a, "x", b);
+        g.add_edge_by_name(b, "x", a);
+        let x = g.label_id("x").unwrap();
+        let dfa = Dfa::from_regex(&Regex::star(Regex::symbol(x)));
+        for plan in [Plan::Reverse, Plan::Forward, Plan::Bidirectional] {
+            assert_eq!(eval(&g, &dfa, plan).len(), 2, "{plan:?}");
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Label-partitioned CSR adjacency — the storage the frontier evaluator
+//! sweeps.
+//!
+//! The product fixed point expands one `(DFA transition, frontier)` pair at a
+//! time: *for every node `u` in the frontier of state `q`, follow exactly the
+//! edges labeled `a`*.  The general-purpose CSR interleaves all labels in one
+//! adjacency stream, so that expansion would scan (and branch on) every
+//! incident edge.  [`LabelIndex`] re-partitions both directions by label:
+//! `neighbors(direction, label, node)` is a contiguous `&[u32]` slice holding
+//! only the matching endpoints, which turns delta expansion into tight
+//! slice-and-bitset sweeps.
+
+use crate::bitset::FixedBitSet;
+use gps_graph::{CsrGraph, GraphBackend, LabelId, NodeId};
+
+/// Expansion direction through the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges source → target.
+    Forward,
+    /// Follow edges target → source.
+    Reverse,
+}
+
+/// Per-direction, per-label CSR: `offsets` has `label_count * (node_count+1)`
+/// entries; the neighbors of `(label, node)` live at
+/// `neighbors[offsets[label*(n+1)+node] .. offsets[label*(n+1)+node+1]]`.
+#[derive(Debug, Clone, Default)]
+struct DirIndex {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl DirIndex {
+    fn build(node_count: usize, label_count: usize, edges: &[(u32, u32, u32)]) -> Self {
+        // edges: (label, from, to) in the direction being built.
+        let stride = node_count + 1;
+        let mut offsets = vec![0u32; label_count * stride + 1];
+        // Count per (label, from) bucket, writing counts one slot ahead so
+        // the prefix sum leaves offsets[bucket] = start of the bucket.
+        for &(label, from, _) in edges {
+            offsets[label as usize * stride + from as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut neighbors = vec![0u32; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(label, from, to) in edges {
+            let slot = &mut cursor[label as usize * stride + from as usize];
+            neighbors[*slot as usize] = to;
+            *slot += 1;
+        }
+        Self { offsets, neighbors }
+    }
+
+    #[inline]
+    fn neighbors(&self, stride: usize, label: usize, node: usize) -> &[u32] {
+        let base = label * stride + node;
+        let lo = self.offsets[base] as usize;
+        let hi = self.offsets[base + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+}
+
+/// Label-partitioned forward and reverse adjacency of one graph snapshot.
+///
+/// Built once per graph and shared across every query of a batch (and across
+/// worker threads — the index is immutable after construction).
+#[derive(Debug, Clone, Default)]
+pub struct LabelIndex {
+    node_count: usize,
+    label_count: usize,
+    fwd: DirIndex,
+    rev: DirIndex,
+    label_edge_counts: Vec<usize>,
+}
+
+impl LabelIndex {
+    /// Builds the index from any backend by one pass over the edge set.
+    pub fn from_backend<B: GraphBackend>(graph: &B) -> Self {
+        let mut edges = Vec::with_capacity(graph.edge_count());
+        for node in graph.nodes() {
+            for (label, target) in graph.successors(node) {
+                edges.push((label.raw(), node.index() as u32, target.raw()));
+            }
+        }
+        Self::from_edges(graph.node_count(), graph.label_count(), edges)
+    }
+
+    /// Builds the index from a CSR snapshot via its raw packed arrays (no
+    /// per-node iterator dispatch).
+    pub fn from_csr(csr: &CsrGraph) -> Self {
+        let offsets = csr.fwd_offsets();
+        let entries = csr.fwd_entries();
+        let mut edges = Vec::with_capacity(entries.len());
+        for node in 0..csr.node_count() {
+            let lo = offsets[node] as usize;
+            let hi = offsets[node + 1] as usize;
+            for entry in &entries[lo..hi] {
+                edges.push((entry.label.raw(), node as u32, entry.node.raw()));
+            }
+        }
+        Self::from_edges(csr.node_count(), csr.label_count(), edges)
+    }
+
+    fn from_edges(node_count: usize, label_count: usize, edges: Vec<(u32, u32, u32)>) -> Self {
+        let mut label_edge_counts = vec![0usize; label_count];
+        for &(label, _, _) in &edges {
+            label_edge_counts[label as usize] += 1;
+        }
+        let fwd = DirIndex::build(node_count, label_count, &edges);
+        let reversed: Vec<(u32, u32, u32)> = edges
+            .into_iter()
+            .map(|(label, from, to)| (label, to, from))
+            .collect();
+        let rev = DirIndex::build(node_count, label_count, &reversed);
+        Self {
+            node_count,
+            label_count,
+            fwd,
+            rev,
+            label_edge_counts,
+        }
+    }
+
+    /// Number of nodes in the indexed graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of labels in the indexed graph's alphabet.
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// Number of edges carrying `label`.
+    pub fn label_edge_count(&self, label: LabelId) -> usize {
+        self.label_edge_counts
+            .get(label.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The `label`-neighbors of `node` in `direction` as a packed slice.
+    ///
+    /// Labels outside the indexed alphabet (a query compiled against a
+    /// different interner) and out-of-range nodes simply have no neighbors,
+    /// mirroring the naive evaluator's "undefined transition rejects"
+    /// semantics instead of panicking.
+    #[inline]
+    pub fn neighbors(&self, direction: Direction, label: LabelId, node: usize) -> &[u32] {
+        if label.index() >= self.label_count || node >= self.node_count {
+            return &[];
+        }
+        let stride = self.node_count + 1;
+        match direction {
+            Direction::Forward => self.fwd.neighbors(stride, label.index(), node),
+            Direction::Reverse => self.rev.neighbors(stride, label.index(), node),
+        }
+    }
+
+    /// Marks in `out` every `label`-neighbor (in `direction`) of every node
+    /// of `frontier`, returning how many bits were newly set in `out`.
+    pub fn expand_into(
+        &self,
+        direction: Direction,
+        label: LabelId,
+        frontier: &FixedBitSet,
+        out: &mut FixedBitSet,
+    ) -> usize {
+        let mut fresh = 0;
+        for node in frontier.ones() {
+            for &neighbor in self.neighbors(direction, label, node) {
+                fresh += out.insert(neighbor as usize) as usize;
+            }
+        }
+        fresh
+    }
+}
+
+/// Convenience: the `label`-successors of `node` as typed ids (test helper).
+pub fn successor_ids(index: &LabelIndex, label: LabelId, node: NodeId) -> Vec<NodeId> {
+    index
+        .neighbors(Direction::Forward, label, node.index())
+        .iter()
+        .map(|&n| NodeId::new(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_graph::Graph;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge_by_name(a, "x", b);
+        g.add_edge_by_name(a, "y", c);
+        g.add_edge_by_name(b, "x", c);
+        g.add_edge_by_name(c, "x", a);
+        g
+    }
+
+    #[test]
+    fn forward_partitions_by_label() {
+        let g = sample();
+        let index = LabelIndex::from_backend(&g);
+        let x = g.label_id("x").unwrap();
+        let y = g.label_id("y").unwrap();
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(
+            successor_ids(&index, x, a),
+            vec![g.node_by_name("b").unwrap()]
+        );
+        assert_eq!(
+            successor_ids(&index, y, a),
+            vec![g.node_by_name("c").unwrap()]
+        );
+        assert_eq!(index.label_edge_count(x), 3);
+        assert_eq!(index.label_edge_count(y), 1);
+    }
+
+    #[test]
+    fn reverse_partitions_by_label() {
+        let g = sample();
+        let index = LabelIndex::from_backend(&g);
+        let x = g.label_id("x").unwrap();
+        let c = g.node_by_name("c").unwrap();
+        let mut preds: Vec<u32> = index.neighbors(Direction::Reverse, x, c.index()).to_vec();
+        preds.sort_unstable();
+        assert_eq!(preds, vec![g.node_by_name("b").unwrap().raw()]);
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(
+            index.neighbors(Direction::Reverse, x, a.index()),
+            &[c.raw()]
+        );
+    }
+
+    #[test]
+    fn csr_and_backend_builds_agree() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        let from_backend = LabelIndex::from_backend(&g);
+        let from_csr = LabelIndex::from_csr(&csr);
+        for label in g.labels().ids() {
+            for node in 0..g.node_count() {
+                for direction in [Direction::Forward, Direction::Reverse] {
+                    let mut a: Vec<u32> = from_backend.neighbors(direction, label, node).to_vec();
+                    let mut b: Vec<u32> = from_csr.neighbors(direction, label, node).to_vec();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "{direction:?} {label:?} node {node}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expand_into_marks_neighbors_once() {
+        let g = sample();
+        let index = LabelIndex::from_backend(&g);
+        let x = g.label_id("x").unwrap();
+        let mut frontier = FixedBitSet::new(g.node_count());
+        frontier.insert_all();
+        let mut out = FixedBitSet::new(g.node_count());
+        // Every node has exactly one x-successor here: a→b, b→c, c→a.
+        let fresh = index.expand_into(Direction::Forward, x, &frontier, &mut out);
+        assert_eq!(fresh, 3);
+        let again = index.expand_into(Direction::Forward, x, &frontier, &mut out);
+        assert_eq!(again, 0, "already marked");
+    }
+
+    #[test]
+    fn foreign_labels_and_nodes_have_no_neighbors() {
+        let g = sample();
+        let index = LabelIndex::from_backend(&g);
+        assert!(index
+            .neighbors(Direction::Forward, LabelId::new(99), 0)
+            .is_empty());
+        assert!(index
+            .neighbors(Direction::Reverse, LabelId::new(99), 0)
+            .is_empty());
+        let x = g.label_id("x").unwrap();
+        assert!(index.neighbors(Direction::Forward, x, 99).is_empty());
+        assert_eq!(index.label_edge_count(LabelId::new(99)), 0);
+    }
+
+    #[test]
+    fn empty_graph_index() {
+        let g = Graph::new();
+        let index = LabelIndex::from_backend(&g);
+        assert_eq!(index.node_count(), 0);
+        assert_eq!(index.label_count(), 0);
+    }
+}

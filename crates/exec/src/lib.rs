@@ -1,0 +1,59 @@
+//! # gps-exec — frontier-based batch/parallel RPQ execution
+//!
+//! The interactive layers of GPS evaluate the *same graph* against *many*
+//! queries: the learner's consistency checks, session pruning and
+//! propagation, coverage, witnesses and the benchmark workloads all funnel
+//! through RPQ evaluation.  This crate is the set-at-a-time execution engine
+//! for that traffic, built on the [`gps_graph::GraphBackend`] seam:
+//!
+//! * [`bitset::FixedBitSet`] — dense per-state node sets; the frontier,
+//!   visited and delta representation;
+//! * [`index::LabelIndex`] — label-partitioned forward + reverse CSR built
+//!   once per graph and shared (also across threads) by every query;
+//! * [`frontier`] — the semi-naive product-automaton fixed point sweeping
+//!   whole frontiers per DFA transition, in push (reverse), pull (forward)
+//!   or per-round adaptive mode;
+//! * [`planner`] — picks the expansion [`Plan`] per query from the
+//!   per-label degree/frequency statistics of [`gps_graph::LabelStats`];
+//! * [`batch::BatchEvaluator`] — the public engine: single, batch,
+//!   multi-source and scoped-thread parallel evaluation, pluggable into the
+//!   `gps-rpq` cache (and thus the whole `gps-core` engine) through the
+//!   [`gps_rpq::DfaEvaluator`] trait.
+//!
+//! Every mode is differentially tested to be answer-identical to the naive
+//! node-at-a-time evaluator in `gps_rpq::eval`.
+//!
+//! ## Example
+//!
+//! ```
+//! use gps_exec::BatchEvaluator;
+//! use gps_graph::Graph;
+//! use gps_rpq::PathQuery;
+//!
+//! let mut g = Graph::new();
+//! let n1 = g.add_node("N1");
+//! let n4 = g.add_node("N4");
+//! let c1 = g.add_node("C1");
+//! g.add_edge_by_name(n1, "tram", n4);
+//! g.add_edge_by_name(n4, "cinema", c1);
+//!
+//! let engine = BatchEvaluator::new(&g);
+//! let q = PathQuery::parse("tram*.cinema", g.labels()).unwrap();
+//! let answer = engine.evaluate_query(&q);
+//! assert!(answer.contains(n1));
+//! assert!(!answer.contains(c1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod bitset;
+pub mod frontier;
+pub mod index;
+pub mod planner;
+
+pub use batch::BatchEvaluator;
+pub use bitset::FixedBitSet;
+pub use index::{Direction, LabelIndex};
+pub use planner::{Plan, PlanDecision};

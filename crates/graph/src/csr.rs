@@ -176,6 +176,34 @@ impl CsrGraph {
         self.inc(node).len()
     }
 
+    /// The raw forward offset array (`node_count + 1` entries): node `i`'s
+    /// outgoing entries live at `fwd_entries()[offsets[i]..offsets[i+1]]`.
+    ///
+    /// Exposed so bulk evaluators (the `gps-exec` frontier engine) can build
+    /// derived indexes with flat array sweeps instead of per-node iterators.
+    #[inline]
+    pub fn fwd_offsets(&self) -> &[u32] {
+        &self.fwd_offsets
+    }
+
+    /// The raw forward adjacency entries, grouped by source node.
+    #[inline]
+    pub fn fwd_entries(&self) -> &[CsrEntry] {
+        &self.fwd_entries
+    }
+
+    /// The raw reverse offset array (`node_count + 1` entries).
+    #[inline]
+    pub fn rev_offsets(&self) -> &[u32] {
+        &self.rev_offsets
+    }
+
+    /// The raw reverse adjacency entries, grouped by target node.
+    #[inline]
+    pub fn rev_entries(&self) -> &[CsrEntry] {
+        &self.rev_entries
+    }
+
     #[inline]
     fn fwd_range(&self, node: NodeId) -> std::ops::Range<usize> {
         let i = node.index();
@@ -402,6 +430,24 @@ mod tests {
         let graph_in: Vec<(EdgeId, Edge)> = g.in_edges(n[3]).collect();
         let csr_in: Vec<(EdgeId, Edge)> = GraphBackend::in_edges(&csr, n[3]).collect();
         assert_eq!(graph_in, csr_in);
+    }
+
+    #[test]
+    fn raw_accessors_expose_the_packed_arrays() {
+        let (g, n) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.fwd_offsets().len(), csr.node_count() + 1);
+        assert_eq!(csr.rev_offsets().len(), csr.node_count() + 1);
+        assert_eq!(csr.fwd_entries().len(), csr.edge_count());
+        assert_eq!(csr.rev_entries().len(), csr.edge_count());
+        // The slices agree with the per-node views.
+        let lo = csr.fwd_offsets()[n[0].index()] as usize;
+        let hi = csr.fwd_offsets()[n[0].index() + 1] as usize;
+        assert_eq!(&csr.fwd_entries()[lo..hi], csr.out(n[0]));
+        assert_eq!(
+            *csr.fwd_offsets().last().unwrap() as usize,
+            csr.edge_count()
+        );
     }
 
     #[test]

@@ -76,3 +76,4 @@ pub use labels::LabelInterner;
 pub use neighborhood::{Neighborhood, NeighborhoodDelta};
 pub use paths::{Path, PathEnumerator, Word};
 pub use prefix_tree::PrefixTree;
+pub use stats::{GraphStats, LabelStat, LabelStats};

@@ -6,37 +6,98 @@
 //! current hypothesis.  [`EvalCache`] memoizes answers keyed by the query's
 //! regular expression, behind a lock so strategy evaluation can be
 //! parallelized by the benchmark harness.
+//!
+//! The cache is **bounded**: entries carry a last-used tick and once
+//! [`capacity`](EvalCache::capacity) is reached the least-recently-used entry
+//! is evicted, so workload replay over many distinct queries cannot grow the
+//! cache without limit.  Evaluation itself is delegated to a pluggable
+//! [`DfaEvaluator`], so the same cache serves the naive reference evaluator
+//! and the `gps-exec` frontier/batch engines.
 
-use crate::eval::{evaluate_csr, QueryAnswer};
+use crate::eval::{DfaEvaluator, NaiveEvaluator, QueryAnswer};
 use gps_automata::{Dfa, Regex};
 use gps_graph::{CsrGraph, GraphBackend};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A concurrent evaluation cache bound to one graph snapshot.
+/// Default maximum number of cached answers.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+#[derive(Debug)]
+struct Entry {
+    answer: Arc<QueryAnswer>,
+    /// Monotonic recency tick, updated with a relaxed store on every hit so
+    /// lookups stay on the shared read lock.
+    last_used: AtomicU64,
+}
+
+/// A concurrent, bounded evaluation cache bound to one graph snapshot.
+///
+/// Hits take only the shared read lock (recency and counters are atomics);
+/// the exclusive write lock is reserved for inserts and evictions.
 #[derive(Debug)]
 pub struct EvalCache {
-    csr: CsrGraph,
-    answers: RwLock<HashMap<Regex, Arc<QueryAnswer>>>,
-    hits: RwLock<u64>,
-    misses: RwLock<u64>,
+    csr: Arc<CsrGraph>,
+    evaluator: Box<dyn DfaEvaluator>,
+    capacity: usize,
+    answers: RwLock<HashMap<Regex, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    tick: AtomicU64,
 }
 
 impl EvalCache {
-    /// Creates a cache for any backend (snapshotting it).
+    /// Creates a cache for any backend (snapshotting it), evaluating with the
+    /// naive reference evaluator and the default capacity.
     pub fn new<B: GraphBackend>(graph: &B) -> Self {
         Self::from_csr(CsrGraph::from_backend(graph))
     }
 
-    /// Creates a cache from an existing CSR snapshot.
+    /// Creates a cache from an existing CSR snapshot (naive evaluator,
+    /// default capacity).  The snapshot is shared with the evaluator, not
+    /// copied.
     pub fn from_csr(csr: CsrGraph) -> Self {
+        let csr = Arc::new(csr);
+        let evaluator = Box::new(NaiveEvaluator::from_shared(Arc::clone(&csr)));
+        Self::with_shared_evaluator(csr, evaluator)
+    }
+
+    /// Creates a cache that answers queries through `evaluator`.
+    ///
+    /// `csr` is the snapshot the evaluator was built from; the cache keeps it
+    /// so witness extraction and rendering keep working against the exact
+    /// graph the answers were computed on.
+    pub fn with_evaluator(csr: CsrGraph, evaluator: Box<dyn DfaEvaluator>) -> Self {
+        Self::with_shared_evaluator(Arc::new(csr), evaluator)
+    }
+
+    /// [`with_evaluator`](Self::with_evaluator) over an already-shared
+    /// snapshot.
+    pub fn with_shared_evaluator(csr: Arc<CsrGraph>, evaluator: Box<dyn DfaEvaluator>) -> Self {
         Self {
             csr,
+            evaluator,
+            capacity: DEFAULT_CAPACITY,
             answers: RwLock::new(HashMap::new()),
-            hits: RwLock::new(0),
-            misses: RwLock::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the maximum number of cached answers (at least 1).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// The maximum number of cached answers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The underlying snapshot.
@@ -44,21 +105,104 @@ impl EvalCache {
         &self.csr
     }
 
+    /// The evaluator answering cache misses.
+    pub fn evaluator(&self) -> &dyn DfaEvaluator {
+        self.evaluator.as_ref()
+    }
+
     /// Evaluates `regex` on the snapshot, returning a shared answer.  Repeated
-    /// calls with an equal expression hit the cache.
+    /// calls with an equal expression hit the cache; when the cache is full
+    /// the least-recently-used entry is evicted.
     pub fn evaluate(&self, regex: &Regex) -> Arc<QueryAnswer> {
-        if let Some(answer) = self.answers.read().get(regex) {
-            *self.hits.write() += 1;
-            return Arc::clone(answer);
+        if let Some(answer) = self.touch(regex) {
+            return answer;
         }
-        *self.misses.write() += 1;
         let dfa = Dfa::from_regex(regex);
-        let answer = Arc::new(evaluate_csr(&self.csr, &dfa));
-        self.answers
-            .write()
-            .entry(regex.clone())
-            .or_insert_with(|| Arc::clone(&answer));
+        let answer = Arc::new(self.evaluator.evaluate_dfa(&dfa));
+        self.insert(regex, &answer);
         answer
+    }
+
+    /// Evaluates a batch of expressions, returning the answers in input
+    /// order.  Hits are served from the cache; the *distinct* misses are
+    /// compiled and handed to the evaluator's batch entry point in one call
+    /// (duplicates within the batch are evaluated once), so batch engines
+    /// can share visited state or parallelize across the misses.
+    pub fn evaluate_many(&self, regexes: &[&Regex]) -> Vec<Arc<QueryAnswer>> {
+        let mut results: Vec<Option<Arc<QueryAnswer>>> =
+            regexes.iter().map(|regex| self.touch(regex)).collect();
+        // Distinct uncached expressions in first-occurrence order, plus the
+        // (result slot → distinct miss) assignment.
+        let mut first_occurrence: HashMap<&Regex, usize> = HashMap::new();
+        let mut distinct: Vec<usize> = Vec::new();
+        let mut assignment: Vec<(usize, usize)> = Vec::new();
+        for (i, result) in results.iter().enumerate() {
+            if result.is_none() {
+                let slot = *first_occurrence.entry(regexes[i]).or_insert_with(|| {
+                    distinct.push(i);
+                    distinct.len() - 1
+                });
+                assignment.push((i, slot));
+            }
+        }
+        if !distinct.is_empty() {
+            let dfas: Vec<Dfa> = distinct
+                .iter()
+                .map(|&i| Dfa::from_regex(regexes[i]))
+                .collect();
+            let dfa_refs: Vec<&Dfa> = dfas.iter().collect();
+            let answers: Vec<Arc<QueryAnswer>> = self
+                .evaluator
+                .evaluate_dfas(&dfa_refs)
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+            for (&i, answer) in distinct.iter().zip(&answers) {
+                self.insert(regexes[i], answer);
+            }
+            for (i, slot) in assignment {
+                results[i] = Some(Arc::clone(&answers[slot]));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("all filled"))
+            .collect()
+    }
+
+    /// Looks up `regex`, refreshing its recency on a hit.  Hits stay on the
+    /// shared read lock.
+    fn touch(&self, regex: &Regex) -> Option<Arc<QueryAnswer>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let answers = self.answers.read();
+        if let Some(entry) = answers.get(regex) {
+            entry.last_used.store(tick, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(Arc::clone(&entry.answer))
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Inserts an answer, evicting the least-recently-used entry when full.
+    fn insert(&self, regex: &Regex, answer: &Arc<QueryAnswer>) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut answers = self.answers.write();
+        if !answers.contains_key(regex) && answers.len() >= self.capacity {
+            if let Some(oldest) = answers
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .map(|(regex, _)| regex.clone())
+            {
+                answers.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        answers.entry(regex.clone()).or_insert(Entry {
+            answer: Arc::clone(answer),
+            last_used: AtomicU64::new(tick),
+        });
     }
 
     /// Number of cached answers.
@@ -73,7 +217,15 @@ impl EvalCache {
 
     /// `(hits, misses)` counters, useful in benchmarks.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.read(), *self.misses.read())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of entries evicted by the capacity cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Clears all cached answers (the counters are kept).
@@ -143,6 +295,111 @@ mod tests {
         // Re-evaluation after clear is a miss again.
         cache.evaluate(&Regex::symbol(x));
         assert_eq!(cache.stats().1, 2);
+    }
+
+    #[test]
+    fn capacity_cap_evicts_least_recently_used() {
+        let g = sample();
+        let cache = EvalCache::new(&g).with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let x = g.label_id("x").unwrap();
+        let q1 = Regex::symbol(x);
+        let q2 = Regex::star(Regex::symbol(x));
+        let q3 = Regex::concat([Regex::symbol(x), Regex::symbol(x)]);
+        cache.evaluate(&q1);
+        cache.evaluate(&q2);
+        assert_eq!(cache.len(), 2);
+        // Touch q1 so q2 becomes the least recently used, then overflow.
+        cache.evaluate(&q1);
+        cache.evaluate(&q3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // q1 and q3 are still cached (hits); q2 was evicted (miss again).
+        let hits_before = cache.stats().0;
+        cache.evaluate(&q1);
+        cache.evaluate(&q3);
+        assert_eq!(cache.stats().0, hits_before + 2);
+        let misses_before = cache.stats().1;
+        cache.evaluate(&q2);
+        assert_eq!(cache.stats().1, misses_before + 1, "q2 was evicted");
+    }
+
+    #[test]
+    fn workload_replay_stays_within_capacity() {
+        let g = sample();
+        let cache = EvalCache::new(&g).with_capacity(4);
+        let x = g.label_id("x").unwrap();
+        for round in 0..3 {
+            for i in 1..=16usize {
+                let word = vec![x; i];
+                cache.evaluate(&Regex::word(&word));
+            }
+            assert!(cache.len() <= 4, "round {round}: len {}", cache.len());
+        }
+        assert!(cache.evictions() >= 12 * 3);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let g = sample();
+        let cache = EvalCache::new(&g).with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        let x = g.label_id("x").unwrap();
+        cache.evaluate(&Regex::symbol(x));
+        cache.evaluate(&Regex::star(Regex::symbol(x)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evaluate_many_mixes_hits_and_misses() {
+        let g = sample();
+        let cache = EvalCache::new(&g);
+        let x = g.label_id("x").unwrap();
+        let q1 = Regex::symbol(x);
+        let q2 = Regex::star(Regex::symbol(x));
+        cache.evaluate(&q1);
+        let answers = cache.evaluate_many(&[&q1, &q2, &q1]);
+        assert_eq!(answers.len(), 3);
+        assert_eq!(answers[0].nodes(), answers[2].nodes());
+        assert!(
+            answers[1].contains(g.node_by_name("B").unwrap()),
+            "x* selects B"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evaluate_many_deduplicates_misses() {
+        /// Counts how many DFAs it is actually asked to evaluate.
+        #[derive(Debug)]
+        struct Counting {
+            inner: NaiveEvaluator,
+            evaluated: std::sync::atomic::AtomicUsize,
+        }
+        impl DfaEvaluator for Counting {
+            fn evaluate_dfa(&self, dfa: &Dfa) -> QueryAnswer {
+                self.evaluated
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.inner.evaluate_dfa(dfa)
+            }
+        }
+        let g = sample();
+        let csr = gps_graph::CsrGraph::from_graph(&g);
+        let counting = Counting {
+            inner: NaiveEvaluator::from_csr(csr.clone()),
+            evaluated: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let cache = EvalCache::with_evaluator(csr, Box::new(counting));
+        let x = g.label_id("x").unwrap();
+        let q1 = Regex::symbol(x);
+        let q2 = Regex::star(Regex::symbol(x));
+        let answers = cache.evaluate_many(&[&q1, &q2, &q1, &q1]);
+        assert_eq!(answers.len(), 4);
+        assert_eq!(answers[0].nodes(), answers[2].nodes());
+        // q1 appears three times uncached but is evaluated once.
+        let counting = cache.evaluator();
+        let debug = format!("{counting:?}");
+        assert!(debug.contains("evaluated: 2"), "got {debug}");
     }
 
     #[test]

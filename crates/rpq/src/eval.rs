@@ -141,6 +141,66 @@ pub fn evaluate_many<B: GraphBackend>(graph: &B, dfas: &[&Dfa]) -> Vec<QueryAnsw
     dfas.iter().map(|dfa| evaluate(graph, dfa)).collect()
 }
 
+/// A compiled-query evaluation strategy bound to one graph.
+///
+/// The [`EvalCache`](crate::EvalCache) and the `gps-core` engine evaluate
+/// queries through this trait, so alternative execution engines — notably the
+/// frontier-based batch engine of `gps-exec` — plug in without the query
+/// layers changing.  Implementations own (or snapshot) their graph so an
+/// evaluator can be handed to worker threads; the trait is object-safe and
+/// boxed evaluators are what the cache stores.
+pub trait DfaEvaluator: std::fmt::Debug + Send + Sync {
+    /// Evaluates one compiled query DFA, returning the selected-node set.
+    fn evaluate_dfa(&self, dfa: &Dfa) -> QueryAnswer;
+
+    /// Evaluates a batch of compiled DFAs (answers in input order).
+    ///
+    /// The default implementation is a sequential loop; batch engines
+    /// override it to share visited state or fan out across threads.
+    fn evaluate_dfas(&self, dfas: &[&Dfa]) -> Vec<QueryAnswer> {
+        dfas.iter().map(|dfa| self.evaluate_dfa(dfa)).collect()
+    }
+}
+
+/// The reference node-at-a-time evaluator over a CSR snapshot.
+///
+/// Wraps [`evaluate`] at `B = CsrGraph` behind the [`DfaEvaluator`] trait;
+/// this is the evaluator every alternative engine is differentially tested
+/// against.  The snapshot is held behind an [`Arc`](std::sync::Arc) so the
+/// cache and the evaluator share one copy.
+#[derive(Debug, Clone)]
+pub struct NaiveEvaluator {
+    csr: std::sync::Arc<CsrGraph>,
+}
+
+impl NaiveEvaluator {
+    /// Snapshots `graph` and builds the reference evaluator over it.
+    pub fn new<B: GraphBackend>(graph: &B) -> Self {
+        Self::from_csr(CsrGraph::from_backend(graph))
+    }
+
+    /// Builds the reference evaluator over an existing snapshot.
+    pub fn from_csr(csr: CsrGraph) -> Self {
+        Self::from_shared(std::sync::Arc::new(csr))
+    }
+
+    /// Builds the reference evaluator over a shared snapshot (no copy).
+    pub fn from_shared(csr: std::sync::Arc<CsrGraph>) -> Self {
+        Self { csr }
+    }
+
+    /// The underlying snapshot.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+}
+
+impl DfaEvaluator for NaiveEvaluator {
+    fn evaluate_dfa(&self, dfa: &Dfa) -> QueryAnswer {
+        evaluate(self.csr.as_ref(), dfa)
+    }
+}
+
 /// Counts, for every node, the number of distinct words of length at most
 /// `bound` spelled by its outgoing paths that the DFA accepts.  This is the
 /// quantity the informative-paths strategy scores nodes with.
@@ -300,6 +360,20 @@ mod tests {
         let c1 = g.node_by_name("C1").unwrap();
         assert!(counts[&n4] >= 1, "N4 has the direct cinema path");
         assert_eq!(counts[&c1], 0);
+    }
+
+    #[test]
+    fn naive_evaluator_matches_direct_evaluation() {
+        let g = figure1();
+        let dfa = motivating_query(&g);
+        let evaluator = NaiveEvaluator::new(&g);
+        assert_eq!(evaluator.evaluate_dfa(&dfa), evaluate(&g, &dfa));
+        let cinema = g.label_id("cinema").unwrap();
+        let d2 = Dfa::from_regex(&Regex::symbol(cinema));
+        let batch = evaluator.evaluate_dfas(&[&dfa, &d2]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[1], evaluate(&g, &d2));
+        assert_eq!(evaluator.csr().node_count(), g.node_count());
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub mod witness;
 
 pub use cache::EvalCache;
 pub use coverage::NegativeCoverage;
-pub use eval::QueryAnswer;
+pub use eval::{DfaEvaluator, NaiveEvaluator, QueryAnswer};
 pub use query::PathQuery;

@@ -15,6 +15,7 @@
 pub use gps_automata as automata;
 pub use gps_core as core;
 pub use gps_datasets as datasets;
+pub use gps_exec as exec;
 pub use gps_graph as graph;
 pub use gps_interactive as interactive;
 pub use gps_learner as learner;

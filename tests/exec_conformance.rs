@@ -1,0 +1,241 @@
+//! Execution-engine conformance suite: every mode of the `gps-exec`
+//! frontier/batch engine must be **answer-identical** to the naive
+//! node-at-a-time evaluator in `gps_rpq::eval`.
+//!
+//! Differential properties over the transport, scale-free, figure1,
+//! biological and random corpora:
+//!
+//! * single-query evaluation under the planner-chosen plan and under every
+//!   *forced* plan (push / pull / adaptive);
+//! * shared-scratch sequential batches and the scoped-thread parallel
+//!   executor (all thread counts preserve input order);
+//! * direction-aware multi-source membership checks (both the per-source
+//!   forward path and the global fallback);
+//! * the full `gps_core` engine under every `EvalMode`, including cached
+//!   `evaluate` / `evaluate_many` and an end-to-end interactive scenario.
+
+use gps_automata::{Dfa, Regex};
+use gps_core::prelude::*;
+use gps_datasets::biological::{self, BiologicalConfig};
+use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+use gps_datasets::queries;
+use gps_datasets::scale_free::{self, ScaleFreeConfig};
+use gps_datasets::transport::{self, TransportConfig};
+use gps_exec::{BatchEvaluator, Plan};
+use gps_rpq::DfaEvaluator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small random multigraph over a 4-letter alphabet.
+fn random_graph(rng: &mut StdRng, max_nodes: usize, max_edges: usize) -> Graph {
+    let n = rng.gen_range(1..=max_nodes);
+    let mut g = Graph::new();
+    for name in ["a", "b", "c", "d"] {
+        g.label(name);
+    }
+    let ids = g.add_nodes("v", n);
+    for _ in 0..rng.gen_range(0..=max_edges) {
+        let s = ids[rng.gen_range(0..n)];
+        let t = ids[rng.gen_range(0..n)];
+        g.add_edge(s, LabelId::new(rng.gen_range(0u32..4)), t);
+    }
+    g
+}
+
+/// The corpora the differential properties run over.
+fn corpus() -> Vec<(String, Graph)> {
+    let mut graphs = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0xE7EC);
+    for i in 0..10 {
+        graphs.push((format!("random-{i}"), random_graph(&mut rng, 12, 30)));
+    }
+    graphs.push(("figure1".to_string(), figure1_graph().0));
+    graphs.push((
+        "transport".to_string(),
+        transport::generate(&TransportConfig::with_neighborhoods(25, 7)).graph,
+    ));
+    graphs.push((
+        "scale-free".to_string(),
+        scale_free::generate(&ScaleFreeConfig {
+            nodes: 200,
+            seed: 11,
+            ..ScaleFreeConfig::default()
+        }),
+    ));
+    graphs.push((
+        "biological".to_string(),
+        biological::generate(&BiologicalConfig::with_entities(40, 3)),
+    ));
+    graphs
+}
+
+/// The query set evaluated differentially on each graph: the per-domain
+/// workloads plus structural edge cases.
+fn query_set(graph: &Graph) -> Vec<Dfa> {
+    let mut dfas: Vec<Dfa> = queries::standard_workload(graph)
+        .queries
+        .iter()
+        .chain(queries::batch_workload(graph, 10).queries.iter())
+        .map(|q| q.dfa().clone())
+        .collect();
+    dfas.push(Dfa::from_regex(&Regex::Empty));
+    dfas.push(Dfa::from_regex(&Regex::Epsilon));
+    if let Some(label) = graph.labels().ids().next() {
+        dfas.push(Dfa::from_regex(&Regex::star(Regex::symbol(label))));
+    }
+    dfas
+}
+
+#[test]
+fn frontier_plans_match_the_naive_evaluator() {
+    for (name, graph) in corpus() {
+        let naive = gps_rpq::NaiveEvaluator::new(&graph);
+        let planner_engine = BatchEvaluator::new(&graph);
+        let forced: Vec<(Plan, BatchEvaluator)> =
+            [Plan::Reverse, Plan::Forward, Plan::Bidirectional]
+                .into_iter()
+                .map(|plan| (plan, BatchEvaluator::new(&graph).with_plan(plan)))
+                .collect();
+        for (i, dfa) in query_set(&graph).iter().enumerate() {
+            let expected = naive.evaluate_dfa(dfa);
+            assert_eq!(
+                planner_engine.evaluate(dfa),
+                expected,
+                "{name} query {i}: planner-chosen plan"
+            );
+            for (plan, engine) in &forced {
+                assert_eq!(
+                    engine.evaluate(dfa),
+                    expected,
+                    "{name} query {i}: forced {plan:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_and_parallel_executors_preserve_answers_and_order() {
+    for (name, graph) in corpus() {
+        let naive = gps_rpq::NaiveEvaluator::new(&graph);
+        let engine = BatchEvaluator::new(&graph);
+        let dfas = query_set(&graph);
+        let refs: Vec<&Dfa> = dfas.iter().collect();
+        let expected: Vec<QueryAnswer> = refs.iter().map(|d| naive.evaluate_dfa(d)).collect();
+        assert_eq!(engine.evaluate_many(&refs), expected, "{name}: sequential");
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                engine.evaluate_many_parallel(&refs, threads),
+                expected,
+                "{name}: parallel x{threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_source_checks_match_global_answers() {
+    for (name, graph) in corpus() {
+        let engine = BatchEvaluator::new(&graph);
+        let all: Vec<NodeId> = GraphBackend::nodes(&graph).collect();
+        for (i, dfa) in query_set(&graph).iter().enumerate() {
+            let expected = gps_rpq::eval::evaluate(&graph, dfa);
+            // Few sources exercises the forward early-exit path; the full
+            // node set exercises the global fallback.
+            let few: Vec<NodeId> = all.iter().copied().take(2).collect();
+            for (node, selected) in few.iter().zip(engine.evaluate_sources(dfa, &few)) {
+                assert_eq!(selected, expected.contains(*node), "{name} query {i} (few)");
+            }
+            for (node, selected) in all.iter().zip(engine.evaluate_sources(dfa, &all)) {
+                assert_eq!(selected, expected.contains(*node), "{name} query {i} (all)");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_eval_modes_are_observationally_identical() {
+    let net = transport::generate(&TransportConfig::with_neighborhoods(25, 7));
+    let syntaxes = ["(tram+bus)*.cinema", "cinema", "tram*.cinema", "bus"];
+    let naive = Engine::builder(net.graph.clone()).build();
+    let expected: Vec<Vec<NodeId>> = syntaxes
+        .iter()
+        .map(|q| naive.evaluate(q).unwrap().nodes())
+        .collect();
+    for mode in [EvalMode::Naive, EvalMode::Frontier, EvalMode::Parallel] {
+        for csr in [false, true] {
+            let builder = Engine::builder(net.graph.clone()).eval_mode(mode);
+            let (answers, many): (Vec<Vec<NodeId>>, Vec<QueryAnswer>) = if csr {
+                let engine = builder.build_csr();
+                (
+                    syntaxes
+                        .iter()
+                        .map(|q| engine.evaluate(q).unwrap().nodes())
+                        .collect(),
+                    engine.evaluate_many(&syntaxes).unwrap(),
+                )
+            } else {
+                let engine = builder.build();
+                (
+                    syntaxes
+                        .iter()
+                        .map(|q| engine.evaluate(q).unwrap().nodes())
+                        .collect(),
+                    engine.evaluate_many(&syntaxes).unwrap(),
+                )
+            };
+            for ((answer, batch_answer), expected) in answers.iter().zip(&many).zip(&expected) {
+                assert_eq!(answer, expected, "{mode:?} csr={csr}");
+                assert_eq!(
+                    &batch_answer.nodes(),
+                    expected,
+                    "{mode:?} csr={csr} (batch)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interactive_sessions_converge_identically_across_modes() {
+    let (graph, _) = figure1_graph();
+    let reference = Engine::builder(graph.clone())
+        .build()
+        .interactive_with_validation(MOTIVATING_QUERY, 0)
+        .unwrap();
+    for mode in [EvalMode::Frontier, EvalMode::Parallel] {
+        let report = Engine::builder(graph.clone())
+            .eval_mode(mode)
+            .build()
+            .interactive_with_validation(MOTIVATING_QUERY, 0)
+            .unwrap();
+        assert_eq!(report.goal_reached, reference.goal_reached, "{mode:?}");
+        assert_eq!(report.interactions, reference.interactions, "{mode:?}");
+        assert_eq!(report.learned, reference.learned, "{mode:?}");
+    }
+}
+
+#[test]
+fn frontier_cache_stays_correct_under_eviction() {
+    let net = transport::generate(&TransportConfig::with_neighborhoods(10, 3));
+    let csr = CsrGraph::from_graph(&net.graph);
+    let cache =
+        gps_rpq::EvalCache::with_evaluator(csr.clone(), Box::new(BatchEvaluator::from_csr(&csr)))
+            .with_capacity(2);
+    let regexes: Vec<Regex> = queries::batch_workload(&net.graph, 8)
+        .queries
+        .iter()
+        .map(|q| q.regex().clone())
+        .collect();
+    // Replay the workload twice through the tiny cache: every answer must
+    // still match a fresh naive evaluation.
+    for round in 0..2 {
+        for regex in &regexes {
+            let through_cache = cache.evaluate(regex);
+            let fresh = gps_rpq::eval::evaluate(&net.graph, &Dfa::from_regex(regex));
+            assert_eq!(*through_cache, fresh, "round {round}");
+        }
+    }
+    assert!(cache.len() <= 2);
+    assert!(cache.evictions() > 0, "the workload overflows the capacity");
+}
