@@ -11,7 +11,11 @@
 //! * `batch-naive-loop` / `batch-frontier-seq` / `batch-frontier-parallel`
 //!   — a multi-query batch workload evaluated query-by-query vs. through
 //!   the shared-scratch batch API vs. the scoped-thread parallel executor
-//!   (per-batch timings).
+//!   (per-batch timings);
+//! * `session-naive` / `session-frontier` / `session-parallel` — full
+//!   interactive specification sessions (simulated user, informative-paths
+//!   strategy, path validation) per engine `EvalMode`, reported as
+//!   **ns per interaction** so interactions/sec is `1e9 / mean_ns`.
 //!
 //! Samples for the compared modes are interleaved round-robin so clock or
 //! thermal drift cannot bias the comparison one way.
@@ -22,15 +26,19 @@
 //!
 //! With `--smoke` the sample counts shrink and the run *asserts* the
 //! acceptance floors (frontier beating naive on scale-free, parallel batch
-//! beating the single-query loop), exiting non-zero on a perf regression —
-//! this is the CI guard.
+//! beating the single-query loop, frontier-backed sessions at least as fast
+//! as naive-backed ones), exiting non-zero on a perf regression — this is
+//! the CI guard.
 
 use gps_automata::Dfa;
+use gps_core::{Engine, EvalMode};
 use gps_datasets::scale_free::{self, ScaleFreeConfig};
 use gps_datasets::transport::{self, TransportConfig};
 use gps_datasets::Workload;
 use gps_exec::BatchEvaluator;
 use gps_graph::{CsrGraph, Graph, LabelId};
+use gps_interactive::strategy::InformativePathsStrategy;
+use gps_interactive::user::SimulatedUser;
 use gps_rpq::PathQuery;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -172,6 +180,91 @@ fn batch_records(workload: &Workload, samples: usize, threads: usize, records: &
     );
 }
 
+/// Times full interactive sessions per [`EvalMode`] and appends one record
+/// per mode with `mean_ns` normalized **per interaction**.
+///
+/// Engine construction (snapshot + index build) happens once per mode
+/// outside the timed region — it is per-deployment cost, not per-session —
+/// while the timed closure runs a complete session end to end: goal-driven
+/// simulated user, informative-paths strategy, zooming, path validation,
+/// learning and pruning.
+fn session_records(graph: &Graph, goal_syntax: &str, samples: usize, records: &mut Vec<Record>) {
+    let modes = [
+        ("session-naive", EvalMode::Naive),
+        ("session-frontier", EvalMode::Frontier),
+        ("session-parallel", EvalMode::Parallel),
+    ];
+    let engines: Vec<_> = modes
+        .iter()
+        .map(|&(_, mode)| {
+            Engine::builder(graph.clone())
+                .eval_mode(mode)
+                .max_interactions(24)
+                .build_csr()
+        })
+        .collect();
+    // One untimed run per mode: warms the per-snapshot structural baseline
+    // (bounded-word counts) the way a long-lived service would be warm, and
+    // pins the interaction count — sessions are deterministic, and the
+    // conformance suite guarantees every mode produces the identical
+    // transcript.
+    let interactions: Vec<usize> = engines
+        .iter()
+        .map(|engine| {
+            let goal = engine.parse_query(goal_syntax).expect("goal parses");
+            let mut user = SimulatedUser::with_exec(goal, engine.eval_handle());
+            let mut session = engine.new_session();
+            session
+                .run(&mut InformativePathsStrategy::default(), &mut user)
+                .stats
+                .interactions
+        })
+        .collect();
+    assert!(
+        interactions.windows(2).all(|w| w[0] == w[1]),
+        "eval modes must run identical sessions: {interactions:?}"
+    );
+    let per_session = interactions[0].max(1) as f64;
+
+    // Each timed sample is a *fresh task*: the query cache is cleared so the
+    // goal answer, every new hypothesis and every dirty-set query is really
+    // evaluated by the mode's engine (a service sees a different goal per
+    // session); repeated hypotheses within the session still hit the cache.
+    type Runner<'a> = (&'static str, Box<dyn FnMut() + 'a>);
+    let mut runners: Vec<Runner<'_>> = engines
+        .iter()
+        .zip(&modes)
+        .map(|(engine, &(name, _))| {
+            let closure: Box<dyn FnMut()> = Box::new(move || {
+                engine.eval_cache().clear();
+                let goal = engine.parse_query(goal_syntax).expect("goal parses");
+                let mut user = SimulatedUser::with_exec(goal, engine.eval_handle());
+                let mut session = engine.new_session();
+                black_box(session.run(&mut InformativePathsStrategy::default(), &mut user));
+            });
+            (name, closure)
+        })
+        .collect();
+    let mut refs: Vec<(&'static str, &mut dyn FnMut())> = runners
+        .iter_mut()
+        .map(|(name, f)| (*name, f.as_mut() as &mut dyn FnMut()))
+        .collect();
+    let before = records.len();
+    bench_group(
+        "scale-free-2000-session",
+        (graph.node_count(), graph.edge_count()),
+        &format!("session({goal_syntax}) x{} interactions", interactions[0]),
+        samples,
+        &mut refs,
+        records,
+    );
+    // Normalize the session records from ns/session to ns/interaction.
+    for record in &mut records[before..] {
+        record.mean_ns /= per_session;
+        record.min_ns /= per_session;
+    }
+}
+
 fn mean_of(records: &[Record], dataset: &str, backend: &str) -> f64 {
     records
         .iter()
@@ -202,16 +295,22 @@ fn main() {
         ..ScaleFreeConfig::default()
     });
     let name = |i: u32| sf.labels().name(LabelId::new(i)).unwrap().to_string();
-    let sf_query = PathQuery::parse(
-        &format!("({}+{})*.{}", name(0), name(1), name(2)),
-        sf.labels(),
-    )
-    .expect("scale-free alphabet has at least three labels");
+    let sf_syntax = format!("({}+{})*.{}", name(0), name(1), name(2));
+    let sf_query = PathQuery::parse(&sf_syntax, sf.labels())
+        .expect("scale-free alphabet has at least three labels");
     single_query_records("scale-free-2000", &sf, &sf_query, samples, &mut records);
 
     let batch = Workload::scale_free_batch(2_000, 16, 11);
     let threads = BatchEvaluator::default_threads();
     batch_records(&batch, samples, threads, &mut records);
+
+    // Interactive sessions: a goal that produces a realistic mixed-label
+    // specification dialogue (positives, negatives, zooms) on the same
+    // scale-free graph — negatives are what exercise coverage, pruning and
+    // the dirty-set sweeps.
+    let session_syntax = format!("{}.{}*.{}", name(2), name(0), name(1));
+    let session_samples = if smoke { 4 } else { 12 };
+    session_records(&sf, &session_syntax, session_samples, &mut records);
 
     // Render the records as JSON by hand (stable field order, no extra deps).
     let mut out = String::from(
@@ -267,6 +366,26 @@ fn main() {
     if smoke && (parallel.is_nan() || naive_loop.is_nan() || parallel >= naive_loop) {
         failures.push(format!(
             "{batch_name}: parallel batch ({parallel:.0} ns) not faster than the single-query loop ({naive_loop:.0} ns)"
+        ));
+    }
+    let session_dataset = "scale-free-2000-session";
+    let session_naive = mean_of(&records, session_dataset, "session-naive");
+    let session_frontier = mean_of(&records, session_dataset, "session-frontier");
+    let session_parallel = mean_of(&records, session_dataset, "session-parallel");
+    let session_speedup = session_naive / session_frontier;
+    println!(
+        "{session_dataset}: frontier sessions {:.0} interactions/sec vs naive {:.0} ({session_speedup:.2}x, parallel {:.0})",
+        1e9 / session_frontier,
+        1e9 / session_naive,
+        1e9 / session_parallel,
+    );
+    // Sessions must never regress below the naive baseline; the measured
+    // ratio is ~2x, so a 1.2x floor guards regressions without tripping on
+    // runner noise (written so a missing record — NaN — fails rather than
+    // vacuously passing).
+    if smoke && (session_speedup.is_nan() || session_speedup < 1.2) {
+        failures.push(format!(
+            "{session_dataset}: frontier-backed sessions ({session_frontier:.0} ns/interaction, {session_speedup:.2}x) below the 1.2x smoke floor over naive ({session_naive:.0} ns/interaction)"
         ));
     }
     if !failures.is_empty() {

@@ -44,7 +44,8 @@ use gps_interactive::strategy::{
 };
 use gps_interactive::user::User;
 use gps_learner::{Label, Learner};
-use gps_rpq::{EvalCache, PathQuery, QueryAnswer};
+use gps_rpq::{EvalCache, EvalHandle, PathQuery, QueryAnswer};
+use std::sync::Arc;
 
 /// Which execution engine the facade evaluates queries with.
 ///
@@ -220,7 +221,7 @@ impl GpsBuilder {
     pub fn build(self) -> Engine<Graph> {
         let mut session = self.session;
         session.learner = self.learner.clone();
-        let cache = self.eval_mode.cache_for(CsrGraph::from_graph(&self.graph));
+        let cache = Arc::new(self.eval_mode.cache_for(CsrGraph::from_graph(&self.graph)));
         Engine {
             backend: self.graph,
             learner: self.learner,
@@ -239,7 +240,7 @@ impl GpsBuilder {
         session.learner = self.learner.clone();
         let backend = CsrGraph::from_graph(&self.graph);
         // Clone the snapshot into the cache rather than re-walking it.
-        let cache = self.eval_mode.cache_for(backend.clone());
+        let cache = Arc::new(self.eval_mode.cache_for(backend.clone()));
         Engine {
             backend,
             learner: self.learner,
@@ -264,7 +265,10 @@ pub struct Engine<B: GraphBackend = Graph> {
     session: SessionConfig,
     strategy: StrategyChoice,
     eval_mode: EvalMode,
-    cache: EvalCache,
+    /// One shared evaluation stack per engine: user queries, interactive
+    /// sessions, the learner and the pruning all evaluate through this cache
+    /// (and its mode-configured evaluator with its one snapshot/index).
+    cache: Arc<EvalCache>,
 }
 
 /// The historical name of the adjacency-backed engine.
@@ -292,7 +296,7 @@ impl<B: GraphBackend> Engine<B> {
     /// Wraps an existing backend with default options (no builder knobs).
     pub fn from_backend(backend: B) -> Self {
         let eval_mode = EvalMode::default();
-        let cache = eval_mode.cache_for(CsrGraph::from_backend(&backend));
+        let cache = Arc::new(eval_mode.cache_for(CsrGraph::from_backend(&backend)));
         let learner = Learner::default();
         let session = SessionConfig {
             learner: learner.clone(),
@@ -336,6 +340,18 @@ impl<B: GraphBackend> Engine<B> {
     /// The configured query execution mode.
     pub fn eval_mode(&self) -> EvalMode {
         self.eval_mode
+    }
+
+    /// The engine's shared evaluation cache.
+    pub fn eval_cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// A cheaply cloneable handle to the engine's evaluation stack — hand it
+    /// to [`Session::with_exec`] / [`gps_interactive::user::SimulatedUser::with_exec`]
+    /// (the engine's own session entry points do so automatically).
+    pub fn eval_handle(&self) -> EvalHandle {
+        EvalHandle::from_cache(Arc::clone(&self.cache))
     }
 
     /// Takes an immutable CSR snapshot of the current backend.
@@ -427,9 +443,10 @@ impl<B: GraphBackend> Engine<B> {
     // ------------------------------------------------------------- sessions
 
     /// Starts an interactive session over this engine's backend with its
-    /// configured session options.
+    /// configured session options, evaluating through the engine's shared
+    /// stack (cache + configured execution engine).
     pub fn new_session(&self) -> Session<'_, B> {
-        Session::new(&self.backend, self.session.clone())
+        Session::with_exec(&self.backend, self.session.clone(), self.eval_handle())
     }
 
     /// Runs a full interactive session against `user` with the configured
@@ -461,11 +478,12 @@ impl<B: GraphBackend> Engine<B> {
             ..self.session.clone()
         };
         let mut strategy = self.strategy.instantiate::<B>();
-        Ok(scenario::interactive_with_options(
+        Ok(scenario::interactive_with_exec(
             &self.backend,
             &goal,
             config,
             strategy.as_mut(),
+            self.eval_handle(),
         ))
     }
 
@@ -483,11 +501,12 @@ impl<B: GraphBackend> Engine<B> {
             ..self.session.clone()
         };
         let mut strategy = self.strategy.instantiate::<B>();
-        Ok(scenario::interactive_with_options(
+        Ok(scenario::interactive_with_exec(
             &self.backend,
             &goal,
             config,
             strategy.as_mut(),
+            self.eval_handle(),
         ))
     }
 }

@@ -81,5 +81,5 @@ pub mod prelude {
     };
     pub use gps_interactive::user::{ScriptedUser, SimulatedUser, User, UserResponse};
     pub use gps_learner::{ExampleSet, Label, LearnedQuery, Learner};
-    pub use gps_rpq::{EvalCache, NegativeCoverage, PathQuery, QueryAnswer};
+    pub use gps_rpq::{EvalCache, EvalHandle, NegativeCoverage, PathQuery, QueryAnswer};
 }

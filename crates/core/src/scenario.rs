@@ -19,7 +19,7 @@ use gps_interactive::session::{Session, SessionConfig, SessionOutcome};
 use gps_interactive::strategy::{InformativePathsStrategy, Strategy};
 use gps_interactive::user::SimulatedUser;
 use gps_learner::{consistency, ExampleSet, Label, LearnedQuery, Learner};
-use gps_rpq::PathQuery;
+use gps_rpq::{EvalHandle, PathQuery};
 use serde::{Deserialize, Serialize};
 
 /// The result of the static-labeling scenario.
@@ -94,8 +94,11 @@ fn report_from_outcome<B: GraphBackend>(
     goal: &PathQuery,
     scenario: &str,
     outcome: &SessionOutcome,
+    exec: &EvalHandle,
 ) -> ScenarioReport {
-    let goal_answer = goal.evaluate(graph);
+    // Served from the shared cache: the simulated user already evaluated
+    // the goal through this handle at construction.
+    let goal_answer = exec.evaluate(goal.regex());
     let goal_reached = outcome
         .learned
         .as_ref()
@@ -122,23 +125,38 @@ fn report_from_outcome<B: GraphBackend>(
 }
 
 /// Runs an interactive scenario with an explicit session configuration and
-/// node-proposal strategy — the entry point the engine's builder knobs feed
-/// into.  The scenario label follows `config.with_path_validation`.
+/// node-proposal strategy.  Builds a private naive evaluation stack; engine
+/// callers use [`interactive_with_exec`] to share theirs.
 pub fn interactive_with_options<B: GraphBackend>(
     graph: &B,
     goal: &PathQuery,
     config: SessionConfig,
     strategy: &mut dyn Strategy<B>,
 ) -> ScenarioReport {
+    interactive_with_exec(graph, goal, config, strategy, EvalHandle::naive(graph))
+}
+
+/// Runs an interactive scenario on a shared evaluation stack — the entry
+/// point the engine's builder knobs feed into.  The session, the simulated
+/// user, the learner and the final report all evaluate through `exec`, so
+/// the whole loop runs on the engine's configured execution mode and cache.
+/// The scenario label follows `config.with_path_validation`.
+pub fn interactive_with_exec<B: GraphBackend>(
+    graph: &B,
+    goal: &PathQuery,
+    config: SessionConfig,
+    strategy: &mut dyn Strategy<B>,
+    exec: EvalHandle,
+) -> ScenarioReport {
     let scenario = if config.with_path_validation {
         "interactive+validation"
     } else {
         "interactive"
     };
-    let mut user = SimulatedUser::new(goal.clone(), graph);
-    let mut session = Session::new(graph, config);
+    let mut user = SimulatedUser::with_exec(goal.clone(), exec.clone());
+    let mut session = Session::with_exec(graph, config, exec.clone());
     let outcome = session.run(strategy, &mut user);
-    report_from_outcome(graph, goal, scenario, &outcome)
+    report_from_outcome(graph, goal, scenario, &outcome, &exec)
 }
 
 /// Runs the interactive scenario *without* path validation against a

@@ -13,25 +13,46 @@
 //! through it the whole `gps-core` engine, sessions, learner and coverage —
 //! runs on the frontier engine by flipping the `EvalMode` builder knob.
 
-use crate::frontier::{evaluate_with, selects_from, Scratch};
-use crate::index::LabelIndex;
+use crate::bitset::FixedBitSet;
+use crate::frontier::{evaluate_with, selects_from, witness_from, Scratch};
+use crate::index::{Direction, LabelIndex};
 use crate::planner::{self, Plan, PlanDecision};
 use gps_automata::Dfa;
-use gps_graph::{CsrGraph, GraphBackend, LabelStats, NodeId};
+use gps_graph::{CsrGraph, GraphBackend, LabelStats, NodeId, Path, PrefixNodeId, PrefixTree, Word};
 use gps_rpq::{DfaEvaluator, PathQuery, QueryAnswer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Source-count threshold (relative to `node_count`) below which
 /// multi-source checks run per-source forward searches instead of one global
 /// fixed point.
 const FORWARD_SOURCE_FRACTION: usize = 16;
 
+/// How a parallel batch is distributed across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelSplit {
+    /// Dynamic work stealing: workers pop the next query off a shared atomic
+    /// cursor, so heterogeneous batches (one slow query among many fast
+    /// ones) balance across cores.  The default.
+    #[default]
+    WorkStealing,
+    /// Static contiguous chunks (the historical executor) — kept selectable
+    /// so the two splits stay differentially testable.
+    Chunked,
+}
+
 /// A frontier-based batch evaluator bound to one graph snapshot.
+///
+/// The label-partitioned index is held behind an [`Arc`], so cloning the
+/// evaluator — and handing clones to session evaluators, witnesses or future
+/// shards — shares one index instead of re-partitioning the snapshot.
 #[derive(Debug, Clone)]
 pub struct BatchEvaluator {
-    index: LabelIndex,
+    index: Arc<LabelIndex>,
     stats: LabelStats,
     plan_override: Option<Plan>,
     parallelism: Option<usize>,
+    split: ParallelSplit,
 }
 
 impl BatchEvaluator {
@@ -45,13 +66,19 @@ impl BatchEvaluator {
         Self::from_parts(LabelIndex::from_csr(csr), LabelStats::compute(csr))
     }
 
-    fn from_parts(index: LabelIndex, stats: LabelStats) -> Self {
+    /// Builds the evaluator over an already-shared index (no re-partition).
+    pub fn from_shared_index(index: Arc<LabelIndex>, stats: LabelStats) -> Self {
         Self {
             index,
             stats,
             plan_override: None,
             parallelism: None,
+            split: ParallelSplit::default(),
         }
+    }
+
+    fn from_parts(index: LabelIndex, stats: LabelStats) -> Self {
+        Self::from_shared_index(Arc::new(index), stats)
     }
 
     /// Forces every query onto `plan` instead of consulting the planner
@@ -68,9 +95,27 @@ impl BatchEvaluator {
         self
     }
 
+    /// Chooses how parallel batches are split across workers (default:
+    /// [`ParallelSplit::WorkStealing`]).
+    pub fn with_split(mut self, split: ParallelSplit) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// The configured batch split.
+    pub fn split(&self) -> ParallelSplit {
+        self.split
+    }
+
     /// The label-partitioned index the evaluator sweeps.
     pub fn index(&self) -> &LabelIndex {
         &self.index
+    }
+
+    /// A new reference to the shared index (for witnesses, session
+    /// evaluators and future shards).
+    pub fn shared_index(&self) -> Arc<LabelIndex> {
+        Arc::clone(&self.index)
     }
 
     /// The per-label statistics the planner consults.
@@ -118,8 +163,58 @@ impl BatchEvaluator {
 
     /// Evaluates a batch on up to `threads` scoped worker threads, each with
     /// its own scratch, sharing the read-only index (answers in input
-    /// order).
+    /// order).  The batch is distributed according to the configured
+    /// [`ParallelSplit`].
     pub fn evaluate_many_parallel(&self, dfas: &[&Dfa], threads: usize) -> Vec<QueryAnswer> {
+        let threads = threads.clamp(1, dfas.len().max(1));
+        if threads == 1 {
+            return self.evaluate_many(dfas);
+        }
+        match self.split {
+            ParallelSplit::WorkStealing => self.evaluate_many_stealing(dfas, threads),
+            ParallelSplit::Chunked => self.evaluate_many_chunked(dfas, threads),
+        }
+    }
+
+    /// Work-stealing executor: every worker repeatedly claims the next
+    /// unprocessed query via one shared atomic cursor, so a worker that drew
+    /// cheap queries keeps pulling work while another grinds through an
+    /// expensive one.
+    fn evaluate_many_stealing(&self, dfas: &[&Dfa], threads: usize) -> Vec<QueryAnswer> {
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<QueryAnswer>> = vec![None; dfas.len()];
+        std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut scratch = Scratch::default();
+                        let mut answered = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= dfas.len() {
+                                break;
+                            }
+                            answered.push((i, self.evaluate_scratch(dfas[i], &mut scratch)));
+                        }
+                        answered
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, answer) in handle.join().expect("batch worker panicked") {
+                    results[i] = Some(answer);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("the cursor visits every query exactly once"))
+            .collect()
+    }
+
+    /// Static contiguous-chunk executor (one chunk per worker).
+    pub fn evaluate_many_chunked(&self, dfas: &[&Dfa], threads: usize) -> Vec<QueryAnswer> {
         let threads = threads.clamp(1, dfas.len().max(1));
         if threads == 1 {
             return self.evaluate_many(dfas);
@@ -179,6 +274,59 @@ impl BatchEvaluator {
     pub fn selects(&self, dfa: &Dfa, node: NodeId) -> bool {
         selects_from(&self.index, dfa, node.index())
     }
+
+    /// Trie-shaped backward sweep for [`DfaEvaluator::nodes_spelling`]: per
+    /// trie node, the set of graph nodes spelling some word of its subtree,
+    /// computed bottom-up through the label-partitioned reverse slices.
+    fn spell_reach(&self, trie: &PrefixTree, t: PrefixNodeId) -> FixedBitSet {
+        let n = self.index.node_count();
+        let mut reach = FixedBitSet::new(n);
+        if trie.is_terminal(t) {
+            // The empty suffix completes a word here: every node qualifies.
+            reach.insert_all();
+            return reach;
+        }
+        for (label, child) in trie.children(t) {
+            let child_reach = self.spell_reach(trie, child);
+            for v in child_reach.ones() {
+                for &u in self.index.neighbors(Direction::Reverse, label, v) {
+                    reach.insert(u as usize);
+                }
+            }
+        }
+        reach
+    }
+
+    /// Pre-order sweep of the reversed-word trie for
+    /// [`DfaEvaluator::spelling_counts`]: the speller set of each prefix is
+    /// narrowed through the label-partitioned reverse slices; every terminal
+    /// bumps its spellers' counts.
+    fn count_spellers(
+        &self,
+        trie: &PrefixTree,
+        t: PrefixNodeId,
+        spellers: &FixedBitSet,
+        counts: &mut [u32],
+    ) {
+        if trie.is_terminal(t) {
+            for v in spellers.ones() {
+                counts[v] += 1;
+            }
+        }
+        for (label, child) in trie.children(t) {
+            let mut next = FixedBitSet::new(counts.len());
+            let mut any = false;
+            for v in spellers.ones() {
+                for &u in self.index.neighbors(Direction::Reverse, label, v) {
+                    next.insert(u as usize);
+                    any = true;
+                }
+            }
+            if any {
+                self.count_spellers(trie, child, &next, counts);
+            }
+        }
+    }
 }
 
 impl DfaEvaluator for BatchEvaluator {
@@ -191,6 +339,47 @@ impl DfaEvaluator for BatchEvaluator {
             Some(threads) if dfas.len() > 1 => self.evaluate_many_parallel(dfas, threads),
             _ => self.evaluate_many(dfas),
         }
+    }
+
+    fn selects_node(&self, dfa: &Dfa, node: NodeId) -> bool {
+        self.selects(dfa, node)
+    }
+
+    fn witness(&self, dfa: &Dfa, node: NodeId) -> Option<Path> {
+        witness_from(&self.index, dfa, node.index())
+    }
+
+    fn nodes_spelling(&self, words: &[Word]) -> Vec<NodeId> {
+        if self.index.node_count() == 0 || words.is_empty() {
+            return Vec::new();
+        }
+        let trie = PrefixTree::from_words(words);
+        self.spell_reach(&trie, trie.root())
+            .ones()
+            .map(NodeId::from)
+            .collect()
+    }
+
+    fn spelling_counts(&self, words: &[Word]) -> Vec<(NodeId, u32)> {
+        let n = self.index.node_count();
+        if n == 0 || words.is_empty() {
+            return Vec::new();
+        }
+        let reversed: Vec<Word> = words
+            .iter()
+            .map(|w| w.iter().rev().copied().collect())
+            .collect();
+        let trie = PrefixTree::from_words(&reversed);
+        let mut counts = vec![0u32; n];
+        let mut all = FixedBitSet::new(n);
+        all.insert_all();
+        self.count_spellers(&trie, trie.root(), &all, &mut counts);
+        counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, count)| count > 0)
+            .map(|(index, count)| (NodeId::from(index), count))
+            .collect()
     }
 }
 
@@ -242,15 +431,73 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_in_order() {
         let g = sample();
-        let evaluator = BatchEvaluator::new(&g);
         let dfas = queries(&g);
         let refs: Vec<&Dfa> = dfas.iter().collect();
-        let sequential = evaluator.evaluate_many(&refs);
-        for threads in [1, 2, 3, 8] {
+        let sequential = BatchEvaluator::new(&g).evaluate_many(&refs);
+        for split in [ParallelSplit::WorkStealing, ParallelSplit::Chunked] {
+            let evaluator = BatchEvaluator::new(&g).with_split(split);
+            assert_eq!(evaluator.split(), split);
+            for threads in [1, 2, 3, 8] {
+                assert_eq!(
+                    evaluator.evaluate_many_parallel(&refs, threads),
+                    sequential,
+                    "{split:?} x{threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_preserves_order_on_large_heterogeneous_batches() {
+        // More queries than threads, duplicated in shuffled positions, so the
+        // cursor hands different slices to different workers across runs;
+        // output order must always match input order.
+        let g = sample();
+        let evaluator = BatchEvaluator::new(&g);
+        let base = queries(&g);
+        let many: Vec<&Dfa> = (0..37).map(|i| &base[i % base.len()]).collect();
+        let expected = evaluator.evaluate_many(&many);
+        for _ in 0..5 {
+            assert_eq!(evaluator.evaluate_many_parallel(&many, 4), expected);
+        }
+    }
+
+    #[test]
+    fn shared_index_is_one_allocation() {
+        let g = sample();
+        let evaluator = BatchEvaluator::new(&g);
+        let clone = evaluator.clone();
+        assert!(Arc::ptr_eq(
+            &evaluator.shared_index(),
+            &clone.shared_index()
+        ));
+        let rebuilt =
+            BatchEvaluator::from_shared_index(evaluator.shared_index(), evaluator.stats().clone());
+        let dfas = queries(&g);
+        for dfa in &dfas {
+            assert_eq!(rebuilt.evaluate(dfa), evaluator.evaluate(dfa));
+        }
+    }
+
+    #[test]
+    fn trait_witness_matches_naive_witness_length() {
+        let g = sample();
+        let evaluator = BatchEvaluator::new(&g);
+        let naive = gps_rpq::NaiveEvaluator::new(&g);
+        let query = PathQuery::parse("(tram+bus)*.cinema", g.labels()).unwrap();
+        for node in 0..g.node_count() {
+            let node = NodeId::from(node);
+            let a = DfaEvaluator::witness(&naive, query.dfa(), node);
+            let b = DfaEvaluator::witness(&evaluator, query.dfa(), node);
             assert_eq!(
-                evaluator.evaluate_many_parallel(&refs, threads),
-                sequential,
-                "{threads} threads"
+                a.as_ref().map(|p| p.len()),
+                b.as_ref().map(|p| p.len()),
+                "{node}"
+            );
+            assert_eq!(
+                evaluator.selects_node(query.dfa(), node),
+                a.is_some(),
+                "{node}"
             );
         }
     }

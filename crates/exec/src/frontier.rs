@@ -22,7 +22,7 @@ use crate::bitset::FixedBitSet;
 use crate::index::{Direction, LabelIndex};
 use crate::planner::Plan;
 use gps_automata::Dfa;
-use gps_graph::LabelId;
+use gps_graph::{LabelId, NodeId, Path};
 use gps_rpq::QueryAnswer;
 
 /// Reusable allocation for one evaluation: per-state alive/frontier/delta
@@ -199,11 +199,68 @@ pub fn selects_from(index: &LabelIndex, dfa: &Dfa, source: usize) -> bool {
     false
 }
 
+/// Shortest witness extraction over the label index: a BFS over `(node, DFA
+/// state)` configurations following the per-label forward slices, with
+/// parent links for path reconstruction.
+///
+/// Returns a path of the same (minimal) length as
+/// `gps_rpq::witness::shortest_witness` — the concrete path may differ when
+/// several shortest witnesses exist, but the length (what the interactive
+/// layer's zooming decision consumes) is unique.
+pub fn witness_from(index: &LabelIndex, dfa: &Dfa, source: usize) -> Option<Path> {
+    let n = index.node_count();
+    let s = dfa.state_count();
+    if s == 0 || source >= n {
+        return None;
+    }
+    let start_node = NodeId::from(source);
+    if dfa.is_accepting(dfa.start()) {
+        return Some(Path::empty(start_node));
+    }
+    // Parent links: (node, state) -> (parent node, parent state, label).
+    let mut parents: std::collections::HashMap<(usize, usize), (usize, usize, LabelId)> =
+        std::collections::HashMap::new();
+    let mut visited: Vec<FixedBitSet> = (0..s).map(|_| FixedBitSet::new(n)).collect();
+    let mut queue = std::collections::VecDeque::new();
+    visited[dfa.start()].insert(source);
+    queue.push_back((source, dfa.start()));
+    while let Some((node, state)) = queue.pop_front() {
+        for (label, next_state) in dfa.transitions_from(state) {
+            for &u in index.neighbors(Direction::Forward, label, node) {
+                let next = (u as usize, next_state);
+                if visited[next_state].insert(u as usize) {
+                    parents.insert(next, (node, state, label));
+                    if dfa.is_accepting(next_state) {
+                        // Reconstruct by walking the parent links back.
+                        let mut word = Vec::new();
+                        let mut nodes = vec![NodeId::from(next.0)];
+                        let mut current = next;
+                        while let Some(&(pn, ps, label)) = parents.get(&current) {
+                            word.push(label);
+                            nodes.push(NodeId::from(pn));
+                            current = (pn, ps);
+                        }
+                        word.reverse();
+                        nodes.reverse();
+                        return Some(Path {
+                            start: start_node,
+                            word,
+                            nodes,
+                        });
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use gps_automata::Regex;
-    use gps_graph::Graph;
+    use gps_graph::{Graph, GraphBackend};
 
     fn figure1_like() -> Graph {
         let mut g = Graph::new();
@@ -282,6 +339,32 @@ mod tests {
             );
         }
         assert!(!selects_from(&index, &dfa, 99), "out of range is false");
+    }
+
+    #[test]
+    fn witness_from_matches_naive_witness_lengths() {
+        let g = figure1_like();
+        let dfa = motivating(&g);
+        let index = LabelIndex::from_backend(&g);
+        for node in GraphBackend::nodes(&g) {
+            let naive = gps_rpq::witness::shortest_witness(&g, &dfa, node);
+            let indexed = witness_from(&index, &dfa, node.index());
+            match (naive, indexed) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.len(), b.len(), "node {node}");
+                    assert!(dfa.accepts(&b.word), "node {node}");
+                    assert_eq!(b.start, node);
+                    assert_eq!(b.nodes.len(), b.word.len() + 1);
+                }
+                (None, None) => {}
+                (a, b) => panic!("node {node}: naive {a:?} vs indexed {b:?}"),
+            }
+        }
+        // Nullable query: the empty witness at the node itself.
+        let eps = Dfa::from_regex(&Regex::Epsilon);
+        let path = witness_from(&index, &eps, 0).unwrap();
+        assert!(path.is_empty());
+        assert!(witness_from(&index, &eps, 99).is_none(), "out of range");
     }
 
     #[test]

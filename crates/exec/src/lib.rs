@@ -53,7 +53,7 @@ pub mod frontier;
 pub mod index;
 pub mod planner;
 
-pub use batch::BatchEvaluator;
+pub use batch::{BatchEvaluator, ParallelSplit};
 pub use bitset::FixedBitSet;
 pub use index::{Direction, LabelIndex};
 pub use planner::{Plan, PlanDecision};

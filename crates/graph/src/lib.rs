@@ -75,5 +75,5 @@ pub use ids::{EdgeId, LabelId, NodeId};
 pub use labels::LabelInterner;
 pub use neighborhood::{Neighborhood, NeighborhoodDelta};
 pub use paths::{Path, PathEnumerator, Word};
-pub use prefix_tree::PrefixTree;
+pub use prefix_tree::{PrefixNodeId, PrefixTree};
 pub use stats::{GraphStats, LabelStat, LabelStats};

@@ -8,17 +8,41 @@
 //!
 //! [`PruningState`] maintains this set incrementally and exposes the numbers
 //! the pruning-effectiveness experiment (E4) reports.
+//!
+//! Inside a session the state is kept up to date with
+//! [`refresh_with`](PruningState::refresh_with): instead of re-enumerating
+//! every node's bounded paths after each interaction, it reads the coverage's
+//! word delta (the words newly covered since the last sync), asks the shared
+//! evaluation stack which nodes spell any of them — one prefix-tree-acceptor
+//! evaluation — and rescans only those.  The cached per-node uncovered-word
+//! counts double as the informative-paths strategy's scores.
 
 use gps_graph::{GraphBackend, NodeId};
 use gps_learner::ExampleSet;
-use gps_rpq::NegativeCoverage;
+use gps_rpq::{EvalHandle, NegativeCoverage};
 use std::collections::BTreeSet;
+
+/// Ceiling on the total size (states) of the word-delta acceptor the
+/// incremental refresh evaluates; a pathological delta (a negative hub with
+/// an enormous bounded language) falls back to the full rescan instead of
+/// building an oversized product.
+const DELTA_ACCEPTOR_STATE_CAP: usize = 50_000;
 
 /// The set of nodes that should no longer be proposed to the user.
 #[derive(Debug, Clone)]
 pub struct PruningState {
     pruned: BTreeSet<NodeId>,
     bound: usize,
+    /// Per-node uncovered-word counts (`coverage.uncovered_count`), valid
+    /// for the coverage version in `synced`.  A node is
+    /// coverage-uninformative iff its entry is 0.
+    scores: Vec<usize>,
+    /// The coverage `(log_identity, version)` the scores were last
+    /// synchronized against, `None` before the first refresh.  The identity
+    /// lets the incremental refresh and the strategy detect a *different*
+    /// coverage object (whose delta would be meaningless here) instead of
+    /// trusting a bare version number.
+    synced: Option<(u64, u64)>,
 }
 
 impl PruningState {
@@ -28,12 +52,35 @@ impl PruningState {
         Self {
             pruned: BTreeSet::new(),
             bound,
+            scores: Vec::new(),
+            synced: None,
         }
     }
 
     /// The path-length bound.
     pub fn bound(&self) -> usize {
         self.bound
+    }
+
+    /// The coverage version the cached scores are synchronized to, if any.
+    pub fn synced_version(&self) -> Option<u64> {
+        self.synced.map(|(_, version)| version)
+    }
+
+    /// Returns `true` when the cached scores are synchronized with exactly
+    /// this coverage's log lineage and version — the condition under which
+    /// [`cached_score`](Self::cached_score) equals
+    /// `coverage.uncovered_count` for every node.
+    pub fn is_synced_to(&self, coverage: &NegativeCoverage) -> bool {
+        self.synced == Some((coverage.log_identity(), coverage.version()))
+    }
+
+    /// The cached uncovered-word count of `node`, when the state has been
+    /// refreshed.  Only meaningful for the coverage the state was refreshed
+    /// with (check [`is_synced_to`](Self::is_synced_to) before trusting it).
+    pub fn cached_score(&self, node: NodeId) -> Option<usize> {
+        self.synced?;
+        self.scores.get(node.index()).copied()
     }
 
     /// Recomputes the pruned set from scratch: labeled nodes plus nodes that
@@ -46,12 +93,93 @@ impl PruningState {
         coverage: &NegativeCoverage,
     ) -> usize {
         let before = self.pruned.len();
+        self.full_rescan(graph, coverage);
+        self.prune_labeled(examples);
+        self.pruned.len() - before
+    }
+
+    /// Incremental refresh for sessions: identical resulting state to
+    /// [`refresh`](Self::refresh), but after the first (full) scan each call
+    /// only rescans the nodes that spell a word covered since the previous
+    /// call — computed in one acceptor evaluation on the shared stack —
+    /// plus the newly labeled nodes.
+    pub fn refresh_with<B: GraphBackend>(
+        &mut self,
+        graph: &B,
+        examples: &ExampleSet,
+        coverage: &NegativeCoverage,
+        exec: &EvalHandle,
+    ) -> usize {
+        let before = self.pruned.len();
+        let identity = coverage.log_identity();
+        let version = coverage.version();
+        let scores_current = self.scores.len() == graph.node_count();
+        match self.synced {
+            Some((id, v)) if id == identity && v == version && scores_current => {}
+            Some((id, v)) if id == identity && v < version && scores_current => {
+                let fresh = coverage.covered_since(v);
+                let trie_states: usize = fresh.iter().map(|w| w.len()).sum::<usize>() + 1;
+                if trie_states > DELTA_ACCEPTOR_STATE_CAP {
+                    self.full_rescan(graph, coverage);
+                } else {
+                    // A node's uncovered count drops by exactly the number
+                    // of newly covered words it spells — one engine sweep,
+                    // no path re-enumeration.  Already-pruned nodes are
+                    // decremented too, keeping every cached score accurate.
+                    for (node, count) in exec.spelling_counts(fresh) {
+                        let score = self.scores[node.index()].saturating_sub(count as usize);
+                        self.scores[node.index()] = score;
+                        if score == 0 {
+                            self.pruned.insert(node);
+                        }
+                    }
+                    self.synced = Some((identity, version));
+                }
+            }
+            // First refresh, or a coverage/graph this state has never been
+            // synchronized against: rebuild everything.  With no covered
+            // word yet, every node's uncovered count is its bounded-word
+            // count — served from the stack's shared per-snapshot baseline
+            // instead of re-enumerating the whole graph per session.
+            _ => {
+                let baseline = (coverage.version() == 0)
+                    .then(|| exec.bounded_word_counts(coverage.bound()))
+                    .filter(|baseline| baseline.len() == graph.node_count());
+                match baseline {
+                    Some(baseline) => {
+                        self.scores = (*baseline).clone();
+                        for (index, &score) in self.scores.iter().enumerate() {
+                            if score == 0 {
+                                self.pruned.insert(NodeId::from(index));
+                            }
+                        }
+                        self.synced = Some((identity, 0));
+                    }
+                    None => self.full_rescan(graph, coverage),
+                }
+            }
+        }
+        self.prune_labeled(examples);
+        self.pruned.len() - before
+    }
+
+    fn full_rescan<B: GraphBackend>(&mut self, graph: &B, coverage: &NegativeCoverage) {
+        let n = graph.node_count();
+        self.scores = vec![0; n];
         for node in graph.nodes() {
-            if examples.is_labeled(node) || coverage.is_uninformative(graph, node) {
+            let score = coverage.uncovered_count(graph, node);
+            self.scores[node.index()] = score;
+            if score == 0 {
                 self.pruned.insert(node);
             }
         }
-        self.pruned.len() - before
+        self.synced = Some((coverage.log_identity(), coverage.version()));
+    }
+
+    fn prune_labeled(&mut self, examples: &ExampleSet) {
+        for (node, _) in examples.iter() {
+            self.pruned.insert(node);
+        }
     }
 
     /// Marks a single node as pruned (used when the user labels it).
@@ -162,6 +290,94 @@ mod tests {
         pruning2.refresh(&g, &examples2, &coverage2);
         assert_eq!(pruning2.candidate_count(&g), 0);
         assert!((pruning2.pruned_fraction(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_refresh_matches_full_rescan() {
+        let g = sample();
+        let exec = gps_rpq::EvalHandle::naive(&g);
+        let n5 = g.node_by_name("N5").unwrap();
+        let n6 = g.node_by_name("N6").unwrap();
+
+        let mut full = PruningState::new(3);
+        let mut incremental = PruningState::new(3);
+        let mut examples = ExampleSet::new();
+        let mut coverage = NegativeCoverage::new(3);
+
+        // Replay a small session: initial scan, then a positive whose node
+        // also spells later-covered words, then two negatives.
+        for step in 0..4 {
+            if step == 1 {
+                examples.add_positive(n6);
+            }
+            if step == 2 {
+                examples.add_negative(n5);
+                coverage.add_negative(&g, n5);
+            }
+            if step == 3 {
+                examples.add_negative(n6);
+                coverage.add_negative(&g, n6);
+            }
+            let newly_full = full.refresh(&g, &examples, &coverage);
+            let newly_inc = incremental.refresh_with(&g, &examples, &coverage, &exec);
+            assert_eq!(newly_full, newly_inc, "step {step}");
+            for node in g.nodes() {
+                assert_eq!(
+                    full.is_pruned(node),
+                    incremental.is_pruned(node),
+                    "step {step}, node {node}"
+                );
+                assert_eq!(
+                    incremental.cached_score(node),
+                    Some(coverage.uncovered_count(&g, node)),
+                    "step {step}, node {node}"
+                );
+            }
+            assert_eq!(incremental.synced_version(), Some(coverage.version()));
+        }
+    }
+
+    #[test]
+    fn foreign_coverage_forces_a_full_rescan_not_a_delta() {
+        let g = sample();
+        let exec = gps_rpq::EvalHandle::naive(&g);
+        let n5 = g.node_by_name("N5").unwrap();
+        let n6 = g.node_by_name("N6").unwrap();
+        let examples = ExampleSet::new();
+        // Sync against coverage A (empty), then refresh with an unrelated
+        // coverage B at a higher version: B's delta must not be applied to
+        // A-synced scores — the state rescans and matches B exactly.
+        let a = NegativeCoverage::new(3);
+        let mut pruning = PruningState::new(3);
+        pruning.refresh_with(&g, &examples, &a, &exec);
+        assert!(pruning.is_synced_to(&a));
+        let b = NegativeCoverage::from_negatives(&g, [n5], 3);
+        assert!(!pruning.is_synced_to(&b));
+        pruning.refresh_with(&g, &examples, &b, &exec);
+        assert!(pruning.is_synced_to(&b));
+        for node in g.nodes() {
+            assert_eq!(
+                pruning.cached_score(node),
+                Some(b.uncovered_count(&g, node)),
+                "node {node}"
+            );
+        }
+        // A clone shares the log lineage, so its future deltas are valid.
+        let mut c = b.clone();
+        assert!(pruning.is_synced_to(&c));
+        c.add_negative(&g, n6);
+        assert!(!pruning.is_synced_to(&c), "clone advanced past the sync");
+        pruning.refresh_with(&g, &examples, &c, &exec);
+        assert!(pruning.is_synced_to(&c));
+        assert_eq!(pruning.cached_score(n6), Some(0), "cinema is now covered");
+    }
+
+    #[test]
+    fn unsynced_state_reports_no_cached_scores() {
+        let g = sample();
+        let pruning = PruningState::new(3);
+        assert_eq!(pruning.synced_version(), None);
+        assert_eq!(pruning.cached_score(g.node_by_name("N5").unwrap()), None);
     }
 
     #[test]

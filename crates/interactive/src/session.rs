@@ -16,7 +16,7 @@ use crate::validation;
 use crate::zoom::ZoomState;
 use gps_graph::{Graph, GraphBackend, NodeId, Word};
 use gps_learner::{ExampleSet, Label, LearnedQuery, Learner};
-use gps_rpq::NegativeCoverage;
+use gps_rpq::{EvalHandle, NegativeCoverage};
 use std::time::Instant;
 
 /// Configuration of an interactive session.
@@ -63,7 +63,7 @@ impl SessionConfig {
 }
 
 /// One entry of the session transcript.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InteractionRecord {
     /// The node proposed to the user.
     pub node: NodeId,
@@ -94,9 +94,16 @@ pub struct SessionOutcome {
 /// An in-progress interactive specification session over backend `B`
 /// (defaults to the mutable [`Graph`]; run sessions on a
 /// [`gps_graph::CsrGraph`] snapshot for cache-friendly traversal).
+///
+/// Every DFA evaluation inside the loop — the learner's consistency check,
+/// the incremental pruning's dirty-set query — goes through the session's
+/// [`EvalHandle`].  [`Session::new`] builds a private naive handle;
+/// [`Session::with_exec`] shares an engine's cache and configured execution
+/// engine, putting the whole loop on the frontier fast path.
 #[derive(Debug)]
 pub struct Session<'g, B: GraphBackend = Graph> {
     graph: &'g B,
+    exec: EvalHandle,
     config: SessionConfig,
     examples: ExampleSet,
     coverage: NegativeCoverage,
@@ -107,12 +114,24 @@ pub struct Session<'g, B: GraphBackend = Graph> {
 }
 
 impl<'g, B: GraphBackend> Session<'g, B> {
-    /// Creates a session over `graph`.
+    /// Creates a session over `graph` with a private reference evaluation
+    /// stack (one snapshot + the naive evaluator).
     pub fn new(graph: &'g B, config: SessionConfig) -> Self {
+        Self::with_exec(graph, config, EvalHandle::naive(graph))
+    }
+
+    /// Creates a session over `graph` evaluating through a shared stack —
+    /// the way engine-driven sessions run, so the session, the learner, the
+    /// pruning and the engine's own query API share one cache, evaluator and
+    /// snapshot.
+    ///
+    /// `exec` must have been built over (a snapshot of) `graph`.
+    pub fn with_exec(graph: &'g B, config: SessionConfig, exec: EvalHandle) -> Self {
         let coverage = NegativeCoverage::new(config.path_bound);
         let pruning = PruningState::new(config.path_bound);
         Self {
             graph,
+            exec,
             config,
             examples: ExampleSet::new(),
             coverage,
@@ -121,6 +140,11 @@ impl<'g, B: GraphBackend> Session<'g, B> {
             hypothesis: None,
             transcript: Vec::new(),
         }
+    }
+
+    /// The evaluation stack this session runs on.
+    pub fn exec(&self) -> &EvalHandle {
+        &self.exec
     }
 
     /// The examples collected so far.
@@ -156,9 +180,10 @@ impl<'g, B: GraphBackend> Session<'g, B> {
         }
         let started = Instant::now();
 
-        // 1–3: pick the next informative node.
+        // 1–3: pick the next informative node (incremental refresh: only
+        // nodes spelling newly covered words are rescanned).
         self.pruning
-            .refresh(self.graph, &self.examples, &self.coverage);
+            .refresh_with(self.graph, &self.examples, &self.coverage, &self.exec);
         let node = {
             let ctx = StrategyContext {
                 graph: self.graph,
@@ -219,7 +244,16 @@ impl<'g, B: GraphBackend> Session<'g, B> {
             UserResponse::Negative => {
                 self.stats.negative_labels += 1;
                 self.examples.add_negative(node);
-                self.coverage.add_negative(self.graph, node);
+                // Cover the node's words from the shared per-snapshot word
+                // cache when it matches this graph; identical to enumerating
+                // them here.
+                let cached = self.exec.bounded_words(self.coverage.bound());
+                if cached.len() == self.graph.node_count() {
+                    self.coverage
+                        .add_negative_with_words(node, &cached[node.index()]);
+                } else {
+                    self.coverage.add_negative(self.graph, node);
+                }
                 InteractionRecord {
                     node,
                     zooms: zoom.zoom_count(),
@@ -232,14 +266,22 @@ impl<'g, B: GraphBackend> Session<'g, B> {
         self.stats.interactions += 1;
         self.transcript.push(record);
 
-        // Learn from all labels, propagate, prune.
+        // Learn from all labels, propagate, prune.  The learner shares the
+        // session's coverage and evaluation stack, so the consistency check
+        // runs on the configured engine (and repeat hypotheses hit the
+        // cache).
         if self.examples.positive_count() > 0 {
-            if let Ok(learned) = self.config.learner.learn(self.graph, &self.examples) {
+            if let Ok(learned) = self.config.learner.learn_with(
+                self.graph,
+                &self.examples,
+                &self.coverage,
+                &self.exec,
+            ) {
                 self.hypothesis = Some(learned);
             }
         }
         self.pruning
-            .refresh(self.graph, &self.examples, &self.coverage);
+            .refresh_with(self.graph, &self.examples, &self.coverage, &self.exec);
         self.stats
             .pruned_after_interaction
             .push(self.pruning.pruned_count());

@@ -144,9 +144,22 @@ impl<B: GraphBackend> Strategy<B> for InformativePathsStrategy {
     }
 
     fn propose(&mut self, ctx: &StrategyContext<'_, B>) -> Option<NodeId> {
+        // When the pruning state has been refreshed against this exact
+        // coverage (lineage and version), its per-node uncovered counts are
+        // the scores — read them instead of re-enumerating every
+        // candidate's paths.
+        let cached = ctx.pruning.is_synced_to(ctx.coverage);
         candidates(ctx)
             .into_iter()
-            .map(|n| (self.score(ctx, n), n))
+            .map(|n| {
+                let score = if cached {
+                    ctx.pruning.cached_score(n)
+                } else {
+                    None
+                }
+                .unwrap_or_else(|| self.score(ctx, n));
+                (score, n)
+            })
             .filter(|&(score, _)| score > 0)
             .max_by_key(|&(score, n)| (score, std::cmp::Reverse(n)))
             .map(|(_, n)| n)
@@ -248,6 +261,29 @@ mod tests {
         pruning.refresh(&g, &examples, &coverage);
         let ctx = context(&g, &examples, &coverage, &pruning);
         assert_eq!(InformativePathsStrategy::default().propose(&ctx), None);
+    }
+
+    #[test]
+    fn cached_scores_propose_the_same_node_as_direct_scoring() {
+        let (g, ids) = figure1_graph();
+        let exec = gps_rpq::EvalHandle::naive(&g);
+        let mut examples = ExampleSet::new();
+        examples.add_negative(ids.n5);
+        let coverage = NegativeCoverage::from_negatives(&g, [ids.n5], 3);
+        // One pruning state synced to the coverage (cached path), one never
+        // refreshed (direct path).
+        let mut synced = PruningState::new(3);
+        synced.refresh_with(&g, &examples, &coverage, &exec);
+        let cold = PruningState::new(3);
+        let from_cache = InformativePathsStrategy::default()
+            .propose(&context(&g, &examples, &coverage, &synced))
+            .unwrap();
+        let direct = InformativePathsStrategy::default()
+            .propose(&context(&g, &examples, &coverage, &cold))
+            .unwrap();
+        // The synced state prunes uninformative nodes the cold one keeps, but
+        // the chosen top-scoring candidate must be the same node.
+        assert_eq!(from_cache, direct);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 
 use gps_graph::{Graph, GraphBackend, Neighborhood, NodeId, Word};
 use gps_learner::LearnedQuery;
-use gps_rpq::PathQuery;
+use gps_rpq::{EvalHandle, PathQuery, QueryAnswer};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The answer to a node-labeling prompt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,10 +56,19 @@ pub trait User<B: GraphBackend = Graph> {
 ///   evidence), up to `max_zooms` extra rings;
 /// * Validates the candidate path by picking the shortest candidate the goal
 ///   accepts, falling back to the suggestion.
+///
+/// The goal's answer is computed **once** at construction and reused for
+/// every labeling and satisfaction check; witness lengths are memoized per
+/// node (the zoom loop re-asks about the same node at growing radii).  With
+/// [`with_exec`](SimulatedUser::with_exec) both go through a shared
+/// evaluation stack, so engine-driven sessions answer from the engine's
+/// cache and extract witnesses with its configured execution engine.
 #[derive(Debug, Clone)]
 pub struct SimulatedUser {
     goal: PathQuery,
-    answer_cache: gps_rpq::QueryAnswer,
+    answer_cache: Arc<QueryAnswer>,
+    exec: Option<EvalHandle>,
+    witness_lengths: HashMap<NodeId, Option<usize>>,
     /// Maximum number of zooms the user is willing to perform per node.
     pub max_zooms: u32,
     /// Number of zoom requests issued so far (across all nodes).
@@ -67,10 +78,26 @@ pub struct SimulatedUser {
 impl SimulatedUser {
     /// Creates a simulated user for `goal` on `graph`.
     pub fn new<B: GraphBackend>(goal: PathQuery, graph: &B) -> Self {
-        let answer_cache = goal.evaluate(graph);
+        let answer_cache = Arc::new(goal.evaluate(graph));
         Self {
             goal,
             answer_cache,
+            exec: None,
+            witness_lengths: HashMap::new(),
+            max_zooms: 4,
+            zooms_performed: 0,
+        }
+    }
+
+    /// Creates a simulated user whose goal answer and witnesses come from a
+    /// shared evaluation stack (the engine's cache + configured evaluator).
+    pub fn with_exec(goal: PathQuery, exec: EvalHandle) -> Self {
+        let answer_cache = exec.evaluate(goal.regex());
+        Self {
+            goal,
+            answer_cache,
+            exec: Some(exec),
+            witness_lengths: HashMap::new(),
             max_zooms: 4,
             zooms_performed: 0,
         }
@@ -101,9 +128,9 @@ impl<B: GraphBackend> User<B> for SimulatedUser {
         // The user answers "yes" only once the evidence (a witness path) fits
         // inside the visible fragment; otherwise she asks to zoom out.
         let radius = neighborhood.radius() as usize;
-        let witness = self.goal.witness(graph, node);
+        let witness = self.witness_length(graph, node);
         match witness {
-            Some(path) if path.len() <= radius => UserResponse::Positive,
+            Some(len) if len <= radius => UserResponse::Positive,
             Some(_) if self.zooms_this_node(neighborhood) < self.max_zooms => {
                 self.zooms_performed += 1;
                 UserResponse::ZoomOut
@@ -128,11 +155,11 @@ impl<B: GraphBackend> User<B> for SimulatedUser {
             .unwrap_or_else(|| suggested.clone())
     }
 
-    fn satisfied_with(&mut self, graph: &B, hypothesis: &LearnedQuery) -> bool {
+    fn satisfied_with(&mut self, _graph: &B, hypothesis: &LearnedQuery) -> bool {
         // The simulated user is satisfied exactly when the hypothesis gives
-        // the same answer as her goal on the whole (visible) graph.
-        let goal_answer = self.goal.evaluate(graph);
-        goal_answer.nodes() == hypothesis.answer.nodes()
+        // the same answer as her goal on the whole (visible) graph; the goal
+        // answer was computed once at construction.
+        self.answer_cache.nodes() == hypothesis.answer.nodes()
     }
 }
 
@@ -141,6 +168,20 @@ impl SimulatedUser {
     /// paper's default starting radius of 2.
     fn zooms_this_node(&self, neighborhood: &Neighborhood) -> u32 {
         neighborhood.radius().saturating_sub(2)
+    }
+
+    /// The goal's shortest-witness length for `node`, memoized (the zoom
+    /// loop asks repeatedly about the same node).
+    fn witness_length<B: GraphBackend>(&mut self, graph: &B, node: NodeId) -> Option<usize> {
+        if let Some(&len) = self.witness_lengths.get(&node) {
+            return len;
+        }
+        let len = match &self.exec {
+            Some(exec) => exec.witness(self.goal.dfa(), node).map(|p| p.len()),
+            None => self.goal.witness(graph, node).map(|p| p.len()),
+        };
+        self.witness_lengths.insert(node, len);
+        len
     }
 }
 
@@ -259,6 +300,53 @@ mod tests {
         // When no candidate matches the goal, the suggestion is kept.
         let chosen2 = user.validate_path(&g, ids.n2, &[vec![restaurant]], &vec![restaurant]);
         assert_eq!(chosen2, vec![restaurant]);
+    }
+
+    #[test]
+    fn exec_backed_user_behaves_like_the_direct_user() {
+        let (g, ids) = figure1_graph();
+        let exec = gps_rpq::EvalHandle::naive(&g);
+        let mut direct = SimulatedUser::new(goal(&g), &g);
+        let mut shared = SimulatedUser::with_exec(goal(&g), exec.clone());
+        for node in [ids.n1, ids.n2, ids.n5, ids.c1] {
+            assert_eq!(direct.wants(node), shared.wants(node), "{node}");
+            for radius in 2..=4 {
+                let hood = Neighborhood::extract(&g, node, radius);
+                assert_eq!(
+                    direct.label_node(&g, node, &hood),
+                    shared.label_node(&g, node, &hood),
+                    "{node} @ r{radius}"
+                );
+            }
+        }
+        // The goal answer went through (and primed) the shared cache.
+        let (_, misses) = exec.cache().stats();
+        assert!(misses >= 1);
+        assert!(
+            Arc::ptr_eq(
+                &exec.evaluate(shared.goal().regex()),
+                &exec.evaluate(shared.goal().regex())
+            ),
+            "repeat goal evaluations are shared cache hits"
+        );
+    }
+
+    #[test]
+    fn satisfied_with_uses_the_cached_goal_answer() {
+        let (g, _) = figure1_graph();
+        let the_goal = goal(&g);
+        let mut user = SimulatedUser::new(the_goal.clone(), &g);
+        let mut ex = gps_learner::ExampleSet::new();
+        for node in the_goal.evaluate(&g).nodes() {
+            ex.add_positive(node);
+        }
+        let learned = gps_learner::Learner::default().learn(&g, &ex).unwrap();
+        let expected = learned.answer.nodes() == the_goal.evaluate(&g).nodes();
+        assert_eq!(
+            <SimulatedUser as User<Graph>>::satisfied_with(&mut user, &g, &learned),
+            expected,
+            "cached-answer satisfaction must equal the re-evaluated one"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::path_selection::{select_paths, SelectedPaths};
 use gps_automata::state_elim::dfa_to_regex;
 use gps_automata::{Dfa, Regex};
 use gps_graph::{GraphBackend, NodeId, PathEnumerator, Word};
-use gps_rpq::{eval, NegativeCoverage, QueryAnswer};
+use gps_rpq::{eval, EvalHandle, NegativeCoverage, QueryAnswer};
 
 /// Tunable parameters of the learner.
 #[derive(Debug, Clone)]
@@ -77,27 +77,81 @@ impl Learner {
         graph: &B,
         examples: &ExampleSet,
     ) -> Result<LearnedQuery, LearnError> {
+        let coverage =
+            NegativeCoverage::from_negatives(graph, examples.negatives(), self.path_bound);
+        self.learn_core(graph, examples, &coverage, None)
+    }
+
+    /// Like [`learn`](Self::learn), but threaded through a shared evaluation
+    /// stack: the final consistency evaluation goes through the handle's
+    /// cache/evaluator (a stable hypothesis across interactions is a cache
+    /// hit), and the caller's `coverage` — which a session maintains
+    /// incrementally anyway — replaces the per-call coverage rebuild, with
+    /// the negative constraint words read off its prefix tree instead of
+    /// re-enumerating every negative node's paths.
+    ///
+    /// `coverage` must reflect exactly the negatives of `examples`; when its
+    /// bound differs from the learner's it is rebuilt at the learner's bound.
+    pub fn learn_with<B: GraphBackend>(
+        &self,
+        graph: &B,
+        examples: &ExampleSet,
+        coverage: &NegativeCoverage,
+        exec: &EvalHandle,
+    ) -> Result<LearnedQuery, LearnError> {
+        if coverage.bound() != self.path_bound {
+            let rebuilt =
+                NegativeCoverage::from_negatives(graph, examples.negatives(), self.path_bound);
+            return self.learn_core(graph, examples, &rebuilt, Some(exec));
+        }
+        self.learn_core(graph, examples, coverage, Some(exec))
+    }
+
+    fn learn_core<B: GraphBackend>(
+        &self,
+        graph: &B,
+        examples: &ExampleSet,
+        coverage: &NegativeCoverage,
+        exec: Option<&EvalHandle>,
+    ) -> Result<LearnedQuery, LearnError> {
         if examples.positive_count() == 0 {
             return Err(LearnError::NoPositiveExamples);
         }
-        let coverage =
-            NegativeCoverage::from_negatives(graph, examples.negatives(), self.path_bound);
-
         // Step (i): one uncovered word per positive example.
-        let selected = select_paths(graph, examples, &coverage, self.path_bound)?;
+        let selected = select_paths(graph, examples, coverage, self.path_bound)?;
         let positive_words: Vec<Word> = selected.values().cloned().collect();
 
         // Negative constraint: every bounded word of every negative node,
         // plus the empty word (a nullable query degenerately selects *every*
         // node of every graph, so it can never be the intended path query).
-        let negative_words = self.negative_words(graph, examples);
+        // With a shared stack the words come straight off the coverage's
+        // prefix tree (same sorted order; ε sorts before every other word) —
+        // unless the uncapped trie outgrew the learner's `max_paths_per_node`
+        // safety valve, in which case the capped per-node enumeration of
+        // [`learn`](Self::learn) is restored so the PTA stays bounded.
+        let negative_words = match exec {
+            Some(_) => {
+                let covered = coverage.covered_words();
+                if covered.len() > self.max_paths_per_node {
+                    self.negative_words(graph, examples)
+                } else {
+                    let mut words: Vec<Word> = vec![Vec::new()];
+                    words.extend(covered);
+                    words
+                }
+            }
+            None => self.negative_words(graph, examples),
+        };
 
         // Step (ii): PTA + state merging.
         let dfa = generalize(&positive_words, &negative_words);
         let regex = dfa_to_regex(&dfa);
 
         // Final consistency check against the actual graph semantics.
-        let answer = eval::evaluate(graph, &dfa);
+        let answer = match exec {
+            Some(exec) => (*exec.evaluate_compiled(&regex, &dfa)).clone(),
+            None => eval::evaluate(graph, &dfa),
+        };
         for negative in examples.negatives() {
             if answer.contains(negative) {
                 return Err(LearnError::InconsistentResult { node: negative });
@@ -269,6 +323,40 @@ mod tests {
         let q = PathQuery::new(learned.regex.clone());
         let reevaluated = q.evaluate(&g);
         assert_eq!(reevaluated.nodes(), learned.answer.nodes());
+    }
+
+    #[test]
+    fn learn_with_matches_learn_exactly() {
+        let g = figure1();
+        let exec = EvalHandle::naive(&g);
+        let mut ex = ExampleSet::new();
+        ex.add_positive(g.node_by_name("N2").unwrap());
+        ex.add_positive(g.node_by_name("N6").unwrap());
+        ex.add_negative(g.node_by_name("R1").unwrap());
+        ex.add_negative(g.node_by_name("C1").unwrap());
+        let learner = Learner::default();
+        let coverage = NegativeCoverage::from_negatives(&g, ex.negatives(), learner.path_bound);
+        let direct = learner.learn(&g, &ex).unwrap();
+        let threaded = learner.learn_with(&g, &ex, &coverage, &exec).unwrap();
+        assert_eq!(direct.regex, threaded.regex);
+        assert_eq!(direct.answer, threaded.answer);
+        assert_eq!(direct.selected_paths, threaded.selected_paths);
+        // Repeating the same hypothesis is a cache hit.
+        let before = exec.cache().stats();
+        let again = learner.learn_with(&g, &ex, &coverage, &exec).unwrap();
+        assert_eq!(again.answer, threaded.answer);
+        assert_eq!(exec.cache().stats().0, before.0 + 1, "one more hit");
+        // A coverage at the wrong bound is rebuilt rather than trusted.
+        let coarse = NegativeCoverage::from_negatives(&g, ex.negatives(), 1);
+        let rebuilt = learner.learn_with(&g, &ex, &coarse, &exec).unwrap();
+        assert_eq!(rebuilt.regex, direct.regex);
+        // Errors propagate identically.
+        let empty = ExampleSet::new();
+        let no_cov = NegativeCoverage::new(learner.path_bound);
+        assert_eq!(
+            learner.learn_with(&g, &empty, &no_cov, &exec).unwrap_err(),
+            LearnError::NoPositiveExamples
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::eval::{DfaEvaluator, NaiveEvaluator, QueryAnswer};
 use gps_automata::{Dfa, Regex};
-use gps_graph::{CsrGraph, GraphBackend};
+use gps_graph::{CsrGraph, GraphBackend, NodeId, Path, PathEnumerator, Word};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +43,14 @@ pub struct EvalCache {
     evaluator: Box<dyn DfaEvaluator>,
     capacity: usize,
     answers: RwLock<HashMap<Regex, Entry>>,
+    /// Per-bound distinct bounded word sets of every node (lazy, shared).
+    /// Sessions score informativeness and cover negatives against these
+    /// words; enumerating them once per snapshot instead of once per node
+    /// per interaction is a large part of the sessions/sec win.
+    words: RwLock<HashMap<usize, Arc<Vec<Vec<Word>>>>>,
+    /// Per-bound word *counts* (derived from `words`, memoized separately so
+    /// the common fast path clones a flat `Vec<usize>`).
+    word_counts: RwLock<HashMap<usize, Arc<Vec<usize>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -82,6 +90,8 @@ impl EvalCache {
             evaluator,
             capacity: DEFAULT_CAPACITY,
             answers: RwLock::new(HashMap::new()),
+            words: RwLock::new(HashMap::new()),
+            word_counts: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -121,6 +131,79 @@ impl EvalCache {
         let answer = Arc::new(self.evaluator.evaluate_dfa(&dfa));
         self.insert(regex, &answer);
         answer
+    }
+
+    /// Like [`evaluate`](Self::evaluate), but for callers that already hold
+    /// the compiled DFA of `regex` (the learner does): a miss evaluates the
+    /// supplied automaton directly instead of recompiling the expression.
+    ///
+    /// `dfa` must accept the language of `regex` — the answer is cached under
+    /// the expression.
+    pub fn evaluate_compiled(&self, regex: &Regex, dfa: &Dfa) -> Arc<QueryAnswer> {
+        if let Some(answer) = self.touch(regex) {
+            return answer;
+        }
+        let answer = Arc::new(self.evaluator.evaluate_dfa(dfa));
+        self.insert(regex, &answer);
+        answer
+    }
+
+    /// A shortest witness path for `node` under `dfa`, extracted by the
+    /// configured evaluator (uncached — witnesses are per-node queries).
+    pub fn witness(&self, dfa: &Dfa, node: NodeId) -> Option<Path> {
+        self.evaluator.witness(dfa, node)
+    }
+
+    /// The distinct words of length `1..=bound` spelled by each node's
+    /// outgoing paths (sorted, indexed by node id).
+    ///
+    /// Computed lazily once per bound on the shared snapshot and memoized;
+    /// identical to `PathEnumerator::new(bound).words_from(graph, node)` for
+    /// every node.  Sessions score informativeness (filter by coverage) and
+    /// record negative examples against these sets without re-walking the
+    /// graph.
+    pub fn bounded_words(&self, bound: usize) -> Arc<Vec<Vec<Word>>> {
+        if let Some(words) = self.words.read().get(&bound) {
+            return Arc::clone(words);
+        }
+        let enumerator = PathEnumerator::new(bound);
+        let words: Vec<Vec<Word>> = self
+            .csr
+            .nodes()
+            .map(|node| {
+                enumerator
+                    .words_from(self.csr.as_ref(), node)
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        let words = Arc::new(words);
+        self.words
+            .write()
+            .entry(bound)
+            .or_insert_with(|| Arc::clone(&words))
+            .clone()
+    }
+
+    /// The number of distinct words of length `1..=bound` spelled by each
+    /// node's outgoing paths, indexed by node id — every node's
+    /// uncovered-word count under *empty* negative coverage, i.e. the
+    /// informativeness baseline an interactive session starts from.
+    pub fn bounded_word_counts(&self, bound: usize) -> Arc<Vec<usize>> {
+        if let Some(counts) = self.word_counts.read().get(&bound) {
+            return Arc::clone(counts);
+        }
+        let counts: Vec<usize> = self
+            .bounded_words(bound)
+            .iter()
+            .map(|words| words.len())
+            .collect();
+        let counts = Arc::new(counts);
+        self.word_counts
+            .write()
+            .entry(bound)
+            .or_insert_with(|| Arc::clone(&counts))
+            .clone()
     }
 
     /// Evaluates a batch of expressions, returning the answers in input
@@ -381,6 +464,10 @@ mod tests {
                 self.evaluated
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 self.inner.evaluate_dfa(dfa)
+            }
+
+            fn witness(&self, dfa: &Dfa, node: NodeId) -> Option<Path> {
+                self.inner.witness(dfa, node)
             }
         }
         let g = sample();

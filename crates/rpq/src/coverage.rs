@@ -9,6 +9,11 @@
 
 use gps_graph::{GraphBackend, NodeId, PathEnumerator, PrefixTree, Word};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of fresh coverage log identities (see
+/// [`NegativeCoverage::log_identity`]).
+static NEXT_LOG_IDENTITY: AtomicU64 = AtomicU64::new(1);
 
 /// The set of words covered by the negative examples collected so far,
 /// bounded by a maximum path length.
@@ -17,6 +22,14 @@ pub struct NegativeCoverage {
     bound: usize,
     covered: PrefixTree,
     negatives: BTreeSet<NodeId>,
+    /// Every word in insertion order, exactly once — the delta log consumers
+    /// (incremental pruning) key their state off [`version`](Self::version),
+    /// which is this log's length.
+    covered_log: Vec<Word>,
+    /// Identity of the log lineage this coverage belongs to (shared by
+    /// clones, distinct across [`new`](Self::new) calls) — see
+    /// [`log_identity`](Self::log_identity).
+    log_identity: u64,
 }
 
 impl NegativeCoverage {
@@ -26,6 +39,8 @@ impl NegativeCoverage {
             bound,
             covered: PrefixTree::new(),
             negatives: BTreeSet::new(),
+            covered_log: Vec::new(),
+            log_identity: NEXT_LOG_IDENTITY.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -64,9 +79,64 @@ impl NegativeCoverage {
             return false;
         }
         for word in PathEnumerator::new(self.bound).words_from(graph, node) {
-            self.covered.insert(&word);
+            if !self.covered.contains(&word) {
+                self.covered.insert(&word);
+                self.covered_log.push(word);
+            }
         }
         true
+    }
+
+    /// Like [`add_negative`](Self::add_negative), but with the node's
+    /// bounded word set supplied by the caller (typically the shared
+    /// per-snapshot word cache) instead of enumerated from the graph.
+    ///
+    /// `words` must be exactly the node's distinct words up to this
+    /// coverage's bound.
+    pub fn add_negative_with_words(&mut self, node: NodeId, words: &[Word]) -> bool {
+        if !self.negatives.insert(node) {
+            return false;
+        }
+        for word in words {
+            if !self.covered.contains(word) {
+                self.covered.insert(word);
+                self.covered_log.push(word.clone());
+            }
+        }
+        true
+    }
+
+    /// A monotonic version counter: the number of distinct covered words so
+    /// far.  Bumps exactly when coverage grows, so consumers can detect and
+    /// fetch the delta with [`covered_since`](Self::covered_since).
+    pub fn version(&self) -> u64 {
+        self.covered_log.len() as u64
+    }
+
+    /// Identifies the covered-word log lineage this coverage belongs to.
+    ///
+    /// Two coverages with the same identity share their log prefix (one is
+    /// a clone of the other at some version), so a delta consumer that
+    /// synchronized against one may safely apply
+    /// [`covered_since`](Self::covered_since) deltas from the other.
+    /// Coverages created independently get distinct identities, letting
+    /// consumers detect a foreign object instead of applying its delta.
+    pub fn log_identity(&self) -> u64 {
+        self.log_identity
+    }
+
+    /// The words that became covered after the coverage was at `version`
+    /// (insertion order).  `covered_since(0)` is every covered word.
+    pub fn covered_since(&self, version: u64) -> &[Word] {
+        let start = (version as usize).min(self.covered_log.len());
+        &self.covered_log[start..]
+    }
+
+    /// Every covered word, sorted (shortest-prefix-first lexicographic) and
+    /// deduplicated — the negative constraint set the learner generalizes
+    /// against.
+    pub fn covered_words(&self) -> Vec<Word> {
+        self.covered.words()
     }
 
     /// Returns `true` when `word` is covered by some negative example.
@@ -197,6 +267,35 @@ mod tests {
         assert_eq!(cov.negatives().collect::<Vec<_>>(), vec![n5, n6]);
         let cinema = g.label_id("cinema").unwrap();
         assert!(cov.is_covered(&[cinema]));
+    }
+
+    #[test]
+    fn version_and_delta_track_new_words_exactly_once() {
+        let g = sample();
+        let n5 = g.node_by_name("N5").unwrap();
+        let n6 = g.node_by_name("N6").unwrap();
+        let mut cov = NegativeCoverage::new(3);
+        assert_eq!(cov.version(), 0);
+        cov.add_negative(&g, n5);
+        let v1 = cov.version();
+        assert!(v1 > 0);
+        assert_eq!(cov.covered_since(0).len(), v1 as usize);
+        // N6's words (cinema) are new; N5's shared words (bus·cinema) are
+        // already covered and must not reappear in the delta.
+        cov.add_negative(&g, n6);
+        let delta: Vec<_> = cov.covered_since(v1).to_vec();
+        let cinema = g.label_id("cinema").unwrap();
+        assert_eq!(delta, vec![vec![cinema]]);
+        // Re-adding a negative is a no-op for the version.
+        let v2 = cov.version();
+        cov.add_negative(&g, n5);
+        assert_eq!(cov.version(), v2);
+        // Past-the-end versions yield an empty delta.
+        assert!(cov.covered_since(v2 + 10).is_empty());
+        // covered_words is the sorted, deduplicated union of the log.
+        let mut log: Vec<_> = cov.covered_since(0).to_vec();
+        log.sort();
+        assert_eq!(cov.covered_words(), log);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! A shared handle to one evaluation stack.
+//!
+//! An interactive session touches the evaluator from many places — the
+//! simulated user computes the goal answer, the learner re-checks every new
+//! hypothesis, the pruning state asks which nodes spell newly covered words,
+//! witnesses are extracted for proposed nodes.  [`EvalHandle`] bundles the
+//! [`EvalCache`] (and through it the configured [`DfaEvaluator`] and its
+//! shared snapshot/index) behind one cheaply cloneable value so all of those
+//! call sites share a single cache, evaluator and [`gps_graph::CsrGraph`]
+//! per engine instead of re-evaluating or re-snapshotting ad hoc.
+
+use crate::cache::EvalCache;
+use crate::eval::{DfaEvaluator, QueryAnswer};
+use gps_automata::{Dfa, Regex};
+use gps_graph::{GraphBackend, NodeId, Path, Word};
+use std::sync::Arc;
+
+/// A cheaply cloneable handle to a shared evaluation cache + evaluator.
+///
+/// Cloning shares the underlying [`EvalCache`]; every clone sees the same
+/// cached answers and drives the same evaluator (and therefore the same
+/// graph snapshot and any engine-internal index).
+#[derive(Debug, Clone)]
+pub struct EvalHandle {
+    cache: Arc<EvalCache>,
+}
+
+impl EvalHandle {
+    /// A handle over the reference node-at-a-time evaluator (snapshotting
+    /// `graph`).  This is what a bare [`Session`](../gps_interactive) runs
+    /// with when no engine provides a handle.
+    pub fn naive<B: GraphBackend>(graph: &B) -> Self {
+        Self::from_cache(Arc::new(EvalCache::new(graph)))
+    }
+
+    /// Wraps an existing shared cache (the engine's).
+    pub fn from_cache(cache: Arc<EvalCache>) -> Self {
+        Self { cache }
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// A new reference to the shared cache.
+    pub fn shared_cache(&self) -> Arc<EvalCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// The evaluator answering cache misses.
+    pub fn evaluator(&self) -> &dyn DfaEvaluator {
+        self.cache.evaluator()
+    }
+
+    /// Evaluates `regex` through the cache.
+    pub fn evaluate(&self, regex: &Regex) -> Arc<QueryAnswer> {
+        self.cache.evaluate(regex)
+    }
+
+    /// Evaluates an already-compiled query through the cache (keyed by its
+    /// expression; the DFA is only consulted on a miss).
+    pub fn evaluate_compiled(&self, regex: &Regex, dfa: &Dfa) -> Arc<QueryAnswer> {
+        self.cache.evaluate_compiled(regex, dfa)
+    }
+
+    /// Single-node membership through the evaluator (early-exit engines
+    /// answer without a full fixed point).
+    pub fn selects(&self, dfa: &Dfa, node: NodeId) -> bool {
+        self.evaluator().selects_node(dfa, node)
+    }
+
+    /// A shortest witness path for `node`, or `None` when unselected.
+    pub fn witness(&self, dfa: &Dfa, node: NodeId) -> Option<Path> {
+        self.evaluator().witness(dfa, node)
+    }
+
+    /// Distinct bounded word sets per node, computed once per snapshot and
+    /// shared — see [`EvalCache::bounded_words`].
+    pub fn bounded_words(&self, bound: usize) -> Arc<Vec<Vec<Word>>> {
+        self.cache.bounded_words(bound)
+    }
+
+    /// Distinct bounded-word counts per node (empty-coverage informativeness
+    /// baseline), computed once per snapshot and shared — see
+    /// [`EvalCache::bounded_word_counts`].
+    pub fn bounded_word_counts(&self, bound: usize) -> Arc<Vec<usize>> {
+        self.cache.bounded_word_counts(bound)
+    }
+
+    /// The nodes having at least one outgoing path spelling one of `words`.
+    ///
+    /// This is the dirty set the incremental pruning refresh needs: when a
+    /// word becomes covered by a new negative example, only the nodes that
+    /// spell it can change informativeness.  Answered by the configured
+    /// engine's [`DfaEvaluator::nodes_spelling`] — a trie-shaped backward
+    /// sweep over the engine's own adjacency (the RPQ semantics — "has a
+    /// path spelling a word of the language" — is exactly this set).
+    pub fn nodes_spelling(&self, words: &[Word]) -> Vec<NodeId> {
+        self.evaluator().nodes_spelling(words)
+    }
+
+    /// Per-node counts of how many of `words` each node spells — the exact
+    /// informativeness decrement when those words become covered.  See
+    /// [`DfaEvaluator::spelling_counts`].
+    pub fn spelling_counts(&self, words: &[Word]) -> Vec<(NodeId, u32)> {
+        self.evaluator().spelling_counts(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gps_graph::Graph;
+
+    /// N2 -bus-> N1 -tram-> N4 -cinema-> C1, N2 -restaurant-> R1.
+    fn chain() -> Graph {
+        let mut g = Graph::new();
+        let n2 = g.add_node("N2");
+        let n1 = g.add_node("N1");
+        let n4 = g.add_node("N4");
+        let c1 = g.add_node("C1");
+        let r1 = g.add_node("R1");
+        g.add_edge_by_name(n2, "bus", n1);
+        g.add_edge_by_name(n1, "tram", n4);
+        g.add_edge_by_name(n4, "cinema", c1);
+        g.add_edge_by_name(n2, "restaurant", r1);
+        g
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let g = chain();
+        let handle = EvalHandle::naive(&g);
+        let other = handle.clone();
+        let cinema = g.label_id("cinema").unwrap();
+        handle.evaluate(&Regex::symbol(cinema));
+        other.evaluate(&Regex::symbol(cinema));
+        assert_eq!(handle.cache().stats(), (1, 1), "second call is a hit");
+        assert_eq!(Arc::strong_count(&handle.shared_cache()), 3);
+    }
+
+    #[test]
+    fn evaluate_compiled_hits_the_same_entry() {
+        let g = chain();
+        let handle = EvalHandle::naive(&g);
+        let cinema = g.label_id("cinema").unwrap();
+        let regex = Regex::symbol(cinema);
+        let dfa = Dfa::from_regex(&regex);
+        let a = handle.evaluate_compiled(&regex, &dfa);
+        let b = handle.evaluate(&regex);
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(handle.cache().stats(), (1, 1));
+    }
+
+    #[test]
+    fn witness_and_selects_route_through_the_evaluator() {
+        let g = chain();
+        let handle = EvalHandle::naive(&g);
+        let q = crate::PathQuery::parse("bus.tram.cinema", g.labels()).unwrap();
+        let n2 = g.node_by_name("N2").unwrap();
+        let c1 = g.node_by_name("C1").unwrap();
+        assert!(handle.selects(q.dfa(), n2));
+        assert!(!handle.selects(q.dfa(), c1));
+        let path = handle.witness(q.dfa(), n2).unwrap();
+        assert_eq!(path.len(), 3);
+        assert!(handle.witness(q.dfa(), c1).is_none());
+    }
+
+    #[test]
+    fn nodes_spelling_matches_path_semantics() {
+        let g = chain();
+        let handle = EvalHandle::naive(&g);
+        let bus = g.label_id("bus").unwrap();
+        let tram = g.label_id("tram").unwrap();
+        let cinema = g.label_id("cinema").unwrap();
+        // Who spells bus·tram or cinema?  N2 (bus·tram) and N4 (cinema).
+        let nodes = handle.nodes_spelling(&[vec![bus, tram], vec![cinema]]);
+        assert_eq!(
+            nodes,
+            vec![g.node_by_name("N2").unwrap(), g.node_by_name("N4").unwrap()]
+        );
+        assert!(handle.nodes_spelling(&[]).is_empty());
+    }
+}

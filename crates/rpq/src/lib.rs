@@ -13,7 +13,10 @@
 //! * [`coverage`] — the "covered by a negative example" test that drives the
 //!   paper's notion of informative nodes;
 //! * [`cache`] — a concurrent memoization layer for repeated evaluations of
-//!   the same query during an interactive session.
+//!   the same query during an interactive session;
+//! * [`handle`] — a cheaply cloneable [`EvalHandle`] bundling the cache and
+//!   its evaluator, threaded through sessions, learner and pruning so the
+//!   whole interactive loop shares one evaluation stack.
 //!
 //! ## Example
 //!
@@ -42,10 +45,12 @@
 pub mod cache;
 pub mod coverage;
 pub mod eval;
+pub mod handle;
 pub mod query;
 pub mod witness;
 
 pub use cache::EvalCache;
 pub use coverage::NegativeCoverage;
 pub use eval::{DfaEvaluator, NaiveEvaluator, QueryAnswer};
+pub use handle::EvalHandle;
 pub use query::PathQuery;

@@ -197,6 +197,79 @@ fn engine_eval_modes_are_observationally_identical() {
 }
 
 #[test]
+fn spelling_sweeps_match_the_reference_and_the_acceptor_evaluation() {
+    use gps_graph::PathEnumerator;
+    for (name, graph) in corpus() {
+        let naive = gps_rpq::NaiveEvaluator::new(&graph);
+        let engine = BatchEvaluator::new(&graph);
+        // Word sets as sessions produce them: the bounded words of a few
+        // nodes (what a negative label covers), plus edge cases.
+        let mut word_sets: Vec<Vec<Word>> = GraphBackend::nodes(&graph)
+            .take(4)
+            .map(|node| {
+                PathEnumerator::new(3)
+                    .words_from(&graph, node)
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        word_sets.push(Vec::new());
+        if let Some(label) = graph.labels().ids().next() {
+            word_sets.push(vec![vec![label], vec![label, label]]);
+        }
+        for (i, words) in word_sets.iter().enumerate() {
+            // The three nodes_spelling implementations agree: trie sweep on
+            // the adjacency (naive), trie sweep on the label index (batch),
+            // and the prefix-tree-acceptor evaluation (trait default).
+            let reference = gps_rpq::eval::nodes_spelling(&graph, words);
+            assert_eq!(
+                DfaEvaluator::nodes_spelling(&naive, words),
+                reference,
+                "{name} set {i}: naive sweep"
+            );
+            assert_eq!(
+                DfaEvaluator::nodes_spelling(&engine, words),
+                reference,
+                "{name} set {i}: indexed sweep"
+            );
+            if !words.is_empty() {
+                let acceptor = gps_automata::pta::build_pta(words);
+                assert_eq!(
+                    DfaEvaluator::evaluate_dfa(&engine, &acceptor).nodes(),
+                    reference,
+                    "{name} set {i}: acceptor evaluation"
+                );
+            }
+            // spelling_counts: engine sweeps equal the reference, and each
+            // node's count is exactly the number of words it spells.
+            let counts = gps_rpq::eval::spelling_counts(&graph, words);
+            assert_eq!(
+                DfaEvaluator::spelling_counts(&naive, words),
+                counts,
+                "{name} set {i}: naive counts"
+            );
+            assert_eq!(
+                DfaEvaluator::spelling_counts(&engine, words),
+                counts,
+                "{name} set {i}: indexed counts"
+            );
+            let spellers: Vec<NodeId> = counts.iter().map(|&(node, _)| node).collect();
+            assert_eq!(spellers, reference, "{name} set {i}: counts cover spellers");
+            for &(node, count) in &counts {
+                let spelled = words
+                    .iter()
+                    .filter(|w| {
+                        gps_rpq::eval::nodes_spelling(&graph, std::slice::from_ref(*w))
+                            .contains(&node)
+                    })
+                    .count();
+                assert_eq!(count as usize, spelled, "{name} set {i}: node {node}");
+            }
+        }
+    }
+}
+
+#[test]
 fn interactive_sessions_converge_identically_across_modes() {
     let (graph, _) = figure1_graph();
     let reference = Engine::builder(graph.clone())
