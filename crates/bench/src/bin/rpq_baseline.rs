@@ -15,7 +15,11 @@
 //! * `session-naive` / `session-frontier` / `session-parallel` — full
 //!   interactive specification sessions (simulated user, informative-paths
 //!   strategy, path validation) per engine `EvalMode`, reported as
-//!   **ns per interaction** so interactions/sec is `1e9 / mean_ns`.
+//!   **ns per interaction** so interactions/sec is `1e9 / mean_ns`;
+//! * `sessions-sequential` / `concurrent-sessions-w{1,4,8}` — a batch of
+//!   whole sessions driven directly one-by-one vs. through the
+//!   `GpsService`/`SessionManager` worker pool over one shared `EngineCore`,
+//!   reported as **ns per session** so sessions/sec is `1e9 / mean_ns`.
 //!
 //! Samples for the compared modes are interleaved round-robin so clock or
 //! thermal drift cannot bias the comparison one way.
@@ -31,6 +35,7 @@
 //! the CI guard.
 
 use gps_automata::Dfa;
+use gps_core::service::GpsService;
 use gps_core::{Engine, EvalMode};
 use gps_datasets::scale_free::{self, ScaleFreeConfig};
 use gps_datasets::transport::{self, TransportConfig};
@@ -265,6 +270,76 @@ fn session_records(graph: &Graph, goal_syntax: &str, samples: usize, records: &m
     }
 }
 
+/// Times a batch of whole interactive sessions per serving shape and appends
+/// one record per shape with `mean_ns` normalized **per session**:
+///
+/// * `sessions-sequential` — the single-user shape: sessions driven directly
+///   on the engine one after the other (no session table, no workers);
+/// * `concurrent-sessions-wN` — the service shape: the same goals fanned out
+///   over N worker threads through a `SessionManager` on one shared core.
+///
+/// Every shape runs the identical goal batch over one shared frontier-mode
+/// core, so the comparison isolates the service machinery (session table,
+/// per-session locks, worker handoff).  The query cache is cleared before
+/// each sample so every batch pays the real per-task evaluation cost.
+fn concurrent_session_records(
+    graph: &Graph,
+    goal_syntaxes: &[String],
+    samples: usize,
+    records: &mut Vec<Record>,
+) {
+    let engine = Engine::builder(graph.clone())
+        .eval_mode(EvalMode::Frontier)
+        .max_interactions(24)
+        .build_csr();
+    let service = GpsService::new(engine.core_handle());
+    let sessions = goal_syntaxes.len() as f64;
+
+    let mut run_sequential = || {
+        engine.eval_cache().clear();
+        for syntax in goal_syntaxes {
+            let goal = engine.parse_query(syntax).expect("goal parses");
+            let mut user = SimulatedUser::with_exec(goal, engine.eval_handle());
+            let mut session = engine.new_session();
+            black_box(session.run(&mut InformativePathsStrategy::default(), &mut user));
+        }
+    };
+    let workers_runner = |workers: usize| {
+        let service = &service;
+        let engine = &engine;
+        move || {
+            engine.eval_cache().clear();
+            black_box(
+                service
+                    .serve(goal_syntaxes, workers)
+                    .expect("goals parse and sessions halt"),
+            );
+        }
+    };
+    let mut run_w1 = workers_runner(1);
+    let mut run_w4 = workers_runner(4);
+    let mut run_w8 = workers_runner(8);
+    let before = records.len();
+    bench_group(
+        "scale-free-2000-service",
+        (graph.node_count(), graph.edge_count()),
+        &format!("batch of {} sessions", goal_syntaxes.len()),
+        samples,
+        &mut [
+            ("sessions-sequential", &mut run_sequential),
+            ("concurrent-sessions-w1", &mut run_w1),
+            ("concurrent-sessions-w4", &mut run_w4),
+            ("concurrent-sessions-w8", &mut run_w8),
+        ],
+        records,
+    );
+    // Normalize from ns/batch to ns/session.
+    for record in &mut records[before..] {
+        record.mean_ns /= sessions;
+        record.min_ns /= sessions;
+    }
+}
+
 fn mean_of(records: &[Record], dataset: &str, backend: &str) -> f64 {
     records
         .iter()
@@ -311,6 +386,21 @@ fn main() {
     let session_syntax = format!("{}.{}*.{}", name(2), name(0), name(1));
     let session_samples = if smoke { 4 } else { 12 };
     session_records(&sf, &session_syntax, session_samples, &mut records);
+
+    // Multi-session serving: a batch of specification tasks with a mix of
+    // goals (distinct goals stress the shared cache the way distinct users
+    // would; repeats profit from it the way popular queries do).
+    let service_goals: Vec<String> = vec![
+        format!("({}+{})*.{}", name(0), name(1), name(2)),
+        session_syntax.clone(),
+        name(2).to_string(),
+        format!("({}+{})*.{}", name(0), name(1), name(2)),
+        format!("{}*.{}", name(1), name(2)),
+        session_syntax.clone(),
+        name(2).to_string(),
+        format!("({}+{})*.{}", name(0), name(1), name(2)),
+    ];
+    concurrent_session_records(&sf, &service_goals, session_samples, &mut records);
 
     // Render the records as JSON by hand (stable field order, no extra deps).
     let mut out = String::from(
@@ -386,6 +476,30 @@ fn main() {
     if smoke && (session_speedup.is_nan() || session_speedup < 1.2) {
         failures.push(format!(
             "{session_dataset}: frontier-backed sessions ({session_frontier:.0} ns/interaction, {session_speedup:.2}x) below the 1.2x smoke floor over naive ({session_naive:.0} ns/interaction)"
+        ));
+    }
+    let service_dataset = "scale-free-2000-service";
+    let sequential = mean_of(&records, service_dataset, "sessions-sequential");
+    let w1 = mean_of(&records, service_dataset, "concurrent-sessions-w1");
+    let w4 = mean_of(&records, service_dataset, "concurrent-sessions-w4");
+    let w8 = mean_of(&records, service_dataset, "concurrent-sessions-w8");
+    println!(
+        "{service_dataset}: sequential {:.0} sessions/sec; service {:.0} (1 worker) / {:.0} (4) / {:.0} (8)",
+        1e9 / sequential,
+        1e9 / w1,
+        1e9 / w4,
+        1e9 / w8,
+    );
+    // The service machinery (session table, per-session locks, worker
+    // handoff) must cost < ~10% per session: on a 1-core container the
+    // concurrent shapes cannot beat sequential, but a single service worker
+    // must stay within 0.9x of the bare sequential loop (NaN — a missing
+    // record — fails rather than vacuously passing).
+    let service_ratio = sequential / w1;
+    if smoke && (service_ratio.is_nan() || service_ratio < 0.9) {
+        failures.push(format!(
+            "{service_dataset}: one service worker at {:.2}x of sequential per-session throughput ({w1:.0} vs {sequential:.0} ns/session), below the 0.9x smoke floor",
+            service_ratio
         ));
     }
     if !failures.is_empty() {

@@ -35,16 +35,16 @@
 use crate::error::GpsError;
 use crate::render;
 use crate::scenario::{self, ScenarioReport, StaticLabelingOutcome};
-use gps_exec::BatchEvaluator;
+use gps_exec::{BatchEvaluator, LabelIndex};
 use gps_graph::{CsrGraph, Graph, GraphBackend, Neighborhood, NodeId, PathEnumerator, PrefixTree};
 use gps_interactive::halt::HaltConfig;
 use gps_interactive::session::{Session, SessionConfig, SessionOutcome};
 use gps_interactive::strategy::{
     DegreeStrategy, InformativePathsStrategy, RandomStrategy, Strategy,
 };
-use gps_interactive::user::User;
+use gps_interactive::user::{SimulatedUser, User};
 use gps_learner::{Label, Learner};
-use gps_rpq::{EvalCache, EvalHandle, PathQuery, QueryAnswer};
+use gps_rpq::{DfaEvaluator, EvalCache, EvalHandle, NaiveEvaluator, PathQuery, QueryAnswer};
 use std::sync::Arc;
 
 /// Which execution engine the facade evaluates queries with.
@@ -71,18 +71,25 @@ pub enum EvalMode {
 }
 
 impl EvalMode {
-    /// Builds the evaluation cache for a snapshot under this mode.
-    fn cache_for(self, csr: CsrGraph) -> EvalCache {
+    /// Builds the mode's evaluator over a shared snapshot, returning the
+    /// label index it indexes the graph with (frontier modes only) so the
+    /// core can expose the one allocation every session shares.
+    fn evaluator_for(
+        self,
+        csr: &Arc<CsrGraph>,
+    ) -> (Box<dyn DfaEvaluator>, Option<Arc<LabelIndex>>) {
         match self {
-            EvalMode::Naive => EvalCache::from_csr(csr),
+            EvalMode::Naive => (Box::new(NaiveEvaluator::from_shared(Arc::clone(csr))), None),
             EvalMode::Frontier => {
-                let evaluator = BatchEvaluator::from_csr(&csr);
-                EvalCache::with_evaluator(csr, Box::new(evaluator))
+                let evaluator = BatchEvaluator::from_csr(csr);
+                let index = evaluator.shared_index();
+                (Box::new(evaluator), Some(index))
             }
             EvalMode::Parallel => {
-                let evaluator = BatchEvaluator::from_csr(&csr)
+                let evaluator = BatchEvaluator::from_csr(csr)
                     .with_parallelism(BatchEvaluator::default_threads());
-                EvalCache::with_evaluator(csr, Box::new(evaluator))
+                let index = evaluator.shared_index();
+                (Box::new(evaluator), Some(index))
             }
         }
     }
@@ -112,8 +119,9 @@ impl Default for StrategyChoice {
 }
 
 impl StrategyChoice {
-    /// Instantiates the chosen strategy for backend `B`.
-    pub fn instantiate<B: GraphBackend>(&self) -> Box<dyn Strategy<B>> {
+    /// Instantiates the chosen strategy for backend `B`.  The trait object is
+    /// `Send` so service deployments can drive sessions from worker threads.
+    pub fn instantiate<B: GraphBackend>(&self) -> Box<dyn Strategy<B> + Send> {
         match *self {
             StrategyChoice::InformativePaths { bound } => {
                 Box::new(InformativePathsStrategy::with_bound(bound))
@@ -134,6 +142,8 @@ pub struct GpsBuilder {
     session: SessionConfig,
     strategy: StrategyChoice,
     eval_mode: EvalMode,
+    cache_capacity: Option<usize>,
+    words_capacity: Option<usize>,
 }
 
 impl GpsBuilder {
@@ -145,6 +155,8 @@ impl GpsBuilder {
             session: SessionConfig::default(),
             strategy: StrategyChoice::default(),
             eval_mode: EvalMode::default(),
+            cache_capacity: None,
+            words_capacity: None,
         }
     }
 
@@ -209,6 +221,22 @@ impl GpsBuilder {
         self
     }
 
+    /// Caps the number of cached query answers in the shared evaluation
+    /// cache (defaults to [`gps_rpq::cache::DEFAULT_CAPACITY`]).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Caps the number of per-bound bounded-word snapshots the shared cache
+    /// keeps (defaults to [`gps_rpq::cache::DEFAULT_WORDS_CAPACITY`]) — the
+    /// memory knob for multi-session deployments, since the word snapshots
+    /// dominate the cache's footprint.
+    pub fn words_capacity(mut self, capacity: usize) -> Self {
+        self.words_capacity = Some(capacity);
+        self
+    }
+
     /// Replaces the whole session configuration at once, including its
     /// embedded learner (which becomes the engine's learner).
     pub fn session_config(mut self, config: SessionConfig) -> Self {
@@ -219,16 +247,11 @@ impl GpsBuilder {
 
     /// Builds an engine over the mutable adjacency-list backend.
     pub fn build(self) -> Engine<Graph> {
-        let mut session = self.session;
-        session.learner = self.learner.clone();
-        let cache = Arc::new(self.eval_mode.cache_for(CsrGraph::from_graph(&self.graph)));
+        let snapshot = Arc::new(CsrGraph::from_graph(&self.graph));
+        let (graph, core) = self.into_core(Arc::clone(&snapshot));
         Engine {
-            backend: self.graph,
-            learner: self.learner,
-            session,
-            strategy: self.strategy,
-            eval_mode: self.eval_mode,
-            cache,
+            backend: graph,
+            core,
         }
     }
 
@@ -236,39 +259,187 @@ impl GpsBuilder {
     /// cache-friendly backend for read-heavy interactive and bulk-evaluation
     /// workloads.
     pub fn build_csr(self) -> Engine<CsrGraph> {
+        let snapshot = Arc::new(CsrGraph::from_graph(&self.graph));
+        let (_, core) = self.into_core(Arc::clone(&snapshot));
+        Engine {
+            backend: (*snapshot).clone(),
+            core,
+        }
+    }
+
+    /// Builds just the shared, cheaply-cloneable [`EngineCore`] — the value a
+    /// multi-session service owns (see [`crate::service::GpsService`]).
+    pub fn build_core(self) -> EngineCore {
+        let snapshot = Arc::new(CsrGraph::from_graph(&self.graph));
+        self.into_core(snapshot).1
+    }
+
+    /// Consumes the builder into the adjacency graph plus the shared core
+    /// over `snapshot`.
+    fn into_core(self, snapshot: Arc<CsrGraph>) -> (Graph, EngineCore) {
         let mut session = self.session;
         session.learner = self.learner.clone();
-        let backend = CsrGraph::from_graph(&self.graph);
-        // Clone the snapshot into the cache rather than re-walking it.
-        let cache = Arc::new(self.eval_mode.cache_for(backend.clone()));
-        Engine {
-            backend,
-            learner: self.learner,
-            session,
-            strategy: self.strategy,
-            eval_mode: self.eval_mode,
-            cache,
+        let (evaluator, index) = self.eval_mode.evaluator_for(&snapshot);
+        let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator);
+        if let Some(capacity) = self.cache_capacity {
+            cache = cache.with_capacity(capacity);
         }
+        if let Some(capacity) = self.words_capacity {
+            cache = cache.with_words_capacity(capacity);
+        }
+        let core = EngineCore {
+            snapshot,
+            cache: Arc::new(cache),
+            index,
+            options: Arc::new(EngineOptions {
+                learner: self.learner,
+                session,
+                strategy: self.strategy,
+                eval_mode: self.eval_mode,
+            }),
+        };
+        (self.graph, core)
     }
 }
 
-/// The GPS system bound to one graph backend.
-///
-/// See the [module docs](self) for the builder-based construction; the
-/// methods mirror the operations the demo paper describes — query
-/// evaluation, neighborhood rendering, and the three demonstration
-/// scenarios.
+/// The configuration shared by every handle and session of one core.
 #[derive(Debug)]
-pub struct Engine<B: GraphBackend = Graph> {
-    backend: B,
+struct EngineOptions {
     learner: Learner,
     session: SessionConfig,
     strategy: StrategyChoice,
     eval_mode: EvalMode,
-    /// One shared evaluation stack per engine: user queries, interactive
-    /// sessions, the learner and the pruning all evaluate through this cache
-    /// (and its mode-configured evaluator with its one snapshot/index).
+}
+
+/// The immutable, cheaply-cloneable heart of an engine: one graph snapshot,
+/// one bounded evaluation cache (with the mode's evaluator and, for the
+/// frontier modes, one shared [`LabelIndex`]), and the configuration every
+/// session runs with.
+///
+/// Cloning an `EngineCore` copies four `Arc`s — nothing graph-sized — so a
+/// service can hand a core to every worker thread and every session while
+/// all of them share a single snapshot, index and cache.  All mutability
+/// lives in per-session state ([`Session`] owns its examples, coverage,
+/// pruning and statistics) and inside the concurrency-safe cache.
+#[derive(Debug, Clone)]
+pub struct EngineCore {
+    snapshot: Arc<CsrGraph>,
     cache: Arc<EvalCache>,
+    index: Option<Arc<LabelIndex>>,
+    options: Arc<EngineOptions>,
+}
+
+impl EngineCore {
+    /// The shared CSR snapshot sessions run on.
+    pub fn snapshot(&self) -> &CsrGraph {
+        &self.snapshot
+    }
+
+    /// A new reference to the shared snapshot.
+    pub fn shared_snapshot(&self) -> Arc<CsrGraph> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// The shared evaluation cache.
+    pub fn eval_cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// A cheaply cloneable handle to the shared evaluation stack.
+    pub fn eval_handle(&self) -> EvalHandle {
+        EvalHandle::from_cache(Arc::clone(&self.cache))
+    }
+
+    /// The label index the frontier evaluator indexes the snapshot with
+    /// (`None` under [`EvalMode::Naive`]).  Every session of this core —
+    /// and every clone of this core — shares this one allocation.
+    pub fn shared_index(&self) -> Option<Arc<LabelIndex>> {
+        self.index.clone()
+    }
+
+    /// Approximate heap footprint of the shared label index in bytes (0
+    /// under [`EvalMode::Naive`]).
+    pub fn index_memory_bytes(&self) -> usize {
+        self.index
+            .as_ref()
+            .map(|index| index.memory_bytes())
+            .unwrap_or(0)
+    }
+
+    /// The query execution mode sessions of this core evaluate with.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.options.eval_mode
+    }
+
+    /// The node-proposal strategy sessions of this core run with.
+    pub fn strategy(&self) -> StrategyChoice {
+        self.options.strategy
+    }
+
+    /// The session configuration sessions of this core start from.
+    pub fn session_config(&self) -> &SessionConfig {
+        &self.options.session
+    }
+
+    /// The learner configuration.
+    pub fn learner(&self) -> &Learner {
+        &self.options.learner
+    }
+
+    /// Parses a query in the paper's syntax against the snapshot's alphabet.
+    pub fn parse_query(&self, syntax: &str) -> Result<PathQuery, GpsError> {
+        Ok(PathQuery::parse(syntax, self.snapshot.labels())?)
+    }
+
+    /// Parses and evaluates a query through the shared cache.
+    pub fn evaluate(&self, syntax: &str) -> Result<QueryAnswer, GpsError> {
+        let query = self.parse_query(syntax)?;
+        Ok((*self.cache.evaluate(query.regex())).clone())
+    }
+
+    /// Opens a new interactive session on the shared snapshot and stack.
+    ///
+    /// The session co-owns the snapshot (no borrow of the core), so it can be
+    /// stored in a session table and stepped from any worker thread; its
+    /// learner/coverage/pruning state is private to the session, while every
+    /// query it evaluates goes through the core's one bounded cache.
+    pub fn open_session(&self) -> Session<'static, CsrGraph> {
+        Session::with_shared_exec(
+            Arc::clone(&self.snapshot),
+            self.options.session.clone(),
+            self.eval_handle(),
+        )
+    }
+
+    /// Instantiates the configured node-proposal strategy for the snapshot
+    /// backend.
+    pub fn instantiate_strategy(&self) -> Box<dyn Strategy<CsrGraph> + Send> {
+        self.options.strategy.instantiate::<CsrGraph>()
+    }
+
+    /// A simulated user whose hidden goal is `goal_syntax`, answering from
+    /// the shared stack (the oracle driving scripted service sessions).
+    pub fn simulated_user(&self, goal_syntax: &str) -> Result<SimulatedUser, GpsError> {
+        let goal = self.parse_query(goal_syntax)?;
+        Ok(SimulatedUser::with_exec(goal, self.eval_handle()))
+    }
+}
+
+/// The GPS system bound to one graph backend: a thin per-user handle over a
+/// shared [`EngineCore`].
+///
+/// See the [module docs](self) for the builder-based construction; the
+/// methods mirror the operations the demo paper describes — query
+/// evaluation, neighborhood rendering, and the three demonstration
+/// scenarios.  The backend is what the handle's own traversal/rendering
+/// methods walk; every query evaluation, session, learner and pruning call
+/// goes through the core's shared snapshot, cache and (frontier modes)
+/// label index.  [`Engine::core`] exposes the core for multi-session
+/// serving — see [`crate::service`].
+#[derive(Debug)]
+pub struct Engine<B: GraphBackend = Graph> {
+    backend: B,
+    core: EngineCore,
 }
 
 /// The historical name of the adjacency-backed engine.
@@ -296,7 +467,12 @@ impl<B: GraphBackend> Engine<B> {
     /// Wraps an existing backend with default options (no builder knobs).
     pub fn from_backend(backend: B) -> Self {
         let eval_mode = EvalMode::default();
-        let cache = Arc::new(eval_mode.cache_for(CsrGraph::from_backend(&backend)));
+        let snapshot = Arc::new(CsrGraph::from_backend(&backend));
+        let (evaluator, index) = eval_mode.evaluator_for(&snapshot);
+        let cache = Arc::new(EvalCache::with_shared_evaluator(
+            Arc::clone(&snapshot),
+            evaluator,
+        ));
         let learner = Learner::default();
         let session = SessionConfig {
             learner: learner.clone(),
@@ -304,11 +480,17 @@ impl<B: GraphBackend> Engine<B> {
         };
         Self {
             backend,
-            learner,
-            session,
-            strategy: StrategyChoice::default(),
-            eval_mode,
-            cache,
+            core: EngineCore {
+                snapshot,
+                cache,
+                index,
+                options: Arc::new(EngineOptions {
+                    learner,
+                    session,
+                    strategy: StrategyChoice::default(),
+                    eval_mode,
+                }),
+            },
         }
     }
 
@@ -322,36 +504,48 @@ impl<B: GraphBackend> Engine<B> {
         &self.backend
     }
 
+    /// The shared core this handle evaluates through.
+    pub fn core(&self) -> &EngineCore {
+        &self.core
+    }
+
+    /// A cheap clone of the shared core — hand it to
+    /// [`crate::service::GpsService`] to serve many concurrent sessions over
+    /// this engine's snapshot, cache and index.
+    pub fn core_handle(&self) -> EngineCore {
+        self.core.clone()
+    }
+
     /// The learner configuration.
     pub fn learner(&self) -> &Learner {
-        &self.learner
+        self.core.learner()
     }
 
     /// The session configuration interactive scenarios run with.
     pub fn session_config(&self) -> &SessionConfig {
-        &self.session
+        self.core.session_config()
     }
 
     /// The configured node-proposal strategy.
     pub fn strategy(&self) -> StrategyChoice {
-        self.strategy
+        self.core.strategy()
     }
 
     /// The configured query execution mode.
     pub fn eval_mode(&self) -> EvalMode {
-        self.eval_mode
+        self.core.eval_mode()
     }
 
     /// The engine's shared evaluation cache.
     pub fn eval_cache(&self) -> &EvalCache {
-        &self.cache
+        self.core.eval_cache()
     }
 
     /// A cheaply cloneable handle to the engine's evaluation stack — hand it
     /// to [`Session::with_exec`] / [`gps_interactive::user::SimulatedUser::with_exec`]
     /// (the engine's own session entry points do so automatically).
     pub fn eval_handle(&self) -> EvalHandle {
-        EvalHandle::from_cache(Arc::clone(&self.cache))
+        self.core.eval_handle()
     }
 
     /// Takes an immutable CSR snapshot of the current backend.
@@ -370,7 +564,7 @@ impl<B: GraphBackend> Engine<B> {
     /// evaluations of the same expression are served from a cache.
     pub fn evaluate(&self, syntax: &str) -> Result<QueryAnswer, GpsError> {
         let query = self.parse_query(syntax)?;
-        Ok((*self.cache.evaluate(query.regex())).clone())
+        Ok((*self.core.cache.evaluate(query.regex())).clone())
     }
 
     /// Parses and evaluates a batch of queries, returning the answers in
@@ -387,6 +581,7 @@ impl<B: GraphBackend> Engine<B> {
             .collect::<Result<_, _>>()?;
         let regexes: Vec<&gps_automata::Regex> = queries.iter().map(|q| q.regex()).collect();
         Ok(self
+            .core
             .cache
             .evaluate_many(&regexes)
             .into_iter()
@@ -446,13 +641,17 @@ impl<B: GraphBackend> Engine<B> {
     /// configured session options, evaluating through the engine's shared
     /// stack (cache + configured execution engine).
     pub fn new_session(&self) -> Session<'_, B> {
-        Session::with_exec(&self.backend, self.session.clone(), self.eval_handle())
+        Session::with_exec(
+            &self.backend,
+            self.core.options.session.clone(),
+            self.eval_handle(),
+        )
     }
 
     /// Runs a full interactive session against `user` with the configured
     /// strategy and options.
     pub fn specify<U: User<B> + ?Sized>(&self, user: &mut U) -> SessionOutcome {
-        let mut strategy = self.strategy.instantiate::<B>();
+        let mut strategy = self.core.options.strategy.instantiate::<B>();
         let mut session = self.new_session();
         session.run(strategy.as_mut(), user)
     }
@@ -462,7 +661,7 @@ impl<B: GraphBackend> Engine<B> {
     /// Scenario 1 — static labeling: the user labels arbitrary nodes and the
     /// system proposes a consistent query or reports the inconsistency.
     pub fn static_labeling(&self, labels: &[(NodeId, Label)]) -> StaticLabelingOutcome {
-        scenario::static_labeling(&self.backend, labels, &self.learner)
+        scenario::static_labeling(&self.backend, labels, self.core.learner())
     }
 
     /// Scenario 2 — interactive labeling without path validation, against a
@@ -475,9 +674,9 @@ impl<B: GraphBackend> Engine<B> {
         let goal = self.parse_query(goal_syntax)?;
         let config = SessionConfig {
             with_path_validation: false,
-            ..self.session.clone()
+            ..self.core.options.session.clone()
         };
-        let mut strategy = self.strategy.instantiate::<B>();
+        let mut strategy = self.core.options.strategy.instantiate::<B>();
         Ok(scenario::interactive_with_exec(
             &self.backend,
             &goal,
@@ -498,9 +697,9 @@ impl<B: GraphBackend> Engine<B> {
         let goal = self.parse_query(goal_syntax)?;
         let config = SessionConfig {
             with_path_validation: true,
-            ..self.session.clone()
+            ..self.core.options.session.clone()
         };
-        let mut strategy = self.strategy.instantiate::<B>();
+        let mut strategy = self.core.options.strategy.instantiate::<B>();
         Ok(scenario::interactive_with_exec(
             &self.backend,
             &goal,

@@ -22,6 +22,9 @@ pub enum GpsError {
     Io(IoError),
     /// A node was referenced by a name the graph does not contain.
     UnknownNode(String),
+    /// A session id the service's session table does not contain (never
+    /// opened, or already closed).
+    UnknownSession(u64),
 }
 
 impl fmt::Display for GpsError {
@@ -31,6 +34,7 @@ impl fmt::Display for GpsError {
             GpsError::Learn(e) => write!(f, "learning error: {e}"),
             GpsError::Io(e) => write!(f, "graph i/o error: {e}"),
             GpsError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+            GpsError::UnknownSession(id) => write!(f, "unknown session #{id}"),
         }
     }
 }
@@ -41,7 +45,7 @@ impl std::error::Error for GpsError {
             GpsError::Parse(e) => Some(e),
             GpsError::Learn(e) => Some(e),
             GpsError::Io(e) => Some(e),
-            GpsError::UnknownNode(_) => None,
+            GpsError::UnknownNode(_) | GpsError::UnknownSession(_) => None,
         }
     }
 }

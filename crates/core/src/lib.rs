@@ -18,6 +18,10 @@
 //! * [`render`] — the textual "visualization" layer standing in for the demo
 //!   GUI (Figure 3(a)–(c) of the paper);
 //! * [`scenario`] — the three demonstration scenarios;
+//! * [`service`] — the multi-session layer: [`EngineCore`] (the immutable,
+//!   cheaply-cloneable snapshot + cache + index every session shares) served
+//!   by [`service::GpsService`]/[`service::SessionManager`] across worker
+//!   threads;
 //! * [`transcript`] — serializable session transcripts;
 //! * [`prelude`] — one `use gps_core::prelude::*;` for the common types.
 //!
@@ -52,11 +56,13 @@ pub mod engine;
 pub mod error;
 pub mod render;
 pub mod scenario;
+pub mod service;
 pub mod transcript;
 
-pub use engine::{Engine, EvalMode, Gps, GpsBuilder, StrategyChoice};
+pub use engine::{Engine, EngineCore, EvalMode, Gps, GpsBuilder, StrategyChoice};
 pub use error::GpsError;
 pub use scenario::{ScenarioReport, StaticLabelingOutcome};
+pub use service::{GpsService, ServiceStats, SessionId, SessionManager, SessionStatus};
 pub use transcript::Transcript;
 
 /// The most common imports in one place.
@@ -65,9 +71,10 @@ pub use transcript::Transcript;
 /// use gps_core::prelude::*;
 /// ```
 pub mod prelude {
-    pub use crate::engine::{Engine, EvalMode, Gps, GpsBuilder, StrategyChoice};
+    pub use crate::engine::{Engine, EngineCore, EvalMode, Gps, GpsBuilder, StrategyChoice};
     pub use crate::error::GpsError;
     pub use crate::scenario::{ScenarioReport, StaticLabelingOutcome};
+    pub use crate::service::{GpsService, ServiceStats, SessionId, SessionManager, SessionStatus};
     pub use crate::transcript::Transcript;
     pub use gps_exec::{BatchEvaluator, Plan};
     pub use gps_graph::{

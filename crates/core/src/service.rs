@@ -1,0 +1,489 @@
+//! Concurrent multi-session serving over one shared [`EngineCore`].
+//!
+//! The paper's interactive loop is inherently per-user, but the system's
+//! north star is one graph serving *many* users at once.  This module is the
+//! service layer that makes that shape first-class:
+//!
+//! * [`SessionManager`] — a concurrency-safe session table over one core:
+//!   `open` a session for a (simulated) user goal, `step` it one interaction
+//!   at a time, read its per-session [`SessionStats`], `close` it into a
+//!   [`SessionOutcome`].  Every session shares the core's snapshot, bounded
+//!   evaluation cache and label index; every session's learner, coverage,
+//!   pruning and statistics are private to it, so concurrent sessions cannot
+//!   observe each other.
+//! * [`GpsService`] — the worker-thread driver: hand it a batch of goal
+//!   queries and a worker count and it opens, runs and closes one session per
+//!   goal across scoped threads, returning the outcomes in input order and
+//!   maintaining aggregate throughput counters ([`ServiceStats`]).
+//!
+//! Because the cache is concurrency-safe and answers are deterministic, a
+//! session's transcript does not depend on what other sessions run next to
+//! it — `tests/service_conformance.rs` asserts byte-identical transcripts
+//! between N concurrent service sessions and N sequential bare sessions.
+//!
+//! ```
+//! use gps_core::service::GpsService;
+//! use gps_core::{Engine, EvalMode};
+//! use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+//!
+//! let (graph, _) = figure1_graph();
+//! let core = Engine::builder(graph)
+//!     .eval_mode(EvalMode::Frontier)
+//!     .build_core();
+//! let service = GpsService::new(core);
+//! let goals = vec![MOTIVATING_QUERY.to_string(); 4];
+//! let outcomes = service.serve(&goals, 2).unwrap();
+//! assert_eq!(outcomes.len(), 4);
+//! assert_eq!(service.stats().sessions_closed, 4);
+//! ```
+
+use crate::engine::EngineCore;
+use crate::error::GpsError;
+use gps_graph::CsrGraph;
+use gps_interactive::halt::HaltReason;
+use gps_interactive::session::{Session, SessionOutcome};
+use gps_interactive::stats::SessionStats;
+use gps_interactive::strategy::Strategy;
+use gps_interactive::user::SimulatedUser;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a managed session (unique per [`SessionManager`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw numeric id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What a [`SessionManager::step`] call observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The session performed (at most) one more interaction and can continue.
+    Running {
+        /// Total interactions the session has performed so far.
+        interactions: usize,
+    },
+    /// A halt condition fired (now or on an earlier step); the session rests
+    /// in the table until closed.
+    Halted(HaltReason),
+}
+
+/// One entry of the session table: the session plus the user and strategy
+/// driving it.  All of this state is session-private — the only shared
+/// structures a step touches are the core's concurrency-safe cache/index.
+struct ManagedSession {
+    session: Session<'static, CsrGraph>,
+    user: SimulatedUser,
+    strategy: Box<dyn Strategy<CsrGraph> + Send>,
+    halted: Option<HaltReason>,
+}
+
+impl ManagedSession {
+    fn status(&self) -> SessionStatus {
+        match self.halted {
+            Some(reason) => SessionStatus::Halted(reason),
+            None => SessionStatus::Running {
+                interactions: self.session.stats().interactions,
+            },
+        }
+    }
+}
+
+/// Aggregate throughput counters of a manager/service, as a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Sessions opened so far.
+    pub sessions_opened: u64,
+    /// Sessions closed so far.
+    pub sessions_closed: u64,
+    /// Sessions whose halt condition fired (converged or exhausted their
+    /// budget) — as opposed to sessions closed early by the client.
+    pub sessions_completed: u64,
+    /// Label interactions performed across all sessions.
+    pub interactions: u64,
+    /// Sessions currently open.
+    pub active_sessions: usize,
+}
+
+/// A concurrency-safe open/step/close session table over one shared
+/// [`EngineCore`].
+///
+/// The table holds each session behind its own lock, so worker threads
+/// stepping *different* sessions never contend beyond the brief table-map
+/// lookup; stepping the *same* session from two threads serializes.
+#[derive(Debug)]
+pub struct SessionManager {
+    core: EngineCore,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<ManagedSession>>>>,
+    next_id: AtomicU64,
+    opened: AtomicU64,
+    closed: AtomicU64,
+    completed: AtomicU64,
+    interactions: AtomicU64,
+}
+
+impl std::fmt::Debug for ManagedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagedSession")
+            .field("interactions", &self.session.stats().interactions)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionManager {
+    /// Creates an empty session table over `core`.
+    pub fn new(core: EngineCore) -> Self {
+        Self {
+            core,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            interactions: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared core every session runs on.
+    pub fn core(&self) -> &EngineCore {
+        &self.core
+    }
+
+    /// Opens a session driven by a simulated user whose hidden goal query is
+    /// `goal_syntax`, with the core's configured strategy and session
+    /// options.  Returns the id to step/close it with.
+    pub fn open(&self, goal_syntax: &str) -> Result<SessionId, GpsError> {
+        let user = self.core.simulated_user(goal_syntax)?;
+        let managed = ManagedSession {
+            session: self.core.open_session(),
+            user,
+            strategy: self.core.instantiate_strategy(),
+            halted: None,
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .insert(id, Arc::new(Mutex::new(managed)));
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        Ok(SessionId(id))
+    }
+
+    /// Performs one interaction of session `id` (a no-op when it already
+    /// halted), returning its status afterwards.
+    pub fn step(&self, id: SessionId) -> Result<SessionStatus, GpsError> {
+        let slot = self.slot(id)?;
+        let mut managed = slot.lock();
+        if managed.halted.is_some() {
+            return Ok(managed.status());
+        }
+        let before = managed.session.stats().interactions;
+        let managed = &mut *managed;
+        if let Some(reason) = managed
+            .session
+            .step(managed.strategy.as_mut(), &mut managed.user)
+        {
+            managed.halted = Some(reason);
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        let delta = managed.session.stats().interactions - before;
+        self.interactions.fetch_add(delta as u64, Ordering::Relaxed);
+        Ok(managed.status())
+    }
+
+    /// Steps session `id` until a halt condition fires, returning the halt
+    /// reason.
+    pub fn run_to_completion(&self, id: SessionId) -> Result<HaltReason, GpsError> {
+        loop {
+            if let SessionStatus::Halted(reason) = self.step(id)? {
+                return Ok(reason);
+            }
+        }
+    }
+
+    /// The per-session statistics of session `id` so far.
+    pub fn session_stats(&self, id: SessionId) -> Result<SessionStats, GpsError> {
+        Ok(self.slot(id)?.lock().session.stats().clone())
+    }
+
+    /// The status of session `id` without stepping it.
+    pub fn session_status(&self, id: SessionId) -> Result<SessionStatus, GpsError> {
+        Ok(self.slot(id)?.lock().status())
+    }
+
+    /// Closes session `id`, removing it from the table and returning its
+    /// outcome.  A session closed before any halt condition fired reports
+    /// [`HaltReason::ClosedByClient`].
+    pub fn close(&self, id: SessionId) -> Result<SessionOutcome, GpsError> {
+        let slot = self
+            .sessions
+            .lock()
+            .remove(&id.raw())
+            .ok_or(GpsError::UnknownSession(id.raw()))?;
+        self.closed.fetch_add(1, Ordering::Relaxed);
+        // Usually ours is the last reference; a concurrent `step` racing the
+        // close can briefly hold another, in which case the outcome is
+        // snapshotted under the session's lock instead.
+        let outcome = match Arc::try_unwrap(slot) {
+            Ok(mutex) => {
+                let managed = mutex.into_inner();
+                let reason = managed.halted.unwrap_or(HaltReason::ClosedByClient);
+                managed.session.outcome(reason)
+            }
+            Err(slot) => {
+                let managed = slot.lock();
+                let reason = managed.halted.unwrap_or(HaltReason::ClosedByClient);
+                managed.session.outcome(reason)
+            }
+        };
+        Ok(outcome)
+    }
+
+    /// Number of currently open sessions.
+    pub fn active_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// A snapshot of the aggregate throughput counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            sessions_opened: self.opened.load(Ordering::Relaxed),
+            sessions_closed: self.closed.load(Ordering::Relaxed),
+            sessions_completed: self.completed.load(Ordering::Relaxed),
+            interactions: self.interactions.load(Ordering::Relaxed),
+            active_sessions: self.active_count(),
+        }
+    }
+
+    fn slot(&self, id: SessionId) -> Result<Arc<Mutex<ManagedSession>>, GpsError> {
+        self.sessions
+            .lock()
+            .get(&id.raw())
+            .cloned()
+            .ok_or(GpsError::UnknownSession(id.raw()))
+    }
+}
+
+/// The multi-session service: one shared [`EngineCore`], one
+/// [`SessionManager`], and a scoped worker pool that drives many sessions
+/// concurrently.
+#[derive(Debug)]
+pub struct GpsService {
+    manager: SessionManager,
+}
+
+impl GpsService {
+    /// Creates a service over `core`.
+    pub fn new(core: EngineCore) -> Self {
+        Self {
+            manager: SessionManager::new(core),
+        }
+    }
+
+    /// The session table (open/step/close individual sessions).
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// The shared core.
+    pub fn core(&self) -> &EngineCore {
+        self.manager.core()
+    }
+
+    /// A snapshot of the aggregate throughput counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.manager.stats()
+    }
+
+    /// Serves one full interactive session per goal query, fanning the
+    /// sessions out over `workers` scoped threads (clamped to `1..=goals`),
+    /// and returns the outcomes in input order.
+    ///
+    /// Each worker pulls the next unserved goal off a shared cursor, opens a
+    /// session for it, runs it to completion and closes it — so all `workers`
+    /// sessions are in flight at once over the one shared core.  The first
+    /// error (an unparsable goal) is returned after all workers finish;
+    /// sessions of the remaining goals still run.
+    pub fn serve(&self, goals: &[String], workers: usize) -> Result<Vec<SessionOutcome>, GpsError> {
+        let workers = workers.clamp(1, goals.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<SessionOutcome, GpsError>>>> =
+            goals.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let next = cursor.fetch_add(1, Ordering::Relaxed);
+                    if next >= goals.len() {
+                        break;
+                    }
+                    let outcome = self.serve_one(&goals[next]);
+                    *slots[next].lock() = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every goal was served"))
+            .collect()
+    }
+
+    /// Opens, runs and closes one session for `goal_syntax`.
+    pub fn serve_one(&self, goal_syntax: &str) -> Result<SessionOutcome, GpsError> {
+        let id = self.manager.open(goal_syntax)?;
+        self.manager.run_to_completion(id)?;
+        self.manager.close(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EvalMode};
+    use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+
+    fn core(mode: EvalMode) -> EngineCore {
+        let (graph, _) = figure1_graph();
+        Engine::builder(graph).eval_mode(mode).build_core()
+    }
+
+    #[test]
+    fn open_step_close_lifecycle() {
+        let manager = SessionManager::new(core(EvalMode::Frontier));
+        let id = manager.open(MOTIVATING_QUERY).unwrap();
+        assert_eq!(manager.active_count(), 1);
+        let reason = loop {
+            match manager.step(id).unwrap() {
+                SessionStatus::Running { .. } => continue,
+                SessionStatus::Halted(reason) => break reason,
+            }
+        };
+        assert!(reason.is_convergence());
+        // Stepping a halted session is a no-op.
+        assert_eq!(manager.step(id).unwrap(), SessionStatus::Halted(reason));
+        let stats = manager.session_stats(id).unwrap();
+        assert!(stats.interactions >= 1);
+        let outcome = manager.close(id).unwrap();
+        assert_eq!(outcome.halt_reason, reason);
+        assert!(outcome.learned.is_some());
+        assert_eq!(manager.active_count(), 0);
+        let totals = manager.stats();
+        assert_eq!(totals.sessions_opened, 1);
+        assert_eq!(totals.sessions_closed, 1);
+        assert_eq!(totals.sessions_completed, 1);
+        assert_eq!(totals.interactions, stats.interactions as u64);
+    }
+
+    #[test]
+    fn unknown_and_closed_sessions_error() {
+        let manager = SessionManager::new(core(EvalMode::Naive));
+        let bogus = SessionId(42);
+        assert!(matches!(
+            manager.step(bogus),
+            Err(GpsError::UnknownSession(42))
+        ));
+        let id = manager.open(MOTIVATING_QUERY).unwrap();
+        manager.close(id).unwrap();
+        assert!(matches!(
+            manager.session_stats(id),
+            Err(GpsError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            manager.close(id),
+            Err(GpsError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn closing_a_running_session_reports_closed_by_client() {
+        // No stop-on-goal: after one step the session is genuinely still
+        // running, so the close is an early client teardown.
+        let (graph, _) = figure1_graph();
+        let core = Engine::builder(graph)
+            .halt(gps_interactive::halt::HaltConfig {
+                max_interactions: 200,
+                stop_on_goal: false,
+            })
+            .build_core();
+        let manager = SessionManager::new(core);
+        let id = manager.open(MOTIVATING_QUERY).unwrap();
+        manager.step(id).unwrap();
+        let outcome = manager.close(id).unwrap();
+        assert_eq!(outcome.halt_reason, HaltReason::ClosedByClient);
+        assert_eq!(outcome.stats.interactions, 1);
+        let totals = manager.stats();
+        assert_eq!(totals.sessions_completed, 0, "never halted on its own");
+        assert_eq!(totals.sessions_closed, 1);
+    }
+
+    #[test]
+    fn unparsable_goal_is_rejected_at_open() {
+        let manager = SessionManager::new(core(EvalMode::Naive));
+        assert!(matches!(manager.open("(bus"), Err(GpsError::Parse(_))));
+        assert_eq!(manager.active_count(), 0);
+    }
+
+    #[test]
+    fn serve_returns_outcomes_in_input_order() {
+        let service = GpsService::new(core(EvalMode::Frontier));
+        let goals = vec![
+            MOTIVATING_QUERY.to_string(),
+            "cinema".to_string(),
+            MOTIVATING_QUERY.to_string(),
+            "restaurant".to_string(),
+        ];
+        let outcomes = service.serve(&goals, 3).unwrap();
+        assert_eq!(outcomes.len(), goals.len());
+        assert_eq!(
+            outcomes[0].transcript, outcomes[2].transcript,
+            "same goal, same transcript, regardless of which worker ran it"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.sessions_opened, 4);
+        assert_eq!(stats.sessions_closed, 4);
+        assert_eq!(stats.sessions_completed, 4);
+        assert_eq!(stats.active_sessions, 0);
+        let total: usize = outcomes.iter().map(|o| o.stats.interactions).sum();
+        assert_eq!(stats.interactions, total as u64);
+    }
+
+    #[test]
+    fn serve_surfaces_parse_errors_without_poisoning_other_goals() {
+        let service = GpsService::new(core(EvalMode::Naive));
+        let goals = vec![MOTIVATING_QUERY.to_string(), "(bus".to_string()];
+        let result = service.serve(&goals, 2);
+        assert!(matches!(result, Err(GpsError::Parse(_))));
+        // The valid goal's session still ran to completion.
+        let stats = service.stats();
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.sessions_closed, 1);
+    }
+
+    #[test]
+    fn sessions_share_one_core_allocation() {
+        let service = GpsService::new(core(EvalMode::Frontier));
+        let index = service.core().shared_index().expect("frontier has one");
+        assert!(service.core().index_memory_bytes() > 0);
+        // Serving sessions adds no index clones: the Arc count stays at
+        // (core) + (evaluator) + (this probe).
+        let before = Arc::strong_count(&index);
+        service
+            .serve(&vec![MOTIVATING_QUERY.to_string(); 3], 3)
+            .unwrap();
+        assert_eq!(Arc::strong_count(&index), before);
+        // And the shared cache served every session: repeated goals hit.
+        let (hits, _) = service.core().eval_cache().stats();
+        assert!(hits > 0);
+    }
+}

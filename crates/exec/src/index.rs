@@ -134,6 +134,17 @@ impl LabelIndex {
         self.label_count
     }
 
+    /// Approximate heap footprint of the index in bytes (the packed offset
+    /// and neighbor arrays of both directions).  Multi-session deployments
+    /// report this to show N sessions share **one** index allocation rather
+    /// than N copies.
+    pub fn memory_bytes(&self) -> usize {
+        let dir = |d: &DirIndex| (d.offsets.len() + d.neighbors.len()) * std::mem::size_of::<u32>();
+        dir(&self.fwd)
+            + dir(&self.rev)
+            + self.label_edge_counts.len() * std::mem::size_of::<usize>()
+    }
+
     /// Number of edges carrying `label`.
     pub fn label_edge_count(&self, label: LabelId) -> usize {
         self.label_edge_counts
@@ -295,5 +306,20 @@ mod tests {
         let index = LabelIndex::from_backend(&g);
         assert_eq!(index.node_count(), 0);
         assert_eq!(index.label_count(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_the_graph() {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_edge_by_name(a, "x", b);
+        let small = LabelIndex::from_backend(&g).memory_bytes();
+        assert!(small > 0);
+        let c = g.add_node("C");
+        g.add_edge_by_name(b, "y", c);
+        g.add_edge_by_name(a, "y", c);
+        let larger = LabelIndex::from_backend(&g).memory_bytes();
+        assert!(larger > small);
     }
 }

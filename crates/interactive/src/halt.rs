@@ -20,6 +20,9 @@ pub enum HaltReason {
     /// The simulated goal query and the hypothesis agree on every node (only
     /// observable in simulation, where the goal is known).
     GoalReached,
+    /// The client closed the session (service deployments only: a managed
+    /// session was torn down before any halt condition fired).
+    ClosedByClient,
 }
 
 impl HaltReason {
@@ -62,6 +65,7 @@ mod tests {
         assert!(HaltReason::GoalReached.is_convergence());
         assert!(HaltReason::UserSatisfied.is_convergence());
         assert!(!HaltReason::InteractionBudgetExhausted.is_convergence());
+        assert!(!HaltReason::ClosedByClient.is_convergence());
     }
 
     #[test]

@@ -114,9 +114,13 @@ impl PruningState {
         let identity = coverage.log_identity();
         let version = coverage.version();
         let scores_current = self.scores.len() == graph.node_count();
+        // The delta sweep runs on the handle's snapshot, so its node ids are
+        // only meaningful here when that snapshot matches this graph — a
+        // foreign handle falls back to the full rescan like everywhere else.
+        let exec_matches = exec.cache().csr().node_count() == graph.node_count();
         match self.synced {
             Some((id, v)) if id == identity && v == version && scores_current => {}
-            Some((id, v)) if id == identity && v < version && scores_current => {
+            Some((id, v)) if id == identity && v < version && scores_current && exec_matches => {
                 let fresh = coverage.covered_since(v);
                 let trie_states: usize = fresh.iter().map(|w| w.len()).sum::<usize>() + 1;
                 if trie_states > DELTA_ACCEPTOR_STATE_CAP {
@@ -370,6 +374,38 @@ mod tests {
         pruning.refresh_with(&g, &examples, &c, &exec);
         assert!(pruning.is_synced_to(&c));
         assert_eq!(pruning.cached_score(n6), Some(0), "cinema is now covered");
+    }
+
+    #[test]
+    fn foreign_snapshot_handle_falls_back_to_full_rescan() {
+        // A handle over a *larger* graph: its delta sweep returns node ids
+        // that do not exist here, so the incremental arm must not run (it
+        // would index out of bounds); the state rescans locally instead.
+        let g = sample();
+        let mut big = Graph::new();
+        for i in 0..8 {
+            big.add_node(format!("B{i}").as_str());
+        }
+        for i in 0..7usize {
+            let from = big.node_by_name(&format!("B{i}")).unwrap();
+            let to = big.node_by_name(&format!("B{}", i + 1)).unwrap();
+            big.add_edge_by_name(from, "bus", to);
+        }
+        let foreign = gps_rpq::EvalHandle::naive(&big);
+        let n5 = g.node_by_name("N5").unwrap();
+        let examples = ExampleSet::new();
+        let mut coverage = NegativeCoverage::new(3);
+        let mut pruning = PruningState::new(3);
+        pruning.refresh_with(&g, &examples, &coverage, &foreign);
+        coverage.add_negative(&g, n5);
+        pruning.refresh_with(&g, &examples, &coverage, &foreign);
+        for node in g.nodes() {
+            assert_eq!(
+                pruning.cached_score(node),
+                Some(coverage.uncovered_count(&g, node)),
+                "node {node}"
+            );
+        }
     }
 
     #[test]

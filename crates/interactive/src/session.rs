@@ -17,6 +17,7 @@ use crate::zoom::ZoomState;
 use gps_graph::{Graph, GraphBackend, NodeId, Word};
 use gps_learner::{ExampleSet, Label, LearnedQuery, Learner};
 use gps_rpq::{EvalHandle, NegativeCoverage};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of an interactive session.
@@ -91,6 +92,25 @@ pub struct SessionOutcome {
     pub examples: ExampleSet,
 }
 
+/// How a session holds its graph: borrowed from the caller (the classic
+/// single-session shape) or shared behind an [`Arc`] (the service shape —
+/// a `Session<'static, CsrGraph>` that can be stored in a session manager
+/// and driven from worker threads).
+#[derive(Debug)]
+enum GraphRef<'g, B> {
+    Borrowed(&'g B),
+    Shared(Arc<B>),
+}
+
+impl<B> GraphRef<'_, B> {
+    fn get(&self) -> &B {
+        match self {
+            GraphRef::Borrowed(graph) => graph,
+            GraphRef::Shared(graph) => graph.as_ref(),
+        }
+    }
+}
+
 /// An in-progress interactive specification session over backend `B`
 /// (defaults to the mutable [`Graph`]; run sessions on a
 /// [`gps_graph::CsrGraph`] snapshot for cache-friendly traversal).
@@ -99,10 +119,14 @@ pub struct SessionOutcome {
 /// the incremental pruning's dirty-set query — goes through the session's
 /// [`EvalHandle`].  [`Session::new`] builds a private naive handle;
 /// [`Session::with_exec`] shares an engine's cache and configured execution
-/// engine, putting the whole loop on the frontier fast path.
+/// engine, putting the whole loop on the frontier fast path;
+/// [`Session::with_shared_exec`] additionally shares ownership of the graph
+/// snapshot itself, producing a `'static` session that outlives its creator
+/// (the shape the multi-session service stores and steps from worker
+/// threads).
 #[derive(Debug)]
 pub struct Session<'g, B: GraphBackend = Graph> {
-    graph: &'g B,
+    graph: GraphRef<'g, B>,
     exec: EvalHandle,
     config: SessionConfig,
     examples: ExampleSet,
@@ -113,11 +137,25 @@ pub struct Session<'g, B: GraphBackend = Graph> {
     transcript: Vec<InteractionRecord>,
 }
 
+impl<B: GraphBackend> Session<'static, B> {
+    /// Creates a session co-owning its graph: behavior is identical to
+    /// [`Session::with_exec`] over the same graph and stack, but the session
+    /// borrows nothing, so it can be stored (e.g. in a session manager's
+    /// table) and stepped from worker threads long after the creating scope
+    /// ended.
+    ///
+    /// `exec` must have been built over (a snapshot of) `graph`.
+    pub fn with_shared_exec(graph: Arc<B>, config: SessionConfig, exec: EvalHandle) -> Self {
+        Self::from_graph_ref(GraphRef::Shared(graph), config, exec)
+    }
+}
+
 impl<'g, B: GraphBackend> Session<'g, B> {
     /// Creates a session over `graph` with a private reference evaluation
     /// stack (one snapshot + the naive evaluator).
     pub fn new(graph: &'g B, config: SessionConfig) -> Self {
-        Self::with_exec(graph, config, EvalHandle::naive(graph))
+        let exec = EvalHandle::naive(graph);
+        Self::with_exec(graph, config, exec)
     }
 
     /// Creates a session over `graph` evaluating through a shared stack —
@@ -127,6 +165,20 @@ impl<'g, B: GraphBackend> Session<'g, B> {
     ///
     /// `exec` must have been built over (a snapshot of) `graph`.
     pub fn with_exec(graph: &'g B, config: SessionConfig, exec: EvalHandle) -> Self {
+        Self::from_graph_ref(GraphRef::Borrowed(graph), config, exec)
+    }
+
+    /// The evaluation stack this session runs on.
+    pub fn exec(&self) -> &EvalHandle {
+        &self.exec
+    }
+
+    /// The graph backend this session runs on.
+    pub fn graph(&self) -> &B {
+        self.graph.get()
+    }
+
+    fn from_graph_ref(graph: GraphRef<'g, B>, config: SessionConfig, exec: EvalHandle) -> Self {
         let coverage = NegativeCoverage::new(config.path_bound);
         let pruning = PruningState::new(config.path_bound);
         Self {
@@ -140,11 +192,6 @@ impl<'g, B: GraphBackend> Session<'g, B> {
             hypothesis: None,
             transcript: Vec::new(),
         }
-    }
-
-    /// The evaluation stack this session runs on.
-    pub fn exec(&self) -> &EvalHandle {
-        &self.exec
     }
 
     /// The examples collected so far.
@@ -179,14 +226,15 @@ impl<'g, B: GraphBackend> Session<'g, B> {
             return Some(HaltReason::InteractionBudgetExhausted);
         }
         let started = Instant::now();
+        let graph = self.graph.get();
 
         // 1–3: pick the next informative node (incremental refresh: only
         // nodes spelling newly covered words are rescanned).
         self.pruning
-            .refresh_with(self.graph, &self.examples, &self.coverage, &self.exec);
+            .refresh_with(graph, &self.examples, &self.coverage, &self.exec);
         let node = {
             let ctx = StrategyContext {
-                graph: self.graph,
+                graph,
                 examples: &self.examples,
                 coverage: &self.coverage,
                 pruning: &self.pruning,
@@ -199,15 +247,15 @@ impl<'g, B: GraphBackend> Session<'g, B> {
 
         // 4–5: show the neighborhood, zoom on demand, collect the label.
         let mut zoom = ZoomState::new(
-            self.graph,
+            graph,
             node,
             self.config.initial_radius,
             self.config.max_radius,
         );
         let response = loop {
-            match user.label_node(self.graph, node, zoom.neighborhood()) {
+            match user.label_node(graph, node, zoom.neighborhood()) {
                 UserResponse::ZoomOut => {
-                    if zoom.zoom_out(self.graph).is_some() {
+                    if zoom.zoom_out(graph).is_some() {
                         self.stats.zooms += 1;
                         continue;
                     }
@@ -224,7 +272,15 @@ impl<'g, B: GraphBackend> Session<'g, B> {
             UserResponse::Positive => {
                 self.stats.positive_labels += 1;
                 let validated = if self.config.with_path_validation {
-                    self.validate_path(user, node, zoom.radius() as usize)
+                    Self::validate_path(
+                        graph,
+                        &self.exec,
+                        &self.coverage,
+                        &mut self.stats,
+                        user,
+                        node,
+                        zoom.radius() as usize,
+                    )
                 } else {
                     None
                 };
@@ -248,11 +304,11 @@ impl<'g, B: GraphBackend> Session<'g, B> {
                 // cache when it matches this graph; identical to enumerating
                 // them here.
                 let cached = self.exec.bounded_words(self.coverage.bound());
-                if cached.len() == self.graph.node_count() {
+                if cached.len() == graph.node_count() {
                     self.coverage
                         .add_negative_with_words(node, &cached[node.index()]);
                 } else {
-                    self.coverage.add_negative(self.graph, node);
+                    self.coverage.add_negative(graph, node);
                 }
                 InteractionRecord {
                     node,
@@ -271,17 +327,16 @@ impl<'g, B: GraphBackend> Session<'g, B> {
         // runs on the configured engine (and repeat hypotheses hit the
         // cache).
         if self.examples.positive_count() > 0 {
-            if let Ok(learned) = self.config.learner.learn_with(
-                self.graph,
-                &self.examples,
-                &self.coverage,
-                &self.exec,
-            ) {
+            if let Ok(learned) =
+                self.config
+                    .learner
+                    .learn_with(graph, &self.examples, &self.coverage, &self.exec)
+            {
                 self.hypothesis = Some(learned);
             }
         }
         self.pruning
-            .refresh_with(self.graph, &self.examples, &self.coverage, &self.exec);
+            .refresh_with(graph, &self.examples, &self.coverage, &self.exec);
         self.stats
             .pruned_after_interaction
             .push(self.pruning.pruned_count());
@@ -290,7 +345,7 @@ impl<'g, B: GraphBackend> Session<'g, B> {
         // Halt checks.
         if self.config.halt.stop_on_goal {
             if let Some(hypothesis) = &self.hypothesis {
-                if user.satisfied_with(self.graph, hypothesis) {
+                if user.satisfied_with(graph, hypothesis) {
                     return Some(HaltReason::UserSatisfied);
                 }
             }
@@ -301,22 +356,29 @@ impl<'g, B: GraphBackend> Session<'g, B> {
         None
     }
 
+    /// Free-standing so the caller can keep borrowing the graph through
+    /// [`GraphRef`] while the statistics are updated (disjoint fields).
     fn validate_path<U: User<B> + ?Sized>(
-        &mut self,
+        graph: &B,
+        exec: &EvalHandle,
+        coverage: &NegativeCoverage,
+        stats: &mut SessionStats,
         user: &mut U,
         node: NodeId,
         radius: usize,
     ) -> Option<Word> {
-        let prompt = validation::build_prompt(self.graph, node, radius, &self.coverage)?;
-        let chosen = user.validate_path(self.graph, node, &prompt.candidates, &prompt.suggested);
-        self.stats.path_validations += 1;
+        // The candidate words come from the shared per-snapshot word cache
+        // (identical to enumerating the node's radius-bounded paths here).
+        let prompt = validation::build_prompt_with(graph, node, radius, coverage, Some(exec))?;
+        let chosen = user.validate_path(graph, node, &prompt.candidates, &prompt.suggested);
+        stats.path_validations += 1;
         let word = if prompt.is_candidate(&chosen) {
             chosen
         } else {
             prompt.suggested.clone()
         };
         if word != prompt.suggested {
-            self.stats.path_corrections += 1;
+            stats.path_corrections += 1;
         }
         Some(word)
     }
@@ -333,6 +395,14 @@ impl<'g, B: GraphBackend> Session<'g, B> {
                 break reason;
             }
         };
+        self.outcome(halt_reason)
+    }
+
+    /// Snapshots the session's observable state into a [`SessionOutcome`]
+    /// with the given halt reason — what [`run`](Self::run) returns after the
+    /// loop, and what a session manager returns when a client closes a
+    /// session it drove step by step (possibly before any halt fired).
+    pub fn outcome(&self, halt_reason: HaltReason) -> SessionOutcome {
         SessionOutcome {
             learned: self.hypothesis.clone(),
             halt_reason,

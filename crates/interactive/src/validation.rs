@@ -8,7 +8,7 @@
 //! out exactly that far before answering.
 
 use gps_graph::{GraphBackend, NodeId, PathEnumerator, PrefixTree, Word};
-use gps_rpq::NegativeCoverage;
+use gps_rpq::{EvalHandle, NegativeCoverage};
 
 /// The prompt shown to the user for path validation: the candidate words (as
 /// a prefix tree plus a flat list) and the system's suggested word.
@@ -47,11 +47,43 @@ pub fn build_prompt<B: GraphBackend>(
     radius: usize,
     coverage: &NegativeCoverage,
 ) -> Option<PathValidationPrompt> {
-    let mut candidates: Vec<Word> = PathEnumerator::new(radius)
-        .words_from(graph, node)
-        .into_iter()
-        .filter(|w| !coverage.is_covered(w))
-        .collect();
+    build_prompt_with(graph, node, radius, coverage, None)
+}
+
+/// [`build_prompt`] reading the node's radius-bounded words from a shared
+/// per-snapshot word cache instead of re-enumerating its paths per positive
+/// label — the session hot-spot fix.
+///
+/// When `exec` is present and its snapshot matches `graph`, the candidate
+/// words come from [`gps_rpq::EvalCache::bounded_words`] (computed once per
+/// `(snapshot, radius)` and shared across every session on the engine);
+/// otherwise the direct enumeration of [`build_prompt`] is used.  Both paths
+/// produce byte-identical prompts.
+pub fn build_prompt_with<B: GraphBackend>(
+    graph: &B,
+    node: NodeId,
+    radius: usize,
+    coverage: &NegativeCoverage,
+    exec: Option<&EvalHandle>,
+) -> Option<PathValidationPrompt> {
+    let cached = exec
+        .map(|exec| exec.bounded_words(radius))
+        .filter(|cached| cached.len() == graph.node_count());
+    let mut candidates: Vec<Word> = match &cached {
+        // The cached per-node sets are exactly
+        // `PathEnumerator::new(radius).words_from(graph, node)` in the same
+        // (lexicographic) order.
+        Some(cached) => cached[node.index()]
+            .iter()
+            .filter(|w| !coverage.is_covered(w))
+            .cloned()
+            .collect(),
+        None => PathEnumerator::new(radius)
+            .words_from(graph, node)
+            .into_iter()
+            .filter(|w| !coverage.is_covered(w))
+            .collect(),
+    };
     if candidates.is_empty() {
         return None;
     }
@@ -147,6 +179,50 @@ mod tests {
         // bus·restaurant (N4 -bus-> N5 -restaurant-> R2 yes)… so everything
         // within radius 2 is covered.
         assert!(build_prompt(&g, ids.n6, 2, &coverage2).is_none());
+    }
+
+    #[test]
+    fn cached_prompt_is_byte_identical_to_direct_enumeration() {
+        let (g, ids) = figure1_graph();
+        let exec = gps_rpq::EvalHandle::naive(&g);
+        for negatives in [vec![], vec![ids.n5], vec![ids.n4, ids.n5]] {
+            let coverage = NegativeCoverage::from_negatives(&g, negatives.clone(), 3);
+            for node in g.nodes() {
+                for radius in 1..=4usize {
+                    let direct = build_prompt(&g, node, radius, &coverage);
+                    let cached = build_prompt_with(&g, node, radius, &coverage, Some(&exec));
+                    match (direct, cached) {
+                        (None, None) => {}
+                        (Some(d), Some(c)) => {
+                            assert_eq!(d.candidates, c.candidates, "{node} r{radius}");
+                            assert_eq!(d.suggested, c.suggested, "{node} r{radius}");
+                            assert_eq!(
+                                d.tree.word_count(),
+                                c.tree.word_count(),
+                                "{node} r{radius}"
+                            );
+                        }
+                        (d, c) => panic!("{node} r{radius}: {d:?} vs {c:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_snapshot_falls_back_to_enumeration() {
+        let (g, ids) = figure1_graph();
+        // A handle over a *different* (smaller) graph must not be trusted.
+        let mut other = gps_graph::Graph::new();
+        let a = other.add_node("A");
+        let b = other.add_node("B");
+        other.add_edge_by_name(a, "x", b);
+        let foreign = gps_rpq::EvalHandle::naive(&other);
+        let coverage = NegativeCoverage::new(3);
+        let direct = build_prompt(&g, ids.n2, 3, &coverage).unwrap();
+        let fallback = build_prompt_with(&g, ids.n2, 3, &coverage, Some(&foreign)).unwrap();
+        assert_eq!(direct.candidates, fallback.candidates);
+        assert_eq!(direct.suggested, fallback.suggested);
     }
 
     #[test]

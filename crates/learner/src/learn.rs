@@ -10,7 +10,7 @@
 use crate::error::LearnError;
 use crate::examples::ExampleSet;
 use crate::merge::generalize;
-use crate::path_selection::{select_paths, SelectedPaths};
+use crate::path_selection::{select_paths_with, SelectedPaths};
 use gps_automata::state_elim::dfa_to_regex;
 use gps_automata::{Dfa, Regex};
 use gps_graph::{GraphBackend, NodeId, PathEnumerator, Word};
@@ -117,8 +117,10 @@ impl Learner {
         if examples.positive_count() == 0 {
             return Err(LearnError::NoPositiveExamples);
         }
-        // Step (i): one uncovered word per positive example.
-        let selected = select_paths(graph, examples, coverage, self.path_bound)?;
+        // Step (i): one uncovered word per positive example.  With a shared
+        // stack the positive nodes' bounded words are read from the
+        // per-snapshot cache instead of being re-enumerated per learn call.
+        let selected = select_paths_with(graph, examples, coverage, self.path_bound, exec)?;
         let positive_words: Vec<Word> = selected.values().cloned().collect();
 
         // Negative constraint: every bounded word of every negative node,

@@ -9,7 +9,7 @@
 use crate::error::LearnError;
 use crate::examples::ExampleSet;
 use gps_graph::{GraphBackend, NodeId, PathEnumerator, Word};
-use gps_rpq::NegativeCoverage;
+use gps_rpq::{EvalHandle, NegativeCoverage};
 use std::collections::BTreeMap;
 
 /// The words selected for the positive examples, keyed by node.
@@ -26,6 +26,27 @@ pub fn select_paths<B: GraphBackend>(
     coverage: &NegativeCoverage,
     bound: usize,
 ) -> Result<SelectedPaths, LearnError> {
+    select_paths_with(graph, examples, coverage, bound, None)
+}
+
+/// [`select_paths`] reading every positive node's bounded words from a shared
+/// per-snapshot word cache instead of re-enumerating its paths per learn call
+/// — the positive re-check hot-spot fix.
+///
+/// When `exec` is present and its snapshot matches `graph`, the words come
+/// from [`gps_rpq::EvalCache::bounded_words`] (computed once per `(snapshot,
+/// bound)` and shared across sessions); otherwise selection enumerates
+/// directly.  Both paths select byte-identical words.
+pub fn select_paths_with<B: GraphBackend>(
+    graph: &B,
+    examples: &ExampleSet,
+    coverage: &NegativeCoverage,
+    bound: usize,
+    exec: Option<&EvalHandle>,
+) -> Result<SelectedPaths, LearnError> {
+    let cached = exec
+        .map(|exec| exec.bounded_words(bound))
+        .filter(|cached| cached.len() == graph.node_count());
     let mut selected = SelectedPaths::new();
     for positive in examples.positives() {
         if let Some(word) = examples.validated_path(positive) {
@@ -35,8 +56,11 @@ pub fn select_paths<B: GraphBackend>(
             selected.insert(positive, word.clone());
             continue;
         }
-        let word = smallest_uncovered_word(graph, positive, coverage, bound)
-            .ok_or(LearnError::PositiveFullyCovered { node: positive })?;
+        let word = match &cached {
+            Some(cached) => smallest_uncovered_of(cached[positive.index()].iter(), coverage),
+            None => smallest_uncovered_word(graph, positive, coverage, bound),
+        }
+        .ok_or(LearnError::PositiveFullyCovered { node: positive })?;
         selected.insert(positive, word);
     }
     Ok(selected)
@@ -52,11 +76,21 @@ pub fn smallest_uncovered_word<B: GraphBackend>(
     bound: usize,
 ) -> Option<Word> {
     // words_from returns a BTreeSet (lexicographic); pick by (len, word).
-    PathEnumerator::new(bound)
-        .words_from(graph, node)
-        .into_iter()
+    smallest_uncovered_of(
+        PathEnumerator::new(bound).words_from(graph, node).iter(),
+        coverage,
+    )
+}
+
+/// The `(len, word)`-minimal uncovered word among `words` (any order).
+fn smallest_uncovered_of<'a>(
+    words: impl Iterator<Item = &'a Word>,
+    coverage: &NegativeCoverage,
+) -> Option<Word> {
+    words
         .filter(|w| !coverage.is_covered(w))
         .min_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)))
+        .cloned()
 }
 
 #[cfg(test)]
@@ -146,6 +180,42 @@ mod tests {
         let selected = select_paths(&g, &examples, &coverage, 3).unwrap();
         assert_eq!(selected[&n2], vec![bus, tram, cinema]);
         assert_eq!(selected[&n6], vec![cinema]);
+    }
+
+    #[test]
+    fn cached_selection_is_byte_identical_to_direct_enumeration() {
+        let g = sample();
+        let exec = gps_rpq::EvalHandle::naive(&g);
+        let n2 = g.node_by_name("N2").unwrap();
+        let n5 = g.node_by_name("N5").unwrap();
+        let n6 = g.node_by_name("N6").unwrap();
+        let mut examples = ExampleSet::new();
+        examples.add_positive(n2);
+        examples.add_positive(n6);
+        for (negatives, bound) in [(vec![], 3), (vec![n5], 3), (vec![n5], 2)] {
+            let coverage = NegativeCoverage::from_negatives(&g, negatives, bound);
+            let direct = select_paths(&g, &examples, &coverage, bound).unwrap();
+            let cached = select_paths_with(&g, &examples, &coverage, bound, Some(&exec)).unwrap();
+            assert_eq!(direct, cached, "bound {bound}");
+        }
+        // Error cases agree too: every word of N6 covered.
+        let n4 = g.node_by_name("N4").unwrap();
+        let coverage = NegativeCoverage::from_negatives(&g, [n4], 3);
+        assert_eq!(
+            select_paths(&g, &examples, &coverage, 3).unwrap_err(),
+            select_paths_with(&g, &examples, &coverage, 3, Some(&exec)).unwrap_err(),
+        );
+        // A handle over a different graph falls back to direct enumeration.
+        let mut other = Graph::new();
+        let a = other.add_node("A");
+        let b = other.add_node("B");
+        other.add_edge_by_name(a, "x", b);
+        let foreign = gps_rpq::EvalHandle::naive(&other);
+        let coverage = NegativeCoverage::new(3);
+        assert_eq!(
+            select_paths(&g, &examples, &coverage, 3).unwrap(),
+            select_paths_with(&g, &examples, &coverage, 3, Some(&foreign)).unwrap(),
+        );
     }
 
     #[test]

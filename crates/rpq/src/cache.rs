@@ -25,11 +25,31 @@ use std::sync::Arc;
 /// Default maximum number of cached answers.
 pub const DEFAULT_CAPACITY: usize = 1024;
 
+/// Default maximum number of per-bound bounded-word snapshots.
+///
+/// A word snapshot holds every node's distinct bounded words, so it is by far
+/// the largest object the cache can own; interactive sessions only ever ask
+/// for a handful of distinct bounds (the path bound plus the zoom radii in
+/// use, typically 2–6), so a small cap bounds the memory without evicting on
+/// the session fast path.
+pub const DEFAULT_WORDS_CAPACITY: usize = 8;
+
 #[derive(Debug)]
 struct Entry {
     answer: Arc<QueryAnswer>,
     /// Monotonic recency tick, updated with a relaxed store on every hit so
     /// lookups stay on the shared read lock.
+    last_used: AtomicU64,
+}
+
+/// One per-bound snapshot of every node's distinct bounded words, plus the
+/// derived per-node counts (always materialized together: the counts are a
+/// trivial map over the words, and a single entry keeps the LRU eviction of
+/// words and counts atomic).
+#[derive(Debug)]
+struct WordsEntry {
+    words: Arc<Vec<Vec<Word>>>,
+    counts: Arc<Vec<usize>>,
     last_used: AtomicU64,
 }
 
@@ -42,18 +62,20 @@ pub struct EvalCache {
     csr: Arc<CsrGraph>,
     evaluator: Box<dyn DfaEvaluator>,
     capacity: usize,
+    words_capacity: usize,
     answers: RwLock<HashMap<Regex, Entry>>,
-    /// Per-bound distinct bounded word sets of every node (lazy, shared).
-    /// Sessions score informativeness and cover negatives against these
-    /// words; enumerating them once per snapshot instead of once per node
-    /// per interaction is a large part of the sessions/sec win.
-    words: RwLock<HashMap<usize, Arc<Vec<Vec<Word>>>>>,
-    /// Per-bound word *counts* (derived from `words`, memoized separately so
-    /// the common fast path clones a flat `Vec<usize>`).
-    word_counts: RwLock<HashMap<usize, Arc<Vec<usize>>>>,
+    /// Per-bound distinct bounded word sets of every node (lazy, shared) and
+    /// their derived per-node counts.  Sessions score informativeness and
+    /// cover negatives against these words; enumerating them once per
+    /// snapshot instead of once per node per interaction is a large part of
+    /// the sessions/sec win.  LRU-bounded by `words_capacity` — the word
+    /// snapshots dominate the cache's memory, so a shard-sized deployment can
+    /// cap them independently of the answer cache.
+    words: RwLock<HashMap<usize, WordsEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    word_evictions: AtomicU64,
     tick: AtomicU64,
 }
 
@@ -89,12 +111,13 @@ impl EvalCache {
             csr,
             evaluator,
             capacity: DEFAULT_CAPACITY,
+            words_capacity: DEFAULT_WORDS_CAPACITY,
             answers: RwLock::new(HashMap::new()),
             words: RwLock::new(HashMap::new()),
-            word_counts: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            word_evictions: AtomicU64::new(0),
             tick: AtomicU64::new(0),
         }
     }
@@ -105,14 +128,31 @@ impl EvalCache {
         self
     }
 
+    /// Sets the maximum number of per-bound bounded-word snapshots (at least
+    /// 1) — the memory knob for the largest structures the cache owns.
+    pub fn with_words_capacity(mut self, capacity: usize) -> Self {
+        self.words_capacity = capacity.max(1);
+        self
+    }
+
     /// The maximum number of cached answers.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// The maximum number of per-bound bounded-word snapshots.
+    pub fn words_capacity(&self) -> usize {
+        self.words_capacity
+    }
+
     /// The underlying snapshot.
     pub fn csr(&self) -> &CsrGraph {
         &self.csr
+    }
+
+    /// A new reference to the shared snapshot the answers are computed on.
+    pub fn shared_csr(&self) -> Arc<CsrGraph> {
+        Arc::clone(&self.csr)
     }
 
     /// The evaluator answering cache misses.
@@ -163,8 +203,38 @@ impl EvalCache {
     /// record negative examples against these sets without re-walking the
     /// graph.
     pub fn bounded_words(&self, bound: usize) -> Arc<Vec<Vec<Word>>> {
-        if let Some(words) = self.words.read().get(&bound) {
-            return Arc::clone(words);
+        self.bounded_entry(bound).0
+    }
+
+    /// The number of distinct words of length `1..=bound` spelled by each
+    /// node's outgoing paths, indexed by node id — every node's
+    /// uncovered-word count under *empty* negative coverage, i.e. the
+    /// informativeness baseline an interactive session starts from.
+    pub fn bounded_word_counts(&self, bound: usize) -> Arc<Vec<usize>> {
+        self.bounded_entry(bound).1
+    }
+
+    /// Looks up (or computes) the bounded-word snapshot for `bound`,
+    /// refreshing its recency; when the map is full the least-recently-used
+    /// bound is evicted first.  Re-computation after an eviction is
+    /// deterministic, so eviction never changes observable behavior.
+    ///
+    /// The snapshot is the most expensive object the cache builds (a bounded
+    /// enumeration over every node), so a miss computes it *under the write
+    /// lock* after a re-check: a burst of cold sessions asking for the same
+    /// bound enumerates once and 7 waiters get the shared result, instead of
+    /// N racing whole-graph sweeps.  Only `words` callers wait on this lock —
+    /// the answer cache has its own.
+    fn bounded_entry(&self, bound: usize) -> (Arc<Vec<Vec<Word>>>, Arc<Vec<usize>>) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(entry) = self.words.read().get(&bound) {
+            entry.last_used.store(tick, Ordering::Relaxed);
+            return (Arc::clone(&entry.words), Arc::clone(&entry.counts));
+        }
+        let mut map = self.words.write();
+        if let Some(entry) = map.get(&bound) {
+            entry.last_used.store(tick, Ordering::Relaxed);
+            return (Arc::clone(&entry.words), Arc::clone(&entry.counts));
         }
         let enumerator = PathEnumerator::new(bound);
         let words: Vec<Vec<Word>> = self
@@ -177,33 +247,38 @@ impl EvalCache {
                     .collect()
             })
             .collect();
+        let counts: Vec<usize> = words.iter().map(|words| words.len()).collect();
         let words = Arc::new(words);
-        self.words
-            .write()
-            .entry(bound)
-            .or_insert_with(|| Arc::clone(&words))
-            .clone()
+        let counts = Arc::new(counts);
+        if map.len() >= self.words_capacity {
+            if let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .map(|(&bound, _)| bound)
+            {
+                map.remove(&oldest);
+                self.word_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            bound,
+            WordsEntry {
+                words: Arc::clone(&words),
+                counts: Arc::clone(&counts),
+                last_used: AtomicU64::new(tick),
+            },
+        );
+        (words, counts)
     }
 
-    /// The number of distinct words of length `1..=bound` spelled by each
-    /// node's outgoing paths, indexed by node id — every node's
-    /// uncovered-word count under *empty* negative coverage, i.e. the
-    /// informativeness baseline an interactive session starts from.
-    pub fn bounded_word_counts(&self, bound: usize) -> Arc<Vec<usize>> {
-        if let Some(counts) = self.word_counts.read().get(&bound) {
-            return Arc::clone(counts);
-        }
-        let counts: Vec<usize> = self
-            .bounded_words(bound)
-            .iter()
-            .map(|words| words.len())
-            .collect();
-        let counts = Arc::new(counts);
-        self.word_counts
-            .write()
-            .entry(bound)
-            .or_insert_with(|| Arc::clone(&counts))
-            .clone()
+    /// Number of per-bound bounded-word snapshots currently cached.
+    pub fn words_len(&self) -> usize {
+        self.words.read().len()
+    }
+
+    /// Number of bounded-word snapshots evicted by the capacity cap so far.
+    pub fn word_evictions(&self) -> u64 {
+        self.word_evictions.load(Ordering::Relaxed)
     }
 
     /// Evaluates a batch of expressions, returning the answers in input
@@ -487,6 +562,91 @@ mod tests {
         let counting = cache.evaluator();
         let debug = format!("{counting:?}");
         assert!(debug.contains("evaluated: 2"), "got {debug}");
+    }
+
+    #[test]
+    fn bounded_words_match_direct_enumeration() {
+        let g = sample();
+        let cache = EvalCache::new(&g);
+        let words = cache.bounded_words(3);
+        let counts = cache.bounded_word_counts(3);
+        for node in g.nodes() {
+            let direct: Vec<Word> = PathEnumerator::new(3)
+                .words_from(&g, node)
+                .into_iter()
+                .collect();
+            assert_eq!(words[node.index()], direct);
+            assert_eq!(counts[node.index()], direct.len());
+        }
+    }
+
+    #[test]
+    fn words_capacity_evicts_least_recently_used_bound() {
+        let g = sample();
+        let cache = EvalCache::new(&g).with_words_capacity(2);
+        assert_eq!(cache.words_capacity(), 2);
+        cache.bounded_words(1);
+        cache.bounded_words(2);
+        assert_eq!(cache.words_len(), 2);
+        // Touch bound 1 so bound 2 is the least recently used, then overflow.
+        cache.bounded_words(1);
+        cache.bounded_words(3);
+        assert_eq!(cache.words_len(), 2);
+        assert_eq!(cache.word_evictions(), 1);
+        // Bounds 1 and 3 survive (same shared allocation on re-request);
+        // bound 2 was evicted and is recomputed to identical content.
+        let w1 = cache.bounded_words(1);
+        assert!(Arc::ptr_eq(&w1, &cache.bounded_words(1)));
+        let w2 = cache.bounded_words(2);
+        assert_eq!(cache.word_evictions(), 2, "bound 3 evicted in turn");
+        let direct: Vec<Word> = PathEnumerator::new(2)
+            .words_from(&g, g.node_by_name("A").unwrap())
+            .into_iter()
+            .collect();
+        assert_eq!(w2[g.node_by_name("A").unwrap().index()], direct);
+    }
+
+    #[test]
+    fn words_and_counts_evict_together() {
+        let g = sample();
+        let cache = EvalCache::new(&g).with_words_capacity(1);
+        let counts1 = cache.bounded_word_counts(1);
+        cache.bounded_words(2);
+        assert_eq!(cache.words_len(), 1);
+        assert_eq!(cache.word_evictions(), 1);
+        // The bound-1 counts were evicted with their words; re-requesting
+        // recomputes identical content in a fresh allocation.
+        let counts1_again = cache.bounded_word_counts(1);
+        assert_eq!(*counts1, *counts1_again);
+        assert!(!Arc::ptr_eq(&counts1, &counts1_again));
+    }
+
+    #[test]
+    fn words_capacity_is_at_least_one() {
+        let g = sample();
+        let cache = EvalCache::new(&g).with_words_capacity(0);
+        assert_eq!(cache.words_capacity(), 1);
+        cache.bounded_words(1);
+        cache.bounded_words(2);
+        assert_eq!(cache.words_len(), 1);
+    }
+
+    #[test]
+    fn repeated_bounds_stay_within_words_capacity() {
+        let g = sample();
+        let cache = EvalCache::new(&g).with_words_capacity(2);
+        for round in 0..3 {
+            for bound in 1..=6usize {
+                cache.bounded_words(bound);
+                cache.bounded_word_counts(bound);
+                assert!(
+                    cache.words_len() <= 2,
+                    "round {round}, bound {bound}: {} snapshots",
+                    cache.words_len()
+                );
+            }
+        }
+        assert!(cache.word_evictions() >= 12);
     }
 
     #[test]
