@@ -19,7 +19,15 @@
 //! * `sessions-sequential` / `concurrent-sessions-w{1,4,8}` — a batch of
 //!   whole sessions driven directly one-by-one vs. through the
 //!   `GpsService`/`SessionManager` worker pool over one shared `EngineCore`,
-//!   reported as **ns per session** so sessions/sec is `1e9 / mean_ns`.
+//!   reported as **ns per session** so sessions/sec is `1e9 / mean_ns`;
+//! * `update-publish` — staging + publishing one small live-update batch
+//!   through the epoch-versioned store (delta compaction, label-partition
+//!   index patch, bounded-word cache inheritance, epoch swap), reported as
+//!   **ns per publish**;
+//! * `sessions-static` / `sessions-during-updates` — the same session batch
+//!   served over a never-updated store vs. a store that publishes a live
+//!   update mid-batch (new sessions land on the new epoch), reported as
+//!   **ns per session** — the cost of serving *while* the graph changes.
 //!
 //! Samples for the compared modes are interleaved round-robin so clock or
 //! thermal drift cannot bias the comparison one way.
@@ -36,12 +44,15 @@
 
 use gps_automata::Dfa;
 use gps_core::service::GpsService;
+use gps_core::versioned::GraphUpdate;
 use gps_core::{Engine, EvalMode};
 use gps_datasets::scale_free::{self, ScaleFreeConfig};
 use gps_datasets::transport::{self, TransportConfig};
+use gps_datasets::updates::{update_stream, UpdateStreamConfig};
 use gps_datasets::Workload;
 use gps_exec::BatchEvaluator;
 use gps_graph::{CsrGraph, Graph, LabelId};
+use gps_graph::{NodeId, UpdateOp};
 use gps_interactive::strategy::InformativePathsStrategy;
 use gps_interactive::user::SimulatedUser;
 use gps_rpq::PathQuery;
@@ -340,6 +351,183 @@ fn concurrent_session_records(
     }
 }
 
+/// An endlessly repeatable live-update workload: insertion ops drawn from
+/// the streamed update workload or an explicit batch, published as
+/// alternating add / remove batches so the graph oscillates around the base
+/// snapshot instead of drifting — every publish exercises the full
+/// machinery (compaction, partition patch, word inheritance, epoch swap,
+/// per-epoch answer recomputation) while graph size stays put.
+struct OscillatingUpdates {
+    adds: Vec<UpdateOp>,
+    removes: Vec<UpdateOp>,
+    toggle: std::cell::Cell<bool>,
+}
+
+impl OscillatingUpdates {
+    /// Insertion batch sampled from the streamed update workload (graph
+    /// labels, attachment-biased endpoints).
+    fn from_stream(graph: &Graph, batch: usize, seed: u64) -> Self {
+        Self::from_adds(update_stream(
+            graph,
+            &UpdateStreamConfig {
+                operations: batch,
+                insert_ratio: 1.0,
+                new_node_ratio: 0.0,
+                seed,
+            },
+        ))
+    }
+
+    /// Builds the oscillation from an explicit insertion batch.
+    fn from_adds(adds: Vec<UpdateOp>) -> Self {
+        let removes = adds
+            .iter()
+            .map(|op| match op {
+                UpdateOp::AddEdge {
+                    source,
+                    label,
+                    target,
+                } => UpdateOp::RemoveEdge {
+                    source: source.clone(),
+                    label: label.clone(),
+                    target: target.clone(),
+                },
+                other => unreachable!("insert-only stream produced {other:?}"),
+            })
+            .collect();
+        Self {
+            adds,
+            removes,
+            toggle: std::cell::Cell::new(false),
+        }
+    }
+
+    fn next(&self) -> GraphUpdate {
+        let removing = self.toggle.replace(!self.toggle.get());
+        GraphUpdate::from_ops(if removing {
+            self.removes.clone()
+        } else {
+            self.adds.clone()
+        })
+    }
+}
+
+/// Times one publish of a small update batch through the versioned store
+/// (`update-publish`, ns per publish), and the same session batch served
+/// over a static store vs. one that publishes mid-batch (`sessions-static`
+/// vs. `sessions-during-updates`, ns per session).
+fn live_update_records(
+    graph: &Graph,
+    goal_syntaxes: &[String],
+    samples: usize,
+    records: &mut Vec<Record>,
+) {
+    let build = || {
+        GpsService::new(
+            Engine::builder(graph.clone())
+                .eval_mode(EvalMode::Frontier)
+                .max_interactions(24)
+                .build_core(),
+        )
+    };
+    let size = (graph.node_count(), graph.edge_count());
+
+    // Publish latency alone: alternating 4-op add/remove batches straight
+    // off the streamed workload (graph labels, hub-biased endpoints).
+    let publish_service = build();
+    let publish_updates = OscillatingUpdates::from_stream(graph, 4, 23);
+    // Warm the word cache the way a serving deployment is warm, so the
+    // publish pays the realistic inheritance cost, not an empty-cache one.
+    publish_service.core().eval_cache().bounded_words(4);
+    let mut run_publish = || {
+        black_box(
+            publish_service
+                .update(publish_updates.next())
+                .expect("oscillating updates always apply"),
+        );
+    };
+    bench_group(
+        "scale-free-2000-live",
+        size,
+        "publish of 4 update ops",
+        samples,
+        &mut [("update-publish", &mut run_publish)],
+        records,
+    );
+
+    // Sessions over a static store vs. sessions with one publish landing
+    // mid-batch (a read-heavy serving ratio: one small write per ~200
+    // sessions).  Both shapes serve the identical goal list (24x the service
+    // goals) on one worker and pay exactly one cold evaluation segment per
+    // sample: the static shape starts from a cleared answer cache (a fresh
+    // deployment), the live shape starts warm but its mid-batch publish
+    // moves the second half of the sessions onto a fresh epoch — cold
+    // answers, inherited word snapshots and a patched index (the MVCC
+    // machinery this floor guards).  The oscillating edges connect
+    // *low-degree* nodes under a label no goal query uses: hub-attached
+    // edges genuinely lengthen every downstream specification dialogue
+    // (that is workload change, not serving overhead), while leaf edges
+    // keep the measured sessions comparable between the two graph states —
+    // so the ratio isolates the cost of the publish machinery itself.
+    let goals: Vec<String> = goal_syntaxes
+        .iter()
+        .cycle()
+        .take(goal_syntaxes.len() * 24)
+        .cloned()
+        .collect();
+    let sessions = goals.len() as f64;
+    let static_service = build();
+    let live_service = build();
+    let leaf_edges: Vec<UpdateOp> = {
+        // The lowest-degree nodes (late arrivals in preferential attachment),
+        // paired up: u -live-> v.
+        let mut by_degree: Vec<NodeId> = graph.nodes().collect();
+        by_degree.sort_by_key(|&n| (graph.out_degree(n) + graph.in_degree(n), n.index()));
+        by_degree
+            .chunks(2)
+            .take(4)
+            .filter(|pair| pair.len() == 2)
+            .map(|pair| UpdateOp::AddEdge {
+                source: graph.node_name(pair[0]).to_string(),
+                label: "live".to_string(),
+                target: graph.node_name(pair[1]).to_string(),
+            })
+            .collect()
+    };
+    let live_updates = OscillatingUpdates::from_adds(leaf_edges);
+    let mut run_static = || {
+        static_service.core().eval_cache().clear();
+        black_box(static_service.serve(&goals, 1).expect("sessions halt"));
+    };
+    let mut run_live = || {
+        for (i, goal) in goals.iter().enumerate() {
+            if i == goals.len() / 2 {
+                live_service
+                    .update(live_updates.next())
+                    .expect("oscillating updates always apply");
+            }
+            black_box(live_service.serve_one(goal).expect("sessions halt"));
+        }
+    };
+    let before = records.len();
+    bench_group(
+        "scale-free-2000-live",
+        size,
+        &format!("batch of {} sessions, one mid-batch publish", goals.len()),
+        samples,
+        &mut [
+            ("sessions-static", &mut run_static),
+            ("sessions-during-updates", &mut run_live),
+        ],
+        records,
+    );
+    // Normalize from ns/batch to ns/session.
+    for record in &mut records[before..] {
+        record.mean_ns /= sessions;
+        record.min_ns /= sessions;
+    }
+}
+
 fn mean_of(records: &[Record], dataset: &str, backend: &str) -> f64 {
     records
         .iter()
@@ -401,6 +589,10 @@ fn main() {
         format!("({}+{})*.{}", name(0), name(1), name(2)),
     ];
     concurrent_session_records(&sf, &service_goals, session_samples, &mut records);
+
+    // Live updates: publish latency through the epoch-versioned store, and
+    // session throughput while updates are being published mid-batch.
+    live_update_records(&sf, &service_goals, session_samples, &mut records);
 
     // Render the records as JSON by hand (stable field order, no extra deps).
     let mut out = String::from(
@@ -501,6 +693,29 @@ fn main() {
             "{service_dataset}: one service worker at {:.2}x of sequential per-session throughput ({w1:.0} vs {sequential:.0} ns/session), below the 0.9x smoke floor",
             service_ratio
         ));
+    }
+    let live_dataset = "scale-free-2000-live";
+    let publish = mean_of(&records, live_dataset, "update-publish");
+    let static_sessions = mean_of(&records, live_dataset, "sessions-static");
+    let during = mean_of(&records, live_dataset, "sessions-during-updates");
+    let live_ratio = static_sessions / during;
+    println!(
+        "{live_dataset}: publish {:.0} µs; sessions {:.0}/sec static vs {:.0}/sec during updates ({live_ratio:.2}x)",
+        publish / 1e3,
+        1e9 / static_sessions,
+        1e9 / during,
+    );
+    // Serving while publishing must stay within 0.9x of the static-snapshot
+    // baseline — the whole point of patching the index and inheriting the
+    // word cache instead of rebuilding per epoch (NaN — a missing record —
+    // fails rather than vacuously passing).
+    if smoke && (live_ratio.is_nan() || live_ratio < 0.9) {
+        failures.push(format!(
+            "{live_dataset}: sessions during updates at {live_ratio:.2}x of static throughput ({during:.0} vs {static_sessions:.0} ns/session), below the 0.9x smoke floor"
+        ));
+    }
+    if smoke && publish.is_nan() {
+        failures.push(format!("{live_dataset}: missing update-publish record"));
     }
     if !failures.is_empty() {
         for failure in &failures {

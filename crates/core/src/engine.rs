@@ -35,8 +35,11 @@
 use crate::error::GpsError;
 use crate::render;
 use crate::scenario::{self, ScenarioReport, StaticLabelingOutcome};
-use gps_exec::{BatchEvaluator, LabelIndex};
-use gps_graph::{CsrGraph, Graph, GraphBackend, Neighborhood, NodeId, PathEnumerator, PrefixTree};
+use gps_exec::{BatchEvaluator, LabelIndex, PlannerConfig};
+use gps_graph::{
+    CsrGraph, Graph, GraphBackend, GraphDelta, LabelStats, Neighborhood, NodeId, PathEnumerator,
+    PrefixTree,
+};
 use gps_interactive::halt::HaltConfig;
 use gps_interactive::session::{Session, SessionConfig, SessionOutcome};
 use gps_interactive::strategy::{
@@ -72,24 +75,38 @@ pub enum EvalMode {
 
 impl EvalMode {
     /// Builds the mode's evaluator over a shared snapshot, returning the
-    /// label index it indexes the graph with (frontier modes only) so the
-    /// core can expose the one allocation every session shares.
+    /// label index it indexes the graph with and the planner statistics it
+    /// consults (frontier modes only) so the core can expose the one
+    /// allocation every session shares — and patch both on a live update
+    /// instead of rebuilding.
     fn evaluator_for(
         self,
         csr: &Arc<CsrGraph>,
-    ) -> (Box<dyn DfaEvaluator>, Option<Arc<LabelIndex>>) {
+        planner: PlannerConfig,
+    ) -> (
+        Box<dyn DfaEvaluator>,
+        Option<Arc<LabelIndex>>,
+        Option<LabelStats>,
+    ) {
         match self {
-            EvalMode::Naive => (Box::new(NaiveEvaluator::from_shared(Arc::clone(csr))), None),
+            EvalMode::Naive => (
+                Box::new(NaiveEvaluator::from_shared(Arc::clone(csr))),
+                None,
+                None,
+            ),
             EvalMode::Frontier => {
-                let evaluator = BatchEvaluator::from_csr(csr);
+                let evaluator = BatchEvaluator::from_csr(csr).with_planner_config(planner);
                 let index = evaluator.shared_index();
-                (Box::new(evaluator), Some(index))
+                let stats = evaluator.stats().clone();
+                (Box::new(evaluator), Some(index), Some(stats))
             }
             EvalMode::Parallel => {
                 let evaluator = BatchEvaluator::from_csr(csr)
+                    .with_planner_config(planner)
                     .with_parallelism(BatchEvaluator::default_threads());
                 let index = evaluator.shared_index();
-                (Box::new(evaluator), Some(index))
+                let stats = evaluator.stats().clone();
+                (Box::new(evaluator), Some(index), Some(stats))
             }
         }
     }
@@ -142,6 +159,7 @@ pub struct GpsBuilder {
     session: SessionConfig,
     strategy: StrategyChoice,
     eval_mode: EvalMode,
+    planner: PlannerConfig,
     cache_capacity: Option<usize>,
     words_capacity: Option<usize>,
 }
@@ -155,6 +173,7 @@ impl GpsBuilder {
             session: SessionConfig::default(),
             strategy: StrategyChoice::default(),
             eval_mode: EvalMode::default(),
+            planner: PlannerConfig::default(),
             cache_capacity: None,
             words_capacity: None,
         }
@@ -221,6 +240,15 @@ impl GpsBuilder {
         self
     }
 
+    /// Replaces the direction-aware planner's decision thresholds (frontier
+    /// modes; defaults to [`PlannerConfig::default`], the values hand-tuned
+    /// on the checked-in corpora).  Calibrate per corpus when the label
+    /// distribution differs sharply from the defaults' assumptions.
+    pub fn planner_config(mut self, config: PlannerConfig) -> Self {
+        self.planner = config;
+        self
+    }
+
     /// Caps the number of cached query answers in the shared evaluation
     /// cache (defaults to [`gps_rpq::cache::DEFAULT_CAPACITY`]).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
@@ -279,7 +307,7 @@ impl GpsBuilder {
     fn into_core(self, snapshot: Arc<CsrGraph>) -> (Graph, EngineCore) {
         let mut session = self.session;
         session.learner = self.learner.clone();
-        let (evaluator, index) = self.eval_mode.evaluator_for(&snapshot);
+        let (evaluator, index, stats) = self.eval_mode.evaluator_for(&snapshot, self.planner);
         let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator);
         if let Some(capacity) = self.cache_capacity {
             cache = cache.with_capacity(capacity);
@@ -291,24 +319,34 @@ impl GpsBuilder {
             snapshot,
             cache: Arc::new(cache),
             index,
+            stats,
             options: Arc::new(EngineOptions {
                 learner: self.learner,
                 session,
                 strategy: self.strategy,
                 eval_mode: self.eval_mode,
+                planner: self.planner,
+                cache_capacity: self.cache_capacity,
+                words_capacity: self.words_capacity,
             }),
         };
         (self.graph, core)
     }
 }
 
-/// The configuration shared by every handle and session of one core.
+/// The configuration shared by every handle and session of one core — and by
+/// every *epoch* of a live store, which is why the evaluation-stack knobs
+/// (planner thresholds, cache capacities) live here: a publish rebuilds the
+/// cache and evaluator with the same knobs the builder chose.
 #[derive(Debug)]
-struct EngineOptions {
+pub(crate) struct EngineOptions {
     learner: Learner,
     session: SessionConfig,
     strategy: StrategyChoice,
     eval_mode: EvalMode,
+    planner: PlannerConfig,
+    cache_capacity: Option<usize>,
+    words_capacity: Option<usize>,
 }
 
 /// The immutable, cheaply-cloneable heart of an engine: one graph snapshot,
@@ -323,16 +361,76 @@ struct EngineOptions {
 /// pruning and statistics) and inside the concurrency-safe cache.
 #[derive(Debug, Clone)]
 pub struct EngineCore {
-    snapshot: Arc<CsrGraph>,
-    cache: Arc<EvalCache>,
-    index: Option<Arc<LabelIndex>>,
-    options: Arc<EngineOptions>,
+    pub(crate) snapshot: Arc<CsrGraph>,
+    pub(crate) cache: Arc<EvalCache>,
+    pub(crate) index: Option<Arc<LabelIndex>>,
+    /// Planner statistics of the frontier evaluator (patched, not
+    /// recomputed, on a live update).
+    pub(crate) stats: Option<LabelStats>,
+    pub(crate) options: Arc<EngineOptions>,
 }
 
 impl EngineCore {
     /// The shared CSR snapshot sessions run on.
     pub fn snapshot(&self) -> &CsrGraph {
         &self.snapshot
+    }
+
+    /// The epoch of the snapshot this core serves (see
+    /// [`CsrGraph::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Builds the next epoch's core over `snapshot` (the compacted result of
+    /// `delta`): the frontier modes patch their label index and planner
+    /// statistics through the delta instead of re-indexing, the new bounded
+    /// evaluation cache inherits the old epoch's word snapshots
+    /// ([`EvalCache::inherit_words`]), and every configuration knob carries
+    /// over unchanged.
+    pub(crate) fn advance(&self, snapshot: Arc<CsrGraph>, delta: &GraphDelta) -> EngineCore {
+        let (evaluator, index, stats): (
+            Box<dyn DfaEvaluator>,
+            Option<Arc<LabelIndex>>,
+            Option<LabelStats>,
+        ) = match (self.options.eval_mode, &self.index, &self.stats) {
+            (EvalMode::Naive, _, _) => (
+                Box::new(NaiveEvaluator::from_shared(Arc::clone(&snapshot))),
+                None,
+                None,
+            ),
+            (mode, Some(index), Some(stats)) => {
+                let previous = BatchEvaluator::from_shared_index(Arc::clone(index), stats.clone())
+                    .with_planner_config(self.options.planner);
+                let previous = if mode == EvalMode::Parallel {
+                    previous.with_parallelism(BatchEvaluator::default_threads())
+                } else {
+                    previous
+                };
+                let patched = previous.apply_delta(&snapshot, delta);
+                let index = patched.shared_index();
+                let stats = patched.stats().clone();
+                (Box::new(patched), Some(index), Some(stats))
+            }
+            // A frontier core without index/stats cannot exist through the
+            // builder; rebuild defensively if it ever does.
+            (mode, _, _) => mode.evaluator_for(&snapshot, self.options.planner),
+        };
+        let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator);
+        if let Some(capacity) = self.options.cache_capacity {
+            cache = cache.with_capacity(capacity);
+        }
+        if let Some(capacity) = self.options.words_capacity {
+            cache = cache.with_words_capacity(capacity);
+        }
+        cache.inherit_words(&self.cache, &delta.changed_sources());
+        EngineCore {
+            snapshot,
+            cache: Arc::new(cache),
+            index,
+            stats,
+            options: Arc::clone(&self.options),
+        }
     }
 
     /// A new reference to the shared snapshot.
@@ -369,6 +467,12 @@ impl EngineCore {
     /// The query execution mode sessions of this core evaluate with.
     pub fn eval_mode(&self) -> EvalMode {
         self.options.eval_mode
+    }
+
+    /// The planner thresholds the frontier evaluators of this core (and of
+    /// every epoch advanced from it) run with.
+    pub fn planner_config(&self) -> PlannerConfig {
+        self.options.planner
     }
 
     /// The node-proposal strategy sessions of this core run with.
@@ -467,8 +571,9 @@ impl<B: GraphBackend> Engine<B> {
     /// Wraps an existing backend with default options (no builder knobs).
     pub fn from_backend(backend: B) -> Self {
         let eval_mode = EvalMode::default();
+        let planner = PlannerConfig::default();
         let snapshot = Arc::new(CsrGraph::from_backend(&backend));
-        let (evaluator, index) = eval_mode.evaluator_for(&snapshot);
+        let (evaluator, index, stats) = eval_mode.evaluator_for(&snapshot, planner);
         let cache = Arc::new(EvalCache::with_shared_evaluator(
             Arc::clone(&snapshot),
             evaluator,
@@ -484,11 +589,15 @@ impl<B: GraphBackend> Engine<B> {
                 snapshot,
                 cache,
                 index,
+                stats,
                 options: Arc::new(EngineOptions {
                     learner,
                     session,
                     strategy: StrategyChoice::default(),
                     eval_mode,
+                    planner,
+                    cache_capacity: None,
+                    words_capacity: None,
                 }),
             },
         }

@@ -8,6 +8,7 @@
 
 use gps_automata::parser::ParseError;
 use gps_graph::io::IoError;
+use gps_graph::UpdateError;
 use gps_learner::LearnError;
 use std::fmt;
 
@@ -22,6 +23,9 @@ pub enum GpsError {
     Io(IoError),
     /// A node was referenced by a name the graph does not contain.
     UnknownNode(String),
+    /// An update tried to remove an edge the graph does not contain
+    /// (`source -label-> target` rendered for display).
+    UnknownEdge(String),
     /// A session id the service's session table does not contain (never
     /// opened, or already closed).
     UnknownSession(u64),
@@ -34,6 +38,7 @@ impl fmt::Display for GpsError {
             GpsError::Learn(e) => write!(f, "learning error: {e}"),
             GpsError::Io(e) => write!(f, "graph i/o error: {e}"),
             GpsError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+            GpsError::UnknownEdge(edge) => write!(f, "unknown edge `{edge}`"),
             GpsError::UnknownSession(id) => write!(f, "unknown session #{id}"),
         }
     }
@@ -45,7 +50,22 @@ impl std::error::Error for GpsError {
             GpsError::Parse(e) => Some(e),
             GpsError::Learn(e) => Some(e),
             GpsError::Io(e) => Some(e),
-            GpsError::UnknownNode(_) | GpsError::UnknownSession(_) => None,
+            GpsError::UnknownNode(_) | GpsError::UnknownEdge(_) | GpsError::UnknownSession(_) => {
+                None
+            }
+        }
+    }
+}
+
+impl From<UpdateError> for GpsError {
+    fn from(e: UpdateError) -> Self {
+        match e {
+            UpdateError::UnknownNode(name) => GpsError::UnknownNode(name),
+            UpdateError::MissingEdge {
+                source,
+                label,
+                target,
+            } => GpsError::UnknownEdge(format!("{source} -{label}-> {target}")),
         }
     }
 }

@@ -22,6 +22,9 @@
 //!   cheaply-cloneable snapshot + cache + index every session shares) served
 //!   by [`service::GpsService`]/[`service::SessionManager`] across worker
 //!   threads;
+//! * [`versioned`] — live updates: [`VersionedStore`] publishes
+//!   epoch-stamped snapshots (staged [`GraphUpdate`]s → delta-patched index
+//!   and cache) while in-flight sessions stay pinned to their birth epoch;
 //! * [`transcript`] — serializable session transcripts;
 //! * [`prelude`] — one `use gps_core::prelude::*;` for the common types.
 //!
@@ -58,12 +61,14 @@ pub mod render;
 pub mod scenario;
 pub mod service;
 pub mod transcript;
+pub mod versioned;
 
 pub use engine::{Engine, EngineCore, EvalMode, Gps, GpsBuilder, StrategyChoice};
 pub use error::GpsError;
 pub use scenario::{ScenarioReport, StaticLabelingOutcome};
 pub use service::{GpsService, ServiceStats, SessionId, SessionManager, SessionStatus};
 pub use transcript::Transcript;
+pub use versioned::{GraphUpdate, PublishReport, VersionedStore};
 
 /// The most common imports in one place.
 ///
@@ -76,7 +81,8 @@ pub mod prelude {
     pub use crate::scenario::{ScenarioReport, StaticLabelingOutcome};
     pub use crate::service::{GpsService, ServiceStats, SessionId, SessionManager, SessionStatus};
     pub use crate::transcript::Transcript;
-    pub use gps_exec::{BatchEvaluator, Plan};
+    pub use crate::versioned::{GraphUpdate, PublishReport, VersionedStore};
+    pub use gps_exec::{BatchEvaluator, Plan, PlannerConfig};
     pub use gps_graph::{
         CsrGraph, Edge, EdgeId, Graph, GraphBackend, LabelId, LabelInterner, LabelStats,
         Neighborhood, NeighborhoodDelta, NodeId, Path, PathEnumerator, PrefixTree, Word,

@@ -39,6 +39,7 @@
 
 use crate::engine::EngineCore;
 use crate::error::GpsError;
+use crate::versioned::{GraphUpdate, PublishReport, VersionedStore};
 use gps_graph::CsrGraph;
 use gps_interactive::halt::HaltReason;
 use gps_interactive::session::{Session, SessionOutcome};
@@ -82,12 +83,17 @@ pub enum SessionStatus {
 
 /// One entry of the session table: the session plus the user and strategy
 /// driving it.  All of this state is session-private — the only shared
-/// structures a step touches are the core's concurrency-safe cache/index.
+/// structures a step touches are the pinned core's concurrency-safe
+/// cache/index.
 struct ManagedSession {
     session: Session<'static, CsrGraph>,
     user: SimulatedUser,
     strategy: Box<dyn Strategy<CsrGraph> + Send>,
     halted: Option<HaltReason>,
+    /// The store epoch this session is pinned to (its birth epoch): the
+    /// session's snapshot, cache and index all belong to this version, so a
+    /// publish mid-session never changes what it observes.
+    epoch: u64,
 }
 
 impl ManagedSession {
@@ -115,17 +121,29 @@ pub struct ServiceStats {
     pub interactions: u64,
     /// Sessions currently open.
     pub active_sessions: usize,
+    /// Graph updates published so far (see [`SessionManager::update`]).
+    pub publishes: u64,
+    /// The epoch newly opened sessions currently resolve.
+    pub current_epoch: u64,
+    /// Live epochs (current + superseded ones with pinned sessions).
+    pub live_epochs: usize,
 }
 
-/// A concurrency-safe open/step/close session table over one shared
-/// [`EngineCore`].
+/// A concurrency-safe open/step/close session table over an epoch-versioned
+/// [`VersionedStore`].
+///
+/// Every session is **pinned to its birth epoch**: `open` resolves the
+/// store's latest core and holds it (snapshot + cache + index) for the
+/// session's whole life, so [`update`](Self::update)/publish interleave
+/// safely with stepping — in-flight transcripts are byte-stable while newly
+/// opened sessions observe the published graph.
 ///
 /// The table holds each session behind its own lock, so worker threads
 /// stepping *different* sessions never contend beyond the brief table-map
 /// lookup; stepping the *same* session from two threads serializes.
 #[derive(Debug)]
 pub struct SessionManager {
-    core: EngineCore,
+    store: Arc<VersionedStore>,
     sessions: Mutex<HashMap<u64, Arc<Mutex<ManagedSession>>>>,
     next_id: AtomicU64,
     opened: AtomicU64,
@@ -144,10 +162,17 @@ impl std::fmt::Debug for ManagedSession {
 }
 
 impl SessionManager {
-    /// Creates an empty session table over `core`.
+    /// Creates an empty session table over `core`, wrapping it in a fresh
+    /// single-writer [`VersionedStore`].
     pub fn new(core: EngineCore) -> Self {
+        Self::over(Arc::new(VersionedStore::new(core)))
+    }
+
+    /// Creates an empty session table over an existing (possibly shared)
+    /// versioned store.
+    pub fn over(store: Arc<VersionedStore>) -> Self {
         Self {
-            core,
+            store,
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             opened: AtomicU64::new(0),
@@ -157,21 +182,43 @@ impl SessionManager {
         }
     }
 
-    /// The shared core every session runs on.
-    pub fn core(&self) -> &EngineCore {
-        &self.core
+    /// The *latest* core — what a session opened right now would run on.
+    /// (Cheap: clones four `Arc`s.)
+    pub fn core(&self) -> EngineCore {
+        self.store.latest()
+    }
+
+    /// The underlying epoch-versioned store.
+    pub fn store(&self) -> &Arc<VersionedStore> {
+        &self.store
+    }
+
+    /// Stages and publishes a graph update.  In-flight sessions keep their
+    /// birth epoch; sessions opened afterwards observe the published graph.
+    pub fn update(&self, update: GraphUpdate) -> Result<PublishReport, GpsError> {
+        self.store.update(update)
     }
 
     /// Opens a session driven by a simulated user whose hidden goal query is
     /// `goal_syntax`, with the core's configured strategy and session
-    /// options.  Returns the id to step/close it with.
+    /// options.  The session is pinned to the store's current epoch.
+    /// Returns the id to step/close it with.
     pub fn open(&self, goal_syntax: &str) -> Result<SessionId, GpsError> {
-        let user = self.core.simulated_user(goal_syntax)?;
+        let core = self.store.pin_latest();
+        let epoch = core.epoch();
+        let user = match core.simulated_user(goal_syntax) {
+            Ok(user) => user,
+            Err(error) => {
+                self.store.unpin(epoch);
+                return Err(error);
+            }
+        };
         let managed = ManagedSession {
-            session: self.core.open_session(),
+            session: core.open_session(),
             user,
-            strategy: self.core.instantiate_strategy(),
+            strategy: core.instantiate_strategy(),
             halted: None,
+            epoch,
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.sessions
@@ -179,6 +226,11 @@ impl SessionManager {
             .insert(id, Arc::new(Mutex::new(managed)));
         self.opened.fetch_add(1, Ordering::Relaxed);
         Ok(SessionId(id))
+    }
+
+    /// The epoch session `id` is pinned to (its birth epoch).
+    pub fn session_epoch(&self, id: SessionId) -> Result<u64, GpsError> {
+        Ok(self.slot(id)?.lock().epoch)
     }
 
     /// Performs one interaction of session `id` (a no-op when it already
@@ -236,18 +288,21 @@ impl SessionManager {
         // Usually ours is the last reference; a concurrent `step` racing the
         // close can briefly hold another, in which case the outcome is
         // snapshotted under the session's lock instead.
-        let outcome = match Arc::try_unwrap(slot) {
+        let (outcome, epoch) = match Arc::try_unwrap(slot) {
             Ok(mutex) => {
                 let managed = mutex.into_inner();
                 let reason = managed.halted.unwrap_or(HaltReason::ClosedByClient);
-                managed.session.outcome(reason)
+                (managed.session.outcome(reason), managed.epoch)
             }
             Err(slot) => {
                 let managed = slot.lock();
                 let reason = managed.halted.unwrap_or(HaltReason::ClosedByClient);
-                managed.session.outcome(reason)
+                (managed.session.outcome(reason), managed.epoch)
             }
         };
+        // Unpin last: a superseded epoch with no other pinned session is
+        // retired right here.
+        self.store.unpin(epoch);
         Ok(outcome)
     }
 
@@ -264,6 +319,9 @@ impl SessionManager {
             sessions_completed: self.completed.load(Ordering::Relaxed),
             interactions: self.interactions.load(Ordering::Relaxed),
             active_sessions: self.active_count(),
+            publishes: self.store.publish_count(),
+            current_epoch: self.store.current_epoch(),
+            live_epochs: self.store.live_epochs(),
         }
     }
 
@@ -276,9 +334,10 @@ impl SessionManager {
     }
 }
 
-/// The multi-session service: one shared [`EngineCore`], one
+/// The multi-session service: one epoch-versioned store, one
 /// [`SessionManager`], and a scoped worker pool that drives many sessions
-/// concurrently.
+/// concurrently — with [`update`](Self::update) as the write API, so reads
+/// (sessions) and writes (publishes) interleave safely on one deployment.
 #[derive(Debug)]
 pub struct GpsService {
     manager: SessionManager,
@@ -292,14 +351,34 @@ impl GpsService {
         }
     }
 
+    /// Creates a service over an existing versioned store.
+    pub fn over(store: Arc<VersionedStore>) -> Self {
+        Self {
+            manager: SessionManager::over(store),
+        }
+    }
+
     /// The session table (open/step/close individual sessions).
     pub fn manager(&self) -> &SessionManager {
         &self.manager
     }
 
-    /// The shared core.
-    pub fn core(&self) -> &EngineCore {
+    /// The *latest* core (cheap clone of four `Arc`s).
+    pub fn core(&self) -> EngineCore {
         self.manager.core()
+    }
+
+    /// The underlying epoch-versioned store.
+    pub fn store(&self) -> &Arc<VersionedStore> {
+        self.manager.store()
+    }
+
+    /// Stages and publishes a live graph update.  Sessions already in flight
+    /// keep their birth epoch (their transcripts are unaffected); sessions
+    /// opened afterwards — including later goals of an in-progress
+    /// [`serve`](Self::serve) batch — observe the published graph.
+    pub fn update(&self, update: GraphUpdate) -> Result<PublishReport, GpsError> {
+        self.manager.update(update)
     }
 
     /// A snapshot of the aggregate throughput counters.
@@ -468,6 +547,61 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.sessions_opened, 1);
         assert_eq!(stats.sessions_closed, 1);
+    }
+
+    #[test]
+    fn updates_interleave_with_sessions() {
+        // Open a session, publish an update mid-flight, open another: the
+        // first stays pinned to epoch 0, the second observes epoch 1, and
+        // closing the first retires its superseded epoch.
+        let (graph, _) = figure1_graph();
+        let core = Engine::builder(graph)
+            .eval_mode(EvalMode::Frontier)
+            .halt(gps_interactive::halt::HaltConfig {
+                max_interactions: 200,
+                stop_on_goal: false,
+            })
+            .build_core();
+        let service = GpsService::new(core);
+        let first = service.manager().open(MOTIVATING_QUERY).unwrap();
+        service.manager().step(first).unwrap();
+        assert_eq!(service.manager().session_epoch(first).unwrap(), 0);
+
+        let report = service
+            .update(
+                crate::versioned::GraphUpdate::new()
+                    .add_node("C9")
+                    .add_edge("N5", "cinema", "C9"),
+            )
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        let stats = service.stats();
+        assert_eq!(stats.publishes, 1);
+        assert_eq!(stats.current_epoch, 1);
+        assert_eq!(stats.live_epochs, 2, "epoch 0 still pinned by `first`");
+
+        let second = service.manager().open(MOTIVATING_QUERY).unwrap();
+        assert_eq!(service.manager().session_epoch(second).unwrap(), 1);
+        service.manager().step(first).unwrap();
+        service.manager().close(first).unwrap();
+        assert_eq!(service.stats().live_epochs, 1, "epoch 0 retired on close");
+        service.manager().close(second).unwrap();
+        // The new snapshot is what the service core now serves.
+        assert!(service.core().snapshot().node_by_name("C9").is_some());
+    }
+
+    #[test]
+    fn open_failure_does_not_leak_a_pin() {
+        let service = GpsService::new(core(EvalMode::Frontier));
+        assert!(service.manager().open("(bus").is_err());
+        service
+            .update(crate::versioned::GraphUpdate::new().add_node("Z1"))
+            .unwrap();
+        assert_eq!(
+            service.stats().live_epochs,
+            1,
+            "epoch 0 had no pins left and was retired by the publish"
+        );
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Epoch-versioned multi-version concurrency over [`EngineCore`]s — the
+//! write path of a *live* served graph.
+//!
+//! The engine's read structures (CSR snapshot, label index, bounded
+//! evaluation cache) are immutable by design, so updates work the way
+//! snapshot-isolation databases do: writers never touch what readers hold.
+//!
+//! * Writers **stage** name-addressed [`UpdateOp`]s ([`GraphUpdate`]) into
+//!   the store, then [`publish`](VersionedStore::publish): the staged ops are
+//!   applied through a [`gps_graph::DeltaGraph`] overlay, compacted into a
+//!   fresh snapshot stamped with the next epoch, and the whole read stack is
+//!   *advanced* — the label index and planner statistics are patched through
+//!   the delta (untouched label partitions are `Arc`-shared with the previous
+//!   epoch), and the new evaluation cache inherits the old epoch's
+//!   bounded-word snapshots with only the affected nodes re-enumerated.
+//! * Readers resolve the **latest** core when they start
+//!   ([`pin_latest`](VersionedStore::pin_latest)); a session holds its birth
+//!   core's `Arc`s for its whole life, so a publish never changes what an
+//!   in-flight session observes — transcripts are byte-stable across
+//!   concurrent publishes (`tests/mvcc_conformance.rs`).
+//! * When a superseded epoch's pin count drops to zero the store **retires**
+//!   it: its cache entries are dropped atomically
+//!   ([`gps_rpq::EvalCache::retire`]) and the core leaves the live set, so
+//!   memory is bounded by (current epoch + epochs with in-flight sessions).
+//!
+//! The service layer wires this into sessions: `SessionManager` pins every
+//! session to its birth epoch and `GpsService::update` is the client-facing
+//! write API (see [`crate::service`]).
+
+use crate::engine::EngineCore;
+use crate::error::GpsError;
+use gps_graph::{DeltaGraph, UpdateOp};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A batch of staged mutations, addressed by node name (built incrementally
+/// or from a pre-generated stream such as
+/// `gps_datasets::updates::update_stream`).
+#[derive(Debug, Clone, Default)]
+pub struct GraphUpdate {
+    ops: Vec<UpdateOp>,
+}
+
+impl GraphUpdate {
+    /// An empty update.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a pre-generated op stream.
+    pub fn from_ops(ops: Vec<UpdateOp>) -> Self {
+        Self { ops }
+    }
+
+    /// Stages a node insertion.
+    pub fn add_node(mut self, name: impl Into<String>) -> Self {
+        self.ops.push(UpdateOp::AddNode(name.into()));
+        self
+    }
+
+    /// Stages an edge insertion (endpoints must exist by publish time).
+    pub fn add_edge(
+        mut self,
+        source: impl Into<String>,
+        label: impl Into<String>,
+        target: impl Into<String>,
+    ) -> Self {
+        self.ops.push(UpdateOp::AddEdge {
+            source: source.into(),
+            label: label.into(),
+            target: target.into(),
+        });
+        self
+    }
+
+    /// Stages an edge deletion.
+    pub fn remove_edge(
+        mut self,
+        source: impl Into<String>,
+        label: impl Into<String>,
+        target: impl Into<String>,
+    ) -> Self {
+        self.ops.push(UpdateOp::RemoveEdge {
+            source: source.into(),
+            label: label.into(),
+            target: target.into(),
+        });
+        self
+    }
+
+    /// Number of staged ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The staged ops.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+}
+
+/// What one [`VersionedStore::publish`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishReport {
+    /// The epoch the publish produced (unchanged for an empty publish).
+    pub epoch: u64,
+    /// Nodes inserted.
+    pub added_nodes: usize,
+    /// Edges inserted.
+    pub added_edges: usize,
+    /// Edges removed.
+    pub removed_edges: usize,
+    /// Label partitions the index patch touched.
+    pub touched_labels: usize,
+    /// Superseded epochs retired by this publish (no sessions pinned).
+    pub retired_epochs: usize,
+    /// Wall-clock time of the publish (delta apply + compact + index/cache
+    /// patch + swap).
+    pub latency: Duration,
+}
+
+/// One live epoch: its core and the number of sessions pinned to it.
+#[derive(Debug)]
+struct EpochSlot {
+    core: EngineCore,
+    pins: usize,
+}
+
+/// An epoch-versioned store of [`EngineCore`]s: one *latest* epoch serving
+/// new readers, plus every superseded epoch that still has pinned readers.
+/// See the [module docs](self) for the writer/reader model.
+#[derive(Debug)]
+pub struct VersionedStore {
+    /// The core new readers resolve.  Swapped under the `epochs` lock so a
+    /// pin never observes a latest epoch missing from the registry.
+    latest: RwLock<EngineCore>,
+    /// Ops staged since the last publish.
+    staged: Mutex<Vec<UpdateOp>>,
+    /// The live epochs (the latest plus superseded-but-pinned ones).
+    epochs: Mutex<BTreeMap<u64, EpochSlot>>,
+    /// Serializes publishes (stage/pin/read paths are not blocked by an
+    /// in-flight publish until its final swap).
+    publish_lock: Mutex<()>,
+    publishes: AtomicU64,
+    retired: AtomicU64,
+}
+
+impl VersionedStore {
+    /// Starts a store at `core`'s epoch.
+    pub fn new(core: EngineCore) -> Self {
+        let mut epochs = BTreeMap::new();
+        epochs.insert(
+            core.epoch(),
+            EpochSlot {
+                core: core.clone(),
+                pins: 0,
+            },
+        );
+        Self {
+            latest: RwLock::new(core),
+            staged: Mutex::new(Vec::new()),
+            epochs: Mutex::new(epochs),
+            publish_lock: Mutex::new(()),
+            publishes: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
+        }
+    }
+
+    /// A clone of the latest core (un-pinned: for one-shot reads).
+    pub fn latest(&self) -> EngineCore {
+        self.latest.read().clone()
+    }
+
+    /// The epoch new sessions currently resolve.
+    pub fn current_epoch(&self) -> u64 {
+        self.latest.read().epoch()
+    }
+
+    /// Number of live epochs (latest + superseded ones with pinned readers).
+    pub fn live_epochs(&self) -> usize {
+        self.epochs.lock().len()
+    }
+
+    /// Total publishes so far.
+    pub fn publish_count(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Total superseded epochs retired so far.
+    pub fn retired_count(&self) -> u64 {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Number of staged ops awaiting the next publish.
+    pub fn staged_len(&self) -> usize {
+        self.staged.lock().len()
+    }
+
+    /// Stages an update for the next [`publish`](Self::publish).
+    pub fn stage(&self, update: GraphUpdate) {
+        self.staged.lock().extend(update.ops);
+    }
+
+    /// Resolves the latest core *and* pins its epoch: the epoch stays live —
+    /// and its cache un-retired — until the matching
+    /// [`unpin`](Self::unpin).  This is what a session manager calls at
+    /// session open.
+    pub fn pin_latest(&self) -> EngineCore {
+        let mut epochs = self.epochs.lock();
+        let core = self.latest.read().clone();
+        epochs
+            .get_mut(&core.epoch())
+            .expect("the latest epoch is always registered")
+            .pins += 1;
+        core
+    }
+
+    /// Releases one pin of `epoch`.  A superseded epoch whose last pin is
+    /// released is retired immediately (entries dropped, core removed from
+    /// the live set).
+    pub fn unpin(&self, epoch: u64) {
+        let mut epochs = self.epochs.lock();
+        let current = self.latest.read().epoch();
+        if let Some(slot) = epochs.get_mut(&epoch) {
+            slot.pins = slot.pins.saturating_sub(1);
+            if slot.pins == 0 && epoch != current {
+                let slot = epochs.remove(&epoch).expect("just seen");
+                slot.core.eval_cache().retire();
+                self.retired.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stages `update` and immediately publishes it.
+    pub fn update(&self, update: GraphUpdate) -> Result<PublishReport, GpsError> {
+        self.stage(update);
+        self.publish()
+    }
+
+    /// Applies every staged op and publishes the next epoch.
+    ///
+    /// The heavy work (delta application, compaction, index/stats/cache
+    /// patching) happens outside any reader-visible lock; only the final
+    /// swap holds the epoch registry.  In-flight sessions keep their pinned
+    /// epoch; sessions opened after the swap see the new one.  On error (an
+    /// op referencing a missing node or edge) nothing is published and the
+    /// whole batch is discarded — publishes are all-or-nothing.
+    pub fn publish(&self) -> Result<PublishReport, GpsError> {
+        let _serialized = self.publish_lock.lock();
+        let started = Instant::now();
+        let ops: Vec<UpdateOp> = std::mem::take(&mut *self.staged.lock());
+        let base = self.latest();
+        if ops.is_empty() {
+            return Ok(PublishReport {
+                epoch: base.epoch(),
+                added_nodes: 0,
+                added_edges: 0,
+                removed_edges: 0,
+                touched_labels: 0,
+                retired_epochs: 0,
+                latency: started.elapsed(),
+            });
+        }
+
+        let mut overlay = DeltaGraph::new(base.shared_snapshot());
+        overlay.apply_all(&ops)?;
+        let delta = overlay.delta();
+        let snapshot = Arc::new(overlay.compact());
+        let next = base.advance(Arc::clone(&snapshot), &delta);
+        let epoch = next.epoch();
+
+        let mut retired_epochs = 0usize;
+        {
+            let mut epochs = self.epochs.lock();
+            *self.latest.write() = next.clone();
+            epochs.insert(
+                epoch,
+                EpochSlot {
+                    core: next,
+                    pins: 0,
+                },
+            );
+            let stale: Vec<u64> = epochs
+                .iter()
+                .filter(|&(&e, slot)| e != epoch && slot.pins == 0)
+                .map(|(&e, _)| e)
+                .collect();
+            for e in stale {
+                let slot = epochs.remove(&e).expect("just collected");
+                slot.core.eval_cache().retire();
+                retired_epochs += 1;
+            }
+        }
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.retired
+            .fetch_add(retired_epochs as u64, Ordering::Relaxed);
+        Ok(PublishReport {
+            epoch,
+            added_nodes: delta.added_nodes,
+            added_edges: delta.added_edges.len(),
+            removed_edges: delta.removed_edges.len(),
+            touched_labels: delta.touched_labels().len(),
+            retired_epochs,
+            latency: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EvalMode};
+    use gps_datasets::figure1::{figure1_graph, MOTIVATING_QUERY};
+
+    fn store(mode: EvalMode) -> VersionedStore {
+        let (graph, _) = figure1_graph();
+        VersionedStore::new(Engine::builder(graph).eval_mode(mode).build_core())
+    }
+
+    #[test]
+    fn publish_advances_the_epoch_and_new_readers_see_it() {
+        for mode in [EvalMode::Naive, EvalMode::Frontier, EvalMode::Parallel] {
+            let store = store(mode);
+            assert_eq!(store.current_epoch(), 0);
+            let before = store.latest().evaluate(MOTIVATING_QUERY).unwrap();
+
+            // N9 gains a cinema: bus(N5->N9 exists? no — build our own hop).
+            let report = store
+                .update(
+                    GraphUpdate::new()
+                        .add_node("C9")
+                        .add_edge("N5", "cinema", "C9"),
+                )
+                .unwrap();
+            assert_eq!(report.epoch, 1, "{mode:?}");
+            assert_eq!(report.added_nodes, 1);
+            assert_eq!(report.added_edges, 1);
+            assert_eq!(store.current_epoch(), 1);
+            assert_eq!(store.live_epochs(), 1, "epoch 0 had no pins: retired");
+            assert_eq!(report.retired_epochs, 1);
+
+            let after = store.latest().evaluate(MOTIVATING_QUERY).unwrap();
+            let n5 = store.latest().snapshot().node_by_name("N5").unwrap();
+            assert!(after.contains(n5), "N5 now reaches a cinema ({mode:?})");
+            assert!(!before.contains(n5));
+        }
+    }
+
+    #[test]
+    fn pinned_epochs_survive_a_publish_and_retire_on_unpin() {
+        let store = store(EvalMode::Frontier);
+        let pinned = store.pin_latest();
+        assert_eq!(pinned.epoch(), 0);
+        store.update(GraphUpdate::new().add_node("X9")).unwrap();
+        assert_eq!(store.live_epochs(), 2, "epoch 0 still pinned");
+        assert!(!pinned.eval_cache().is_retired());
+        // The pinned core still answers against its own snapshot.
+        assert!(pinned.snapshot().node_by_name("X9").is_none());
+        assert!(store.latest().snapshot().node_by_name("X9").is_some());
+        store.unpin(0);
+        assert_eq!(store.live_epochs(), 1);
+        assert!(pinned.eval_cache().is_retired());
+        assert_eq!(store.retired_count(), 1);
+    }
+
+    #[test]
+    fn failed_publishes_are_all_or_nothing() {
+        let store = store(EvalMode::Naive);
+        let result = store.update(
+            GraphUpdate::new()
+                .add_edge("N1", "bus", "N2")
+                .remove_edge("N1", "bus", "Nowhere"),
+        );
+        assert!(matches!(result, Err(GpsError::UnknownNode(_))));
+        assert_eq!(store.current_epoch(), 0, "nothing was published");
+        assert_eq!(store.staged_len(), 0, "the failed batch is discarded");
+        let missing = store.update(GraphUpdate::new().remove_edge("N1", "bus", "N2"));
+        assert!(matches!(missing, Err(GpsError::UnknownEdge(_))));
+    }
+
+    #[test]
+    fn empty_publish_is_a_noop() {
+        let store = store(EvalMode::Frontier);
+        let report = store.publish().unwrap();
+        assert_eq!(report.epoch, 0);
+        assert_eq!(report.added_edges, 0);
+        assert_eq!(store.publish_count(), 0);
+    }
+
+    #[test]
+    fn frontier_epochs_share_untouched_index_partitions() {
+        let store = store(EvalMode::Frontier);
+        let old = store.latest();
+        let old_index = old.shared_index().unwrap();
+        store
+            .update(GraphUpdate::new().add_edge("N1", "bus", "N2"))
+            .unwrap();
+        let new = store.latest();
+        let new_index = new.shared_index().unwrap();
+        assert!(!Arc::ptr_eq(&old_index, &new_index));
+        // Same answers on both epochs for a query over an untouched label.
+        let q = "cinema";
+        assert_eq!(
+            old.evaluate(q).unwrap().nodes(),
+            new.evaluate(q).unwrap().nodes()
+        );
+    }
+
+    #[test]
+    fn publish_inherits_bounded_word_snapshots() {
+        let store = store(EvalMode::Frontier);
+        let old = store.latest();
+        old.eval_cache().bounded_words(3);
+        store
+            .update(GraphUpdate::new().add_edge("N1", "bus", "N2"))
+            .unwrap();
+        let new = store.latest();
+        assert_eq!(
+            new.eval_cache().words_len(),
+            1,
+            "the new epoch's word snapshot was seeded by the publish"
+        );
+        // And it matches a cold enumeration.
+        let cold = gps_rpq::EvalCache::from_csr(new.snapshot().clone());
+        assert_eq!(*new.eval_cache().bounded_words(3), *cold.bounded_words(3));
+    }
+}

@@ -16,7 +16,9 @@
 //!   for the biological datasets of the companion paper;
 //! * [`queries`] — goal-query workloads of increasing complexity;
 //! * [`workload`] — bundles of (graph, goal query) pairs used by the
-//!   experiment harness.
+//!   experiment harness;
+//! * [`updates`] — streamed insert/delete update workloads for the live
+//!   (epoch-versioned) serving experiments.
 //!
 //! All generators take explicit seeds and are fully deterministic.
 
@@ -29,8 +31,10 @@ pub mod queries;
 pub mod scale_free;
 pub mod synthetic;
 pub mod transport;
+pub mod updates;
 pub mod workload;
 
 pub use figure1::{figure1_graph, Figure1};
 pub use queries::QueryWorkload;
+pub use updates::{update_stream, UpdateStreamConfig, UpdateWorkload};
 pub use workload::{Workload, WorkloadKind};

@@ -16,9 +16,11 @@
 use crate::bitset::FixedBitSet;
 use crate::frontier::{evaluate_with, selects_from, witness_from, Scratch};
 use crate::index::{Direction, LabelIndex};
-use crate::planner::{self, Plan, PlanDecision};
+use crate::planner::{self, Plan, PlanDecision, PlannerConfig};
 use gps_automata::Dfa;
-use gps_graph::{CsrGraph, GraphBackend, LabelStats, NodeId, Path, PrefixNodeId, PrefixTree, Word};
+use gps_graph::{
+    CsrGraph, GraphBackend, GraphDelta, LabelStats, NodeId, Path, PrefixNodeId, PrefixTree, Word,
+};
 use gps_rpq::{DfaEvaluator, PathQuery, QueryAnswer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -50,6 +52,7 @@ pub enum ParallelSplit {
 pub struct BatchEvaluator {
     index: Arc<LabelIndex>,
     stats: LabelStats,
+    planner: PlannerConfig,
     plan_override: Option<Plan>,
     parallelism: Option<usize>,
     split: ParallelSplit,
@@ -71,9 +74,30 @@ impl BatchEvaluator {
         Self {
             index,
             stats,
+            planner: PlannerConfig::default(),
             plan_override: None,
             parallelism: None,
             split: ParallelSplit::default(),
+        }
+    }
+
+    /// Builds the next epoch's evaluator after a graph update: the label
+    /// index is patched ([`LabelIndex::apply_delta`] — untouched partitions
+    /// are shared, not copied) and the planner statistics are derived from
+    /// the patched partitions, with every knob carried over.  `csr` is the
+    /// compacted snapshot the delta produced.
+    pub fn apply_delta(&self, csr: &CsrGraph, delta: &GraphDelta) -> Self {
+        let index = self
+            .index
+            .apply_delta(delta, csr.node_count(), csr.label_count());
+        let stats = index.patched_stats(&self.stats, &delta.touched_labels());
+        Self {
+            index: Arc::new(index),
+            stats,
+            planner: self.planner,
+            plan_override: self.plan_override,
+            parallelism: self.parallelism,
+            split: self.split,
         }
     }
 
@@ -86,6 +110,18 @@ impl BatchEvaluator {
     pub fn with_plan(mut self, plan: Plan) -> Self {
         self.plan_override = Some(plan);
         self
+    }
+
+    /// Replaces the planner's decision thresholds (defaults:
+    /// [`PlannerConfig::default`]).
+    pub fn with_planner_config(mut self, config: PlannerConfig) -> Self {
+        self.planner = config;
+        self
+    }
+
+    /// The planner thresholds in effect.
+    pub fn planner_config(&self) -> PlannerConfig {
+        self.planner
     }
 
     /// Enables the parallel executor for batch entry points: batches are
@@ -130,7 +166,7 @@ impl BatchEvaluator {
 
     /// The plan the evaluator would run `dfa` with, and why.
     pub fn plan_for(&self, dfa: &Dfa) -> PlanDecision {
-        let mut decision = planner::plan(&self.stats, dfa);
+        let mut decision = planner::plan_with(&self.stats, dfa, self.planner);
         if let Some(plan) = self.plan_override {
             decision.plan = plan;
         }
@@ -625,6 +661,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_answers_like_a_fresh_evaluator() {
+        use gps_graph::DeltaGraph;
+
+        let g = sample();
+        let base = Arc::new(CsrGraph::from_graph(&g));
+        let old = BatchEvaluator::from_csr(&base).with_parallelism(2);
+        let mut delta = DeltaGraph::new(Arc::clone(&base));
+        let n2 = delta.node_by_name("N2").unwrap();
+        let c1 = delta.node_by_name("C1").unwrap();
+        let bus = delta.labels().get("bus").unwrap();
+        let tram = delta.labels().get("tram").unwrap();
+        delta.add_edge(c1, bus, n2);
+        let n1 = delta.node_by_name("N1").unwrap();
+        let n4 = delta.node_by_name("N4").unwrap();
+        assert!(delta.remove_edge(n1, tram, n4));
+        let summary = delta.delta();
+        let compacted = delta.compact();
+
+        let patched = old.apply_delta(&compacted, &summary);
+        let fresh = BatchEvaluator::from_csr(&compacted);
+        assert_eq!(patched.stats(), fresh.stats());
+        assert_eq!(patched.parallelism(), Some(2), "knobs carry over");
+        for dfa in queries(&g) {
+            assert_eq!(patched.evaluate(&dfa), fresh.evaluate(&dfa));
+            assert_eq!(
+                patched.plan_for(&dfa).plan,
+                fresh.plan_for(&dfa).plan,
+                "patched stats drive identical plans"
+            );
+        }
+    }
+
+    #[test]
+    fn planner_config_knob_reaches_plan_for() {
+        let g = sample();
+        let dfa = Dfa::from_regex(&Regex::symbol(g.label_id("bus").unwrap()));
+        let default = BatchEvaluator::new(&g);
+        assert_eq!(
+            default.planner_config(),
+            crate::planner::PlannerConfig::default()
+        );
+        let push_all = BatchEvaluator::new(&g).with_planner_config(crate::planner::PlannerConfig {
+            push_coverage: 1.1,
+            ..Default::default()
+        });
+        assert_eq!(push_all.plan_for(&dfa).plan, Plan::Reverse);
+        assert_eq!(
+            push_all.evaluate(&dfa),
+            default.evaluate(&dfa),
+            "thresholds change the plan, never the answer"
+        );
     }
 
     #[test]

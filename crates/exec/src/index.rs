@@ -11,7 +11,9 @@
 //! slice-and-bitset sweeps.
 
 use crate::bitset::FixedBitSet;
-use gps_graph::{CsrGraph, GraphBackend, LabelId, NodeId};
+use gps_graph::{CsrGraph, GraphBackend, GraphDelta, LabelId, LabelStat, LabelStats, NodeId};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Expansion direction through the index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,51 +24,145 @@ pub enum Direction {
     Reverse,
 }
 
-/// Per-direction, per-label CSR: `offsets` has `label_count * (node_count+1)`
-/// entries; the neighbors of `(label, node)` live at
-/// `neighbors[offsets[label*(n+1)+node] .. offsets[label*(n+1)+node+1]]`.
-#[derive(Debug, Clone, Default)]
-struct DirIndex {
+/// One label's CSR in one direction: the neighbors of `node` live at
+/// `neighbors[offsets[node] .. offsets[node+1]]`.  Nodes beyond
+/// `offsets.len() - 1` (inserted after the partition was built) have no
+/// neighbors under this label — the bounds check in
+/// [`Partition::neighbors_of`] makes stale coverage safe, which is what lets
+/// [`LabelIndex::apply_delta`] share untouched partitions across epochs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Partition {
     offsets: Vec<u32>,
     neighbors: Vec<u32>,
 }
 
-impl DirIndex {
-    fn build(node_count: usize, label_count: usize, edges: &[(u32, u32, u32)]) -> Self {
-        // edges: (label, from, to) in the direction being built.
-        let stride = node_count + 1;
-        let mut offsets = vec![0u32; label_count * stride + 1];
-        // Count per (label, from) bucket, writing counts one slot ahead so
-        // the prefix sum leaves offsets[bucket] = start of the bucket.
-        for &(label, from, _) in edges {
-            offsets[label as usize * stride + from as usize + 1] += 1;
+impl Partition {
+    /// Builds one label's partition from its `(from, to)` pairs.
+    fn build(node_count: usize, edges: &[(u32, u32)]) -> Self {
+        let mut offsets = vec![0u32; node_count + 2];
+        // Count one slot ahead so the prefix sum leaves offsets[node] = start.
+        for &(from, _) in edges {
+            offsets[from as usize + 1] += 1;
         }
         for i in 1..offsets.len() {
             offsets[i] += offsets[i - 1];
         }
+        offsets.truncate(node_count + 1);
         let mut neighbors = vec![0u32; edges.len()];
         let mut cursor = offsets.clone();
-        for &(label, from, to) in edges {
-            let slot = &mut cursor[label as usize * stride + from as usize];
+        for &(from, to) in edges {
+            let slot = &mut cursor[from as usize];
             neighbors[*slot as usize] = to;
             *slot += 1;
         }
         Self { offsets, neighbors }
     }
 
+    /// An empty partition covering `node_count` nodes.
+    fn empty(node_count: usize) -> Self {
+        Self {
+            offsets: vec![0u32; node_count + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
     #[inline]
-    fn neighbors(&self, stride: usize, label: usize, node: usize) -> &[u32] {
-        let base = label * stride + node;
-        let lo = self.offsets[base] as usize;
-        let hi = self.offsets[base + 1] as usize;
+    fn neighbors_of(&self, node: usize) -> &[u32] {
+        if node + 1 >= self.offsets.len() {
+            return &[];
+        }
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
         &self.neighbors[lo..hi]
+    }
+
+    /// Rebuilds this partition with per-node removals and additions applied
+    /// (first-occurrence removal semantics, additions appended in order) —
+    /// identical to what a fresh build over the merged adjacency produces.
+    fn patched(
+        old: Option<&Partition>,
+        node_count: usize,
+        removals: &HashMap<u32, Vec<u32>>,
+        additions: &HashMap<u32, Vec<u32>>,
+    ) -> Self {
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u32);
+        for node in 0..node_count {
+            let base = old.map(|p| p.neighbors_of(node)).unwrap_or(&[]);
+            match removals.get(&(node as u32)) {
+                Some(removed) => {
+                    let mut pending = removed.clone();
+                    for &to in base {
+                        if let Some(pos) = pending.iter().position(|&r| r == to) {
+                            pending.swap_remove(pos);
+                        } else {
+                            neighbors.push(to);
+                        }
+                    }
+                }
+                None => neighbors.extend_from_slice(base),
+            }
+            if let Some(added) = additions.get(&(node as u32)) {
+                neighbors.extend_from_slice(added);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        Self { offsets, neighbors }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.offsets.len() + self.neighbors.len()) * std::mem::size_of::<u32>()
+    }
+
+    fn max_degree(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn occupied_nodes(&self) -> usize {
+        self.offsets.windows(2).filter(|w| w[1] > w[0]).count()
+    }
+}
+
+/// One direction's partitions, one per label, individually [`Arc`]-shared so
+/// an epoch publish clones only the touched labels.
+#[derive(Debug, Clone, Default)]
+struct DirIndex {
+    parts: Vec<Arc<Partition>>,
+}
+
+impl DirIndex {
+    fn build(node_count: usize, label_count: usize, edges: &[(u32, u32, u32)]) -> Self {
+        // edges: (label, from, to) in the direction being built.
+        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); label_count];
+        for &(label, from, to) in edges {
+            buckets[label as usize].push((from, to));
+        }
+        Self {
+            parts: buckets
+                .into_iter()
+                .map(|bucket| Arc::new(Partition::build(node_count, &bucket)))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self, label: usize, node: usize) -> &[u32] {
+        self.parts[label].neighbors_of(node)
     }
 }
 
 /// Label-partitioned forward and reverse adjacency of one graph snapshot.
 ///
 /// Built once per graph and shared across every query of a batch (and across
-/// worker threads — the index is immutable after construction).
+/// worker threads — the index is immutable after construction).  A live
+/// store does not rebuild it per epoch: [`LabelIndex::apply_delta`] patches
+/// only the label partitions an update touches and `Arc`-shares the rest
+/// with the previous epoch's index.
 #[derive(Debug, Clone, Default)]
 pub struct LabelIndex {
     node_count: usize,
@@ -137,9 +233,10 @@ impl LabelIndex {
     /// Approximate heap footprint of the index in bytes (the packed offset
     /// and neighbor arrays of both directions).  Multi-session deployments
     /// report this to show N sessions share **one** index allocation rather
-    /// than N copies.
+    /// than N copies.  Partitions `Arc`-shared with another epoch's index
+    /// are counted in full here (the figure is per-index, not per-fleet).
     pub fn memory_bytes(&self) -> usize {
-        let dir = |d: &DirIndex| (d.offsets.len() + d.neighbors.len()) * std::mem::size_of::<u32>();
+        let dir = |d: &DirIndex| -> usize { d.parts.iter().map(|p| p.memory_bytes()).sum() };
         dir(&self.fwd)
             + dir(&self.rev)
             + self.label_edge_counts.len() * std::mem::size_of::<usize>()
@@ -164,10 +261,147 @@ impl LabelIndex {
         if label.index() >= self.label_count || node >= self.node_count {
             return &[];
         }
-        let stride = self.node_count + 1;
         match direction {
-            Direction::Forward => self.fwd.neighbors(stride, label.index(), node),
-            Direction::Reverse => self.rev.neighbors(stride, label.index(), node),
+            Direction::Forward => self.fwd.neighbors(label.index(), node),
+            Direction::Reverse => self.rev.neighbors(label.index(), node),
+        }
+    }
+
+    /// Builds the next epoch's index from this one by patching **only** the
+    /// label partitions `delta` touches; untouched labels share their packed
+    /// arrays with this index (`Arc` clone, no copy).
+    ///
+    /// `node_count` / `label_count` are the merged graph's counts (take them
+    /// from the compacted snapshot).  The result is identical to
+    /// [`from_csr`](Self::from_csr) over that snapshot — the partition's
+    /// per-node neighbor order is (surviving base order, then insertion
+    /// order), exactly what a fresh build over the merged adjacency yields.
+    pub fn apply_delta(
+        &self,
+        delta: &GraphDelta,
+        node_count: usize,
+        label_count: usize,
+    ) -> LabelIndex {
+        let touched = delta.touched_labels();
+        // Per touched label and direction: removals and additions bucketed by
+        // the partition's "from" endpoint (source forward, target reverse).
+        let mut fwd_removals: HashMap<u32, HashMap<u32, Vec<u32>>> = HashMap::new();
+        let mut rev_removals: HashMap<u32, HashMap<u32, Vec<u32>>> = HashMap::new();
+        let mut fwd_additions: HashMap<u32, HashMap<u32, Vec<u32>>> = HashMap::new();
+        let mut rev_additions: HashMap<u32, HashMap<u32, Vec<u32>>> = HashMap::new();
+        for edge in &delta.removed_edges {
+            fwd_removals
+                .entry(edge.label.raw())
+                .or_default()
+                .entry(edge.source.raw())
+                .or_default()
+                .push(edge.target.raw());
+            rev_removals
+                .entry(edge.label.raw())
+                .or_default()
+                .entry(edge.target.raw())
+                .or_default()
+                .push(edge.source.raw());
+        }
+        for edge in &delta.added_edges {
+            fwd_additions
+                .entry(edge.label.raw())
+                .or_default()
+                .entry(edge.source.raw())
+                .or_default()
+                .push(edge.target.raw());
+            rev_additions
+                .entry(edge.label.raw())
+                .or_default()
+                .entry(edge.target.raw())
+                .or_default()
+                .push(edge.source.raw());
+        }
+
+        let empty = HashMap::new();
+        let mut fwd_parts = Vec::with_capacity(label_count);
+        let mut rev_parts = Vec::with_capacity(label_count);
+        let mut label_edge_counts = vec![0usize; label_count];
+        for (label, slot) in label_edge_counts.iter_mut().enumerate() {
+            let known = label < self.label_count;
+            if known && !touched.contains(&LabelId::from(label)) {
+                fwd_parts.push(Arc::clone(&self.fwd.parts[label]));
+                rev_parts.push(Arc::clone(&self.rev.parts[label]));
+                *slot = self.label_edge_counts[label];
+                continue;
+            }
+            let old_fwd = known.then(|| self.fwd.parts[label].as_ref());
+            let old_rev = known.then(|| self.rev.parts[label].as_ref());
+            if !touched.contains(&LabelId::from(label)) {
+                // A label interned without edges: nothing to patch.
+                fwd_parts.push(Arc::new(Partition::empty(node_count)));
+                rev_parts.push(Arc::new(Partition::empty(node_count)));
+                continue;
+            }
+            let raw = label as u32;
+            let fwd = Partition::patched(
+                old_fwd,
+                node_count,
+                fwd_removals.get(&raw).unwrap_or(&empty),
+                fwd_additions.get(&raw).unwrap_or(&empty),
+            );
+            let rev = Partition::patched(
+                old_rev,
+                node_count,
+                rev_removals.get(&raw).unwrap_or(&empty),
+                rev_additions.get(&raw).unwrap_or(&empty),
+            );
+            *slot = fwd.neighbors.len();
+            fwd_parts.push(Arc::new(fwd));
+            rev_parts.push(Arc::new(rev));
+        }
+        LabelIndex {
+            node_count,
+            label_count,
+            fwd: DirIndex { parts: fwd_parts },
+            rev: DirIndex { parts: rev_parts },
+            label_edge_counts,
+        }
+    }
+
+    /// Derives the merged graph's [`LabelStats`] from this (already patched)
+    /// index: untouched labels keep their [`LabelStat`] from `old` (only the
+    /// frequency denominator is refreshed), touched labels are recomputed
+    /// from their partitions — no sweep over the graph's adjacency.
+    pub fn patched_stats(&self, old: &LabelStats, touched: &BTreeSet<LabelId>) -> LabelStats {
+        let edge_count: usize = self.label_edge_counts.iter().sum();
+        let per_label = (0..self.label_count)
+            .map(|index| {
+                let label = LabelId::from(index);
+                let known = old.get(label).filter(|_| !touched.contains(&label));
+                let mut stat = match known {
+                    Some(stat) => stat.clone(),
+                    None => {
+                        let fwd = self.fwd.parts[index].as_ref();
+                        let rev = self.rev.parts[index].as_ref();
+                        LabelStat {
+                            label,
+                            edge_count: fwd.neighbors.len(),
+                            frequency: 0.0,
+                            max_out_degree: fwd.max_degree(),
+                            max_in_degree: rev.max_degree(),
+                            source_count: fwd.occupied_nodes(),
+                            target_count: rev.occupied_nodes(),
+                        }
+                    }
+                };
+                stat.frequency = if edge_count == 0 {
+                    0.0
+                } else {
+                    stat.edge_count as f64 / edge_count as f64
+                };
+                stat
+            })
+            .collect();
+        LabelStats {
+            per_label,
+            node_count: self.node_count,
+            edge_count,
         }
     }
 
@@ -306,6 +540,94 @@ mod tests {
         let index = LabelIndex::from_backend(&g);
         assert_eq!(index.node_count(), 0);
         assert_eq!(index.label_count(), 0);
+    }
+
+    #[test]
+    fn apply_delta_matches_a_fresh_build_and_shares_untouched_partitions() {
+        use gps_graph::{CsrGraph, DeltaGraph};
+
+        let g = sample();
+        let base = std::sync::Arc::new(CsrGraph::from_graph(&g));
+        let old = LabelIndex::from_csr(&base);
+
+        // Touch only label `x`: remove a-x->b, add c-x->d and a new node d;
+        // also intern a brand-new label `z` with one edge.
+        let mut delta = DeltaGraph::new(std::sync::Arc::clone(&base));
+        let a = delta.node_by_name("a").unwrap();
+        let b = delta.node_by_name("b").unwrap();
+        let c = delta.node_by_name("c").unwrap();
+        let d = delta.add_node("d");
+        let x = delta.labels().get("x").unwrap();
+        let z = delta.label("z");
+        assert!(delta.remove_edge(a, x, b));
+        delta.add_edge(c, x, d);
+        delta.add_edge(d, z, a);
+        let summary = delta.delta();
+        let compacted = delta.compact();
+
+        let patched = old.apply_delta(&summary, compacted.node_count(), compacted.label_count());
+        let fresh = LabelIndex::from_csr(&compacted);
+        assert_eq!(patched.node_count(), fresh.node_count());
+        assert_eq!(patched.label_count(), fresh.label_count());
+        for label in 0..fresh.label_count() {
+            let label = LabelId::from(label);
+            assert_eq!(
+                patched.label_edge_count(label),
+                fresh.label_edge_count(label),
+                "{label:?}"
+            );
+            for node in 0..fresh.node_count() {
+                for direction in [Direction::Forward, Direction::Reverse] {
+                    assert_eq!(
+                        patched.neighbors(direction, label, node),
+                        fresh.neighbors(direction, label, node),
+                        "{direction:?} {label:?} node {node}"
+                    );
+                }
+            }
+        }
+        // The untouched label `y` shares its packed arrays with the old index.
+        let y = g.label_id("y").unwrap();
+        assert!(std::sync::Arc::ptr_eq(
+            &patched.fwd.parts[y.index()],
+            &old.fwd.parts[y.index()]
+        ));
+        assert!(!std::sync::Arc::ptr_eq(
+            &patched.fwd.parts[x.index()],
+            &old.fwd.parts[x.index()]
+        ));
+
+        // Patched statistics agree with a full recompute on the merged graph.
+        let old_stats = gps_graph::LabelStats::compute(&g);
+        let patched_stats = patched.patched_stats(&old_stats, &summary.touched_labels());
+        let fresh_stats = gps_graph::LabelStats::compute(&compacted);
+        assert_eq!(patched_stats, fresh_stats);
+    }
+
+    #[test]
+    fn patched_partitions_handle_parallel_duplicates() {
+        use gps_graph::{CsrGraph, DeltaGraph};
+
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge_by_name(a, "x", b);
+        g.add_edge_by_name(a, "x", b);
+        g.add_edge_by_name(a, "x", b);
+        let base = std::sync::Arc::new(CsrGraph::from_graph(&g));
+        let old = LabelIndex::from_csr(&base);
+        let mut delta = DeltaGraph::new(std::sync::Arc::clone(&base));
+        let x = delta.labels().get("x").unwrap();
+        assert!(delta.remove_edge(a, x, b));
+        assert!(delta.remove_edge(a, x, b));
+        let summary = delta.delta();
+        let compacted = delta.compact();
+        let patched = old.apply_delta(&summary, compacted.node_count(), compacted.label_count());
+        assert_eq!(
+            patched.neighbors(Direction::Forward, x, a.index()),
+            &[b.raw()]
+        );
+        assert_eq!(patched.label_edge_count(x), 1);
     }
 
     #[test]

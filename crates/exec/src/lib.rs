@@ -56,4 +56,4 @@ pub mod planner;
 pub use batch::{BatchEvaluator, ParallelSplit};
 pub use bitset::FixedBitSet;
 pub use index::{Direction, LabelIndex};
-pub use planner::{Plan, PlanDecision};
+pub use planner::{Plan, PlanDecision, PlannerConfig};

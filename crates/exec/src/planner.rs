@@ -43,20 +43,45 @@ pub struct PlanDecision {
     pub used_labels: Vec<LabelId>,
 }
 
-/// Edge-coverage below which expansion always stays in push mode.
-const PUSH_COVERAGE: f64 = 0.4;
-/// Edge-coverage and mean-degree above which pull mode wins outright.
-const PULL_COVERAGE: f64 = 0.9;
-const PULL_MEAN_DEGREE: f64 = 4.0;
+/// The planner's decision thresholds, exposed as configuration so deployments
+/// can calibrate them per corpus (the defaults were hand-tuned on the
+/// checked-in workloads and sanity-checked against the 20k-node scale-free
+/// corpus — see `tests/planner_defaults.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Edge-coverage below which expansion always stays in push mode.
+    pub push_coverage: f64,
+    /// Edge-coverage above which pull mode is considered.
+    pub pull_coverage: f64,
+    /// Mean per-node degree (over the query's labels) additionally required
+    /// for pull mode to win outright.
+    pub pull_mean_degree: f64,
+}
 
-/// Picks the expansion plan for `dfa` over a graph with statistics `stats`.
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            push_coverage: 0.4,
+            pull_coverage: 0.9,
+            pull_mean_degree: 4.0,
+        }
+    }
+}
+
+/// Picks the expansion plan for `dfa` over a graph with statistics `stats`,
+/// using the default thresholds.
 pub fn plan(stats: &LabelStats, dfa: &Dfa) -> PlanDecision {
+    plan_with(stats, dfa, PlannerConfig::default())
+}
+
+/// Picks the expansion plan for `dfa` under explicit thresholds.
+pub fn plan_with(stats: &LabelStats, dfa: &Dfa, config: PlannerConfig) -> PlanDecision {
     let used_labels = dfa.used_alphabet().symbols().to_vec();
     let coverage = stats.coverage(used_labels.iter().copied());
     let mean_degree = stats.mean_degree(used_labels.iter().copied());
-    let plan = if coverage < PUSH_COVERAGE {
+    let plan = if coverage < config.push_coverage {
         Plan::Reverse
-    } else if coverage > PULL_COVERAGE && mean_degree >= PULL_MEAN_DEGREE {
+    } else if coverage > config.pull_coverage && mean_degree >= config.pull_mean_degree {
         Plan::Forward
     } else {
         Plan::Bidirectional
@@ -131,5 +156,26 @@ mod tests {
         let decision = plan(&stats, &Dfa::from_regex(&Regex::Empty));
         assert_eq!(decision.plan, Plan::Reverse);
         assert_eq!(decision.coverage, 0.0);
+    }
+
+    #[test]
+    fn custom_thresholds_move_the_boundaries() {
+        let g = skewed();
+        let stats = LabelStats::compute(&g);
+        let x = g.label_id("x").unwrap();
+        let dfa = Dfa::from_regex(&Regex::star(Regex::symbol(x)));
+        assert_eq!(plan(&stats, &dfa).plan, Plan::Forward, "defaults");
+        // Raising the pull bar beyond x's coverage demotes it to hybrid…
+        let strict = PlannerConfig {
+            pull_coverage: 0.999,
+            ..PlannerConfig::default()
+        };
+        assert_eq!(plan_with(&stats, &dfa, strict).plan, Plan::Bidirectional);
+        // …and raising the push bar above it forces push mode.
+        let push_all = PlannerConfig {
+            push_coverage: 1.1,
+            ..PlannerConfig::default()
+        };
+        assert_eq!(plan_with(&stats, &dfa, push_all).plan, Plan::Reverse);
     }
 }

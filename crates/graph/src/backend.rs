@@ -87,6 +87,19 @@ pub trait GraphBackend {
 
     // ------------------------------------------------------------- provided
 
+    /// The version epoch of this backend.
+    ///
+    /// Mutable stores and fresh snapshots live at epoch 0; each
+    /// [`DeltaGraph::compact`](crate::delta::DeltaGraph::compact) publish
+    /// advances the produced snapshot by one.  Layers that cache per-snapshot
+    /// state (bounded word sets, pruning scores) use `(epoch, node_count)` as
+    /// the identity of the graph they computed against, so a superseded
+    /// snapshot is never mistaken for the current one merely because the
+    /// counts agree.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
     /// Number of distinct labels (alphabet size).
     fn label_count(&self) -> usize {
         self.labels().len()

@@ -43,6 +43,12 @@ pub struct CsrGraph {
     rev_entries: Vec<CsrEntry>,
     /// Original edge id of each reverse entry (aligned with `rev_entries`).
     rev_edge_ids: Vec<EdgeId>,
+    /// Version stamp of the snapshot.  Snapshots built directly from a
+    /// backend inherit the backend's epoch (0 for fresh builds);
+    /// [`crate::delta::DeltaGraph::compact`] stamps its output with the base
+    /// epoch plus one, so every published version of a live graph is
+    /// distinguishable even when node and edge counts happen to coincide.
+    epoch: u64,
 }
 
 impl CsrGraph {
@@ -105,7 +111,51 @@ impl CsrGraph {
             rev_offsets,
             rev_entries,
             rev_edge_ids,
+            epoch: backend.epoch(),
         }
+    }
+
+    /// Assembles a snapshot directly from pre-built packed arrays (the
+    /// delta-graph compaction path).  The caller guarantees the arrays are
+    /// mutually consistent — exactly what [`Self::from_backend`] would have
+    /// produced for the merged graph.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        node_names: Vec<String>,
+        name_index: BTreeMap<String, NodeId>,
+        labels: LabelInterner,
+        fwd_offsets: Vec<u32>,
+        fwd_entries: Vec<CsrEntry>,
+        fwd_edge_ids: Vec<EdgeId>,
+        rev_offsets: Vec<u32>,
+        rev_entries: Vec<CsrEntry>,
+        rev_edge_ids: Vec<EdgeId>,
+        epoch: u64,
+    ) -> Self {
+        Self {
+            node_names,
+            name_index,
+            labels,
+            fwd_offsets,
+            fwd_entries,
+            fwd_edge_ids,
+            rev_offsets,
+            rev_entries,
+            rev_edge_ids,
+            epoch,
+        }
+    }
+
+    /// The version stamp of this snapshot (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Returns the snapshot restamped with `epoch` (used by stores that
+    /// assign their own version numbers).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Number of nodes in the snapshot.
@@ -202,6 +252,28 @@ impl CsrGraph {
     #[inline]
     pub fn rev_entries(&self) -> &[CsrEntry] {
         &self.rev_entries
+    }
+
+    /// The first-bearer name → id map (what [`node_by_name`](Self::node_by_name)
+    /// consults) — cloned wholesale by the delta overlay instead of being
+    /// rebuilt per publish.
+    #[inline]
+    pub(crate) fn name_index(&self) -> &BTreeMap<String, NodeId> {
+        &self.name_index
+    }
+
+    /// Original edge ids of `node`'s outgoing entries (aligned with
+    /// [`out`](Self::out)).
+    #[inline]
+    pub(crate) fn out_ids(&self, node: NodeId) -> &[EdgeId] {
+        &self.fwd_edge_ids[self.fwd_range(node)]
+    }
+
+    /// Original edge ids of `node`'s incoming entries (aligned with
+    /// [`inc`](Self::inc)).
+    #[inline]
+    pub(crate) fn inc_ids(&self, node: NodeId) -> &[EdgeId] {
+        &self.rev_edge_ids[self.rev_range(node)]
     }
 
     #[inline]
@@ -336,6 +408,10 @@ impl GraphBackend for CsrGraph {
 
     fn in_degree(&self, node: NodeId) -> usize {
         CsrGraph::in_degree(self, node)
+    }
+
+    fn epoch(&self) -> u64 {
+        CsrGraph::epoch(self)
     }
 }
 

@@ -14,7 +14,11 @@
 //! * [`Graph`] — the mutable adjacency-list store with forward and reverse
 //!   adjacency, label interning and node naming;
 //! * [`csr::CsrGraph`] — an immutable, cache-friendly snapshot; a first-class
-//!   backend for the traversal-heavy evaluation and learning code;
+//!   backend for the traversal-heavy evaluation and learning code, stamped
+//!   with a version [`epoch`](csr::CsrGraph::epoch);
+//! * [`delta::DeltaGraph`] — a mutable overlay (insertions + tombstoned
+//!   deletions) over a shared snapshot; [`compact`](delta::DeltaGraph::compact)
+//!   publishes the next epoch;
 //! * [`traversal`] — BFS/DFS, distances and reachability, over any backend;
 //! * [`neighborhood`] — the *k*-neighborhood subgraphs the user is shown
 //!   (Figure 3(a)/(b) of the paper), including the frontier markers ("…")
@@ -57,6 +61,7 @@
 
 pub mod backend;
 pub mod csr;
+pub mod delta;
 pub mod dot;
 pub mod graph;
 pub mod ids;
@@ -70,6 +75,7 @@ pub mod traversal;
 
 pub use backend::GraphBackend;
 pub use csr::CsrGraph;
+pub use delta::{DeltaGraph, GraphDelta, UpdateError, UpdateOp};
 pub use graph::{Edge, Graph};
 pub use ids::{EdgeId, LabelId, NodeId};
 pub use labels::LabelInterner;

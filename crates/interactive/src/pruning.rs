@@ -43,6 +43,13 @@ pub struct PruningState {
     /// coverage object (whose delta would be meaningless here) instead of
     /// trusting a bare version number.
     synced: Option<(u64, u64)>,
+    /// How many times [`refresh_with`](Self::refresh_with) had a valid
+    /// coverage delta but had to fall back to the full rescan because the
+    /// evaluation handle's snapshot did not match the session graph (a
+    /// foreign or superseded snapshot).  This fallback is silent and slow —
+    /// surfacing it as a counter makes a misrouted handle measurable instead
+    /// of just "sessions feel slower".
+    foreign_rescans: u64,
 }
 
 impl PruningState {
@@ -54,6 +61,7 @@ impl PruningState {
             bound,
             scores: Vec::new(),
             synced: None,
+            foreign_rescans: 0,
         }
     }
 
@@ -65,6 +73,12 @@ impl PruningState {
     /// The coverage version the cached scores are synchronized to, if any.
     pub fn synced_version(&self) -> Option<u64> {
         self.synced.map(|(_, version)| version)
+    }
+
+    /// Number of full rescans forced by a foreign-snapshot evaluation handle
+    /// (see the field docs) — 0 in a correctly wired deployment.
+    pub fn foreign_rescans(&self) -> u64 {
+        self.foreign_rescans
     }
 
     /// Returns `true` when the cached scores are synchronized with exactly
@@ -115,9 +129,18 @@ impl PruningState {
         let version = coverage.version();
         let scores_current = self.scores.len() == graph.node_count();
         // The delta sweep runs on the handle's snapshot, so its node ids are
-        // only meaningful here when that snapshot matches this graph — a
-        // foreign handle falls back to the full rescan like everywhere else.
-        let exec_matches = exec.cache().csr().node_count() == graph.node_count();
+        // only meaningful here when that snapshot matches this graph — same
+        // node count *and* same epoch, so a superseded snapshot of a live
+        // store is never mistaken for the session's pinned one.  A foreign
+        // handle falls back to the full rescan like everywhere else, and the
+        // fallback is counted (see [`foreign_rescans`](Self::foreign_rescans)).
+        let exec_matches = exec.cache().csr().node_count() == graph.node_count()
+            && exec.cache().epoch() == graph.epoch();
+        if !exec_matches
+            && matches!(self.synced, Some((id, v)) if id == identity && v < version && scores_current)
+        {
+            self.foreign_rescans += 1;
+        }
         match self.synced {
             Some((id, v)) if id == identity && v == version && scores_current => {}
             Some((id, v)) if id == identity && v < version && scores_current && exec_matches => {
@@ -146,7 +169,7 @@ impl PruningState {
             // count — served from the stack's shared per-snapshot baseline
             // instead of re-enumerating the whole graph per session.
             _ => {
-                let baseline = (coverage.version() == 0)
+                let baseline = (coverage.version() == 0 && exec_matches)
                     .then(|| exec.bounded_word_counts(coverage.bound()))
                     .filter(|baseline| baseline.len() == graph.node_count());
                 match baseline {
@@ -397,12 +420,57 @@ mod tests {
         let mut coverage = NegativeCoverage::new(3);
         let mut pruning = PruningState::new(3);
         pruning.refresh_with(&g, &examples, &coverage, &foreign);
+        assert_eq!(
+            pruning.foreign_rescans(),
+            0,
+            "the first refresh is always a full scan — not a fallback"
+        );
         coverage.add_negative(&g, n5);
         pruning.refresh_with(&g, &examples, &coverage, &foreign);
+        assert_eq!(
+            pruning.foreign_rescans(),
+            1,
+            "a valid delta was available but the handle's snapshot is foreign"
+        );
         for node in g.nodes() {
             assert_eq!(
                 pruning.cached_score(node),
                 Some(coverage.uncovered_count(&g, node)),
+                "node {node}"
+            );
+        }
+        // A matching handle keeps the delta path counter-free.
+        let local = gps_rpq::EvalHandle::naive(&g);
+        let n6 = g.node_by_name("N6").unwrap();
+        coverage.add_negative(&g, n6);
+        pruning.refresh_with(&g, &examples, &coverage, &local);
+        assert_eq!(pruning.foreign_rescans(), 1, "no new fallback");
+    }
+
+    #[test]
+    fn superseded_epoch_handle_is_foreign_even_at_equal_node_count() {
+        use gps_graph::CsrGraph;
+        use std::sync::Arc;
+
+        // Same node count, different epoch: the handle's snapshot pretends to
+        // be a newer published version of this graph — its spelling sweeps
+        // must not be trusted for delta decrements.
+        let g = sample();
+        let session_graph = CsrGraph::from_graph(&g); // epoch 0
+        let newer = CsrGraph::from_graph(&g).with_epoch(1);
+        let handle = gps_rpq::EvalHandle::from_cache(Arc::new(gps_rpq::EvalCache::from_csr(newer)));
+        let n5 = session_graph.node_by_name("N5").unwrap();
+        let examples = ExampleSet::new();
+        let mut coverage = NegativeCoverage::new(3);
+        let mut pruning = PruningState::new(3);
+        pruning.refresh_with(&session_graph, &examples, &coverage, &handle);
+        coverage.add_negative(&session_graph, n5);
+        pruning.refresh_with(&session_graph, &examples, &coverage, &handle);
+        assert_eq!(pruning.foreign_rescans(), 1);
+        for node in session_graph.nodes() {
+            assert_eq!(
+                pruning.cached_score(node),
+                Some(coverage.uncovered_count(&session_graph, node)),
                 "node {node}"
             );
         }

@@ -301,14 +301,21 @@ impl<'g, B: GraphBackend> Session<'g, B> {
                 self.stats.negative_labels += 1;
                 self.examples.add_negative(node);
                 // Cover the node's words from the shared per-snapshot word
-                // cache when it matches this graph; identical to enumerating
-                // them here.
-                let cached = self.exec.bounded_words(self.coverage.bound());
-                if cached.len() == graph.node_count() {
-                    self.coverage
-                        .add_negative_with_words(node, &cached[node.index()]);
-                } else {
-                    self.coverage.add_negative(graph, node);
+                // cache when it matches this graph (same epoch and node
+                // count); identical to enumerating them here.  The epoch
+                // check comes first so a misrouted handle never enumerates
+                // (and caches) a foreign snapshot's words.
+                let cached = (self.exec.epoch() == graph.epoch())
+                    .then(|| self.exec.bounded_words(self.coverage.bound()))
+                    .filter(|cached| cached.len() == graph.node_count());
+                match cached {
+                    Some(cached) => {
+                        self.coverage
+                            .add_negative_with_words(node, &cached[node.index()]);
+                    }
+                    None => {
+                        self.coverage.add_negative(graph, node);
+                    }
                 }
                 InteractionRecord {
                     node,

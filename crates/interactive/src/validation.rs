@@ -67,6 +67,7 @@ pub fn build_prompt_with<B: GraphBackend>(
     exec: Option<&EvalHandle>,
 ) -> Option<PathValidationPrompt> {
     let cached = exec
+        .filter(|exec| exec.epoch() == graph.epoch())
         .map(|exec| exec.bounded_words(radius))
         .filter(|cached| cached.len() == graph.node_count());
     let mut candidates: Vec<Word> = match &cached {

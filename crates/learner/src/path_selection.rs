@@ -45,6 +45,7 @@ pub fn select_paths_with<B: GraphBackend>(
     exec: Option<&EvalHandle>,
 ) -> Result<SelectedPaths, LearnError> {
     let cached = exec
+        .filter(|exec| exec.epoch() == graph.epoch())
         .map(|exec| exec.bounded_words(bound))
         .filter(|cached| cached.len() == graph.node_count());
     let mut selected = SelectedPaths::new();

@@ -19,7 +19,7 @@ use gps_automata::{Dfa, Regex};
 use gps_graph::{CsrGraph, GraphBackend, NodeId, Path, PathEnumerator, Word};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default maximum number of cached answers.
@@ -77,6 +77,10 @@ pub struct EvalCache {
     evictions: AtomicU64,
     word_evictions: AtomicU64,
     tick: AtomicU64,
+    /// Set once the snapshot this cache serves has been superseded by a
+    /// newer epoch and every entry has been dropped (see
+    /// [`retire`](Self::retire)).
+    retired: AtomicBool,
 }
 
 impl EvalCache {
@@ -119,6 +123,7 @@ impl EvalCache {
             evictions: AtomicU64::new(0),
             word_evictions: AtomicU64::new(0),
             tick: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
         }
     }
 
@@ -148,6 +153,131 @@ impl EvalCache {
     /// The underlying snapshot.
     pub fn csr(&self) -> &CsrGraph {
         &self.csr
+    }
+
+    /// The epoch of the snapshot this cache serves.  Cached answers and word
+    /// snapshots are only valid for graphs at exactly this `(epoch,
+    /// node_count)` identity — the check the per-snapshot fast paths
+    /// (pruning deltas, validation prompts) perform before trusting shared
+    /// state, instead of relying on pointer or size coincidence.
+    pub fn epoch(&self) -> u64 {
+        self.csr.epoch()
+    }
+
+    /// Atomically drops every cached answer and word snapshot: called by a
+    /// versioned store when this cache's snapshot has been superseded by a
+    /// published epoch and no session is pinned to it anymore.  The cache
+    /// stays functional (a straggling handle re-misses and recomputes
+    /// deterministically), but its memory is released eagerly instead of
+    /// waiting for the last `Arc` to die.
+    pub fn retire(&self) {
+        let mut answers = self.answers.write();
+        let mut words = self.words.write();
+        answers.clear();
+        words.clear();
+        self.retired.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` once [`retire`](Self::retire) has run.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
+
+    /// Seeds this (new-epoch) cache's bounded-word snapshots from `old` (the
+    /// superseded epoch's cache) after a publish whose changed-edge sources
+    /// are `changed_sources` — the incremental-maintenance alternative to
+    /// re-enumerating every node's bounded paths on the first session of
+    /// each epoch.
+    ///
+    /// A node's distinct bounded words (length `1..=bound`) can only change
+    /// if one of its bounded out-paths — in the old graph (a path that
+    /// disappeared) or the new one (a path that appeared) — traverses a
+    /// changed edge, i.e. iff the node reaches some changed edge's source
+    /// within `bound - 1` steps.  For every bound the old cache had
+    /// materialized, a reverse BFS over the *union* of both snapshots'
+    /// reverse adjacencies computes that affected set; affected and
+    /// newly-inserted nodes are re-enumerated on the new snapshot and every
+    /// other node's word set is carried over verbatim.  The result is
+    /// identical to a cold enumeration (asserted by the conformance tests).
+    pub fn inherit_words(&self, old: &EvalCache, changed_sources: &[NodeId]) {
+        let old_n = old.csr.node_count();
+        let new_n = self.csr.node_count();
+        let mut snapshots: Vec<(usize, Arc<Vec<Vec<Word>>>)> = old
+            .words
+            .read()
+            .iter()
+            .map(|(&bound, entry)| (bound, Arc::clone(&entry.words)))
+            .collect();
+        if snapshots.is_empty() {
+            return;
+        }
+        // Deterministic inheritance order: when the capacity cap truncates,
+        // the smallest bounds — the ones the session fast paths ask for
+        // first — survive, not whatever the map iteration happened to yield.
+        snapshots.sort_by_key(|&(bound, _)| bound);
+        // One union reverse BFS up to the largest materialized bound; the
+        // per-bound affected set is "reached within bound - 1 steps".
+        let max_bound = snapshots.iter().map(|&(bound, _)| bound).max().unwrap();
+        let mut depth: Vec<Option<usize>> = vec![None; new_n.max(old_n)];
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for &source in changed_sources {
+            if source.index() < depth.len() && depth[source.index()].is_none() {
+                depth[source.index()] = Some(0);
+                frontier.push(source);
+            }
+        }
+        let mut level = 0usize;
+        while !frontier.is_empty() && level + 1 < max_bound {
+            level += 1;
+            let mut next = Vec::new();
+            for &node in &frontier {
+                let mut visit = |pred: NodeId| {
+                    if pred.index() < depth.len() && depth[pred.index()].is_none() {
+                        depth[pred.index()] = Some(level);
+                        next.push(pred);
+                    }
+                };
+                if node.index() < old_n {
+                    for entry in old.csr.inc(node) {
+                        visit(entry.node);
+                    }
+                }
+                if node.index() < new_n {
+                    for entry in self.csr.inc(node) {
+                        visit(entry.node);
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.words.write();
+        for (bound, old_words) in snapshots {
+            if map.len() >= self.words_capacity {
+                break;
+            }
+            let enumerator = PathEnumerator::new(bound);
+            let words: Vec<Vec<Word>> = (0..new_n)
+                .map(|index| {
+                    let carried = index < old_n && depth[index].is_none_or(|d| d + 1 > bound);
+                    if carried {
+                        old_words[index].clone()
+                    } else {
+                        enumerator
+                            .words_from(&*self.csr, NodeId::from(index))
+                            .into_iter()
+                            .collect()
+                    }
+                })
+                .collect();
+            let counts: Vec<usize> = words.iter().map(|words| words.len()).collect();
+            map.entry(bound).or_insert(WordsEntry {
+                words: Arc::new(words),
+                counts: Arc::new(counts),
+                last_used: AtomicU64::new(tick),
+            });
+        }
     }
 
     /// A new reference to the shared snapshot the answers are computed on.
@@ -647,6 +777,103 @@ mod tests {
             }
         }
         assert!(cache.word_evictions() >= 12);
+    }
+
+    #[test]
+    fn retire_drops_every_entry_but_stays_functional() {
+        let g = sample();
+        let cache = EvalCache::new(&g);
+        let x = g.label_id("x").unwrap();
+        cache.evaluate(&Regex::symbol(x));
+        cache.bounded_words(2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.words_len(), 1);
+        assert!(!cache.is_retired());
+        cache.retire();
+        assert!(cache.is_retired());
+        assert!(cache.is_empty());
+        assert_eq!(cache.words_len(), 0);
+        // A straggling handle recomputes deterministically.
+        let answer = cache.evaluate(&Regex::symbol(x));
+        assert!(answer.contains(g.node_by_name("A").unwrap()));
+    }
+
+    #[test]
+    fn epoch_tracks_the_snapshot() {
+        let g = sample();
+        let cache = EvalCache::new(&g);
+        assert_eq!(cache.epoch(), 0);
+        let stamped = CsrGraph::from_graph(&g).with_epoch(7);
+        let cache = EvalCache::from_csr(stamped);
+        assert_eq!(cache.epoch(), 7);
+    }
+
+    /// A chain v0 -x-> v1 -x-> … -x-> v4 long enough that the head is
+    /// untouched (at small bounds) by an update at the tail.
+    #[test]
+    fn inherit_words_matches_cold_enumeration() {
+        use gps_graph::DeltaGraph;
+
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..5).map(|i| g.add_node(format!("v{i}"))).collect();
+        for window in nodes.windows(2) {
+            g.add_edge_by_name(window[0], "x", window[1]);
+        }
+        let base = Arc::new(CsrGraph::from_graph(&g));
+        let old_cache = EvalCache::from_csr((*base).clone());
+        let old_w2 = old_cache.bounded_words(2);
+        let old_w4 = old_cache.bounded_words(4);
+
+        // Change both ends: drop the first hop, append w after the tail.
+        let mut delta = DeltaGraph::new(Arc::clone(&base));
+        let w = delta.add_node("w");
+        let z = delta.label("z");
+        delta.add_edge(nodes[4], z, w);
+        let x = delta.labels().get("x").unwrap();
+        assert!(delta.remove_edge(nodes[0], x, nodes[1]));
+        let summary = delta.delta();
+        let compacted = delta.compact();
+
+        let new_cache = EvalCache::from_csr(compacted.clone());
+        new_cache.inherit_words(&old_cache, &summary.changed_sources());
+        assert_eq!(new_cache.words_len(), 2, "both bounds inherited");
+        let cold = EvalCache::from_csr(compacted);
+        for bound in [2usize, 4] {
+            let inherited = new_cache.bounded_words(bound);
+            let direct = cold.bounded_words(bound);
+            assert_eq!(*inherited, *direct, "bound {bound}");
+            assert_eq!(
+                *new_cache.bounded_word_counts(bound),
+                *cold.bounded_word_counts(bound),
+                "bound {bound}"
+            );
+        }
+        // v1 is 3 reverse steps from the nearest changed source (v4) and
+        // unreachable from v0's removal, so its bound-2 words carried over…
+        assert_eq!(
+            new_cache.bounded_words(2)[nodes[1].index()],
+            old_w2[nodes[1].index()]
+        );
+        // …while at bound 4 the appended tail edge reaches it.
+        assert_ne!(
+            new_cache.bounded_words(4)[nodes[1].index()],
+            old_w4[nodes[1].index()]
+        );
+        // The changed nodes themselves were recomputed on the new snapshot.
+        assert!(new_cache.bounded_words(2)[nodes[0].index()].is_empty());
+        assert!(new_cache.bounded_words(2)[w.index()].is_empty());
+    }
+
+    #[test]
+    fn inherit_words_respects_the_capacity_cap() {
+        let g = sample();
+        let old_cache = EvalCache::new(&g);
+        for bound in 1..=4usize {
+            old_cache.bounded_words(bound);
+        }
+        let new_cache = EvalCache::new(&g).with_words_capacity(2);
+        new_cache.inherit_words(&old_cache, &[]);
+        assert!(new_cache.words_len() <= 2);
     }
 
     #[test]

@@ -53,6 +53,12 @@ impl EvalHandle {
         self.cache.evaluator()
     }
 
+    /// The epoch of the snapshot this handle evaluates against — see
+    /// [`EvalCache::epoch`].
+    pub fn epoch(&self) -> u64 {
+        self.cache.epoch()
+    }
+
     /// Evaluates `regex` through the cache.
     pub fn evaluate(&self, regex: &Regex) -> Arc<QueryAnswer> {
         self.cache.evaluate(regex)

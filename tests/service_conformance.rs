@@ -255,7 +255,8 @@ fn bounded_cache_never_exceeds_capacity_under_stress() {
         "the bounded cache exceeded its configured capacity mid-flight"
     );
 
-    let cache = service.core().eval_cache();
+    let core = service.core();
+    let cache = core.eval_cache();
     assert!(cache.len() <= 4, "answers: {}", cache.len());
     assert!(
         cache.words_len() <= 2,
