@@ -27,7 +27,14 @@
 //! * `sessions-static` / `sessions-during-updates` — the same session batch
 //!   served over a never-updated store vs. a store that publishes a live
 //!   update mid-batch (new sessions land on the new epoch), reported as
-//!   **ns per session** — the cost of serving *while* the graph changes.
+//!   **ns per session** — the cost of serving *while* the graph changes;
+//! * `durable-publish` / `memory-publish` — the identical publish through a
+//!   file-backed store (WAL append + commit fsync + amortized checkpoints)
+//!   vs. the default in-memory store, reported as **ns per publish** — the
+//!   price of durability;
+//! * `recovery` — reopening a durable store whose log holds 32 committed
+//!   publishes past its checkpoint (checkpoint decode + full WAL replay),
+//!   reported as **ns per open**.
 //!
 //! Samples for the compared modes are interleaved round-robin so clock or
 //! thermal drift cannot bias the comparison one way.
@@ -44,7 +51,7 @@
 
 use gps_automata::Dfa;
 use gps_core::service::GpsService;
-use gps_core::versioned::GraphUpdate;
+use gps_core::versioned::{GraphUpdate, VersionedStore};
 use gps_core::{Engine, EvalMode};
 use gps_datasets::scale_free::{self, ScaleFreeConfig};
 use gps_datasets::transport::{self, TransportConfig};
@@ -528,6 +535,90 @@ fn live_update_records(
     }
 }
 
+/// Times the identical oscillating publish through a file-backed store vs.
+/// the in-memory one (`durable-publish` / `memory-publish`, ns per publish,
+/// interleaved so disk or thermal drift cannot bias the ratio), then full
+/// recovery of a 32-publish log (`recovery`, ns per open: checkpoint decode,
+/// WAL replay through delta compaction, index patch and cache inheritance).
+fn durable_records(graph: &Graph, samples: usize, records: &mut Vec<Record>) {
+    let size = (graph.node_count(), graph.edge_count());
+    let base = std::env::temp_dir().join(format!("gps-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let builder = |checkpoint_every: u64| {
+        Engine::builder(graph.clone())
+            .eval_mode(EvalMode::Frontier)
+            .max_interactions(24)
+            .checkpoint_every_n_publishes(checkpoint_every)
+    };
+
+    // Publish latency, durable vs. in-memory, with the default checkpoint
+    // cadence so the durable number includes its amortized checkpoint cost.
+    let publish_dir = base.join("publish");
+    let (durable, _) =
+        VersionedStore::open_durable(&publish_dir, builder(32)).expect("durable store opens");
+    let memory = VersionedStore::new(builder(32).build_core());
+    let durable_updates = OscillatingUpdates::from_stream(graph, 4, 23);
+    let memory_updates = OscillatingUpdates::from_stream(graph, 4, 23);
+    durable.latest().eval_cache().bounded_words(4);
+    memory.latest().eval_cache().bounded_words(4);
+    let mut run_durable = || {
+        black_box(
+            durable
+                .update(durable_updates.next())
+                .expect("oscillating updates always apply"),
+        );
+    };
+    let mut run_memory = || {
+        black_box(
+            memory
+                .update(memory_updates.next())
+                .expect("oscillating updates always apply"),
+        );
+    };
+    bench_group(
+        "scale-free-2000-durable",
+        size,
+        "publish of 4 update ops",
+        samples,
+        &mut [
+            ("durable-publish", &mut run_durable),
+            ("memory-publish", &mut run_memory),
+        ],
+        records,
+    );
+    drop(durable);
+
+    // Recovery: a base checkpoint plus 32 committed publishes with
+    // re-checkpointing disabled, so every reopen replays the whole tail.
+    const RECOVERY_PUBLISHES: usize = 32;
+    let recovery_dir = base.join("recovery");
+    {
+        let (store, _) =
+            VersionedStore::open_durable(&recovery_dir, builder(0)).expect("durable store opens");
+        let updates = OscillatingUpdates::from_stream(graph, 4, 29);
+        for _ in 0..RECOVERY_PUBLISHES {
+            store
+                .update(updates.next())
+                .expect("oscillating updates always apply");
+        }
+    }
+    let mut run_recovery = || {
+        let (store, report) =
+            VersionedStore::open_durable(&recovery_dir, builder(0)).expect("recovery succeeds");
+        assert_eq!(report.replayed_publishes, RECOVERY_PUBLISHES);
+        black_box(store.current_epoch());
+    };
+    bench_group(
+        "scale-free-2000-durable",
+        size,
+        &format!("recovery of {RECOVERY_PUBLISHES} publishes"),
+        samples,
+        &mut [("recovery", &mut run_recovery)],
+        records,
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 fn mean_of(records: &[Record], dataset: &str, backend: &str) -> f64 {
     records
         .iter()
@@ -594,9 +685,18 @@ fn main() {
     // session throughput while updates are being published mid-batch.
     live_update_records(&sf, &service_goals, session_samples, &mut records);
 
-    // Render the records as JSON by hand (stable field order, no extra deps).
-    let mut out = String::from(
-        "{\n  \"benchmark\": \"rpq_eval_mode_baseline\",\n  \"unit\": \"ns_per_eval\",\n  \"records\": [\n",
+    // Durability: the same publish through the file-backed store, and
+    // recovery (checkpoint + WAL replay) of a 32-publish log.
+    durable_records(&sf, session_samples, &mut records);
+
+    // Render the records as JSON by hand (stable field order, no extra
+    // deps), stamped with the machine profile numbers depend on.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"rpq_eval_mode_baseline\",\n  \"unit\": \"ns_per_eval\",\n  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cores\": {}}},\n  \"records\": [\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        cores,
     );
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
@@ -716,6 +816,31 @@ fn main() {
     }
     if smoke && publish.is_nan() {
         failures.push(format!("{live_dataset}: missing update-publish record"));
+    }
+    let durable_dataset = "scale-free-2000-durable";
+    let durable_publish = mean_of(&records, durable_dataset, "durable-publish");
+    let memory_publish = mean_of(&records, durable_dataset, "memory-publish");
+    let recovery = mean_of(&records, durable_dataset, "recovery");
+    let durable_overhead = durable_publish / memory_publish;
+    println!(
+        "{durable_dataset}: durable publish {:.0} µs vs in-memory {:.0} µs ({durable_overhead:.2}x); recovery of 32 publishes {:.2} ms",
+        durable_publish / 1e3,
+        memory_publish / 1e3,
+        recovery / 1e6,
+    );
+    // Durability buys a WAL append per stage and an fsync per publish; that
+    // must stay a bounded multiple of the in-memory publish, not a cliff.
+    // The observed ratio is single-digit; 100x is the generous smoke ceiling
+    // that still catches pathologies like checkpointing on every publish
+    // (written so a NaN — a missing record — fails rather than vacuously
+    // passing).
+    if smoke && (!durable_overhead.is_finite() || durable_overhead > 100.0) {
+        failures.push(format!(
+            "{durable_dataset}: durable publish at {durable_overhead:.1}x of in-memory ({durable_publish:.0} vs {memory_publish:.0} ns/publish), above the 100x smoke ceiling"
+        ));
+    }
+    if smoke && recovery.is_nan() {
+        failures.push(format!("{durable_dataset}: missing recovery record"));
     }
     if !failures.is_empty() {
         for failure in &failures {

@@ -162,6 +162,7 @@ pub struct GpsBuilder {
     planner: PlannerConfig,
     cache_capacity: Option<usize>,
     words_capacity: Option<usize>,
+    checkpoint_every: u64,
 }
 
 impl GpsBuilder {
@@ -176,6 +177,7 @@ impl GpsBuilder {
             planner: PlannerConfig::default(),
             cache_capacity: None,
             words_capacity: None,
+            checkpoint_every: crate::versioned::CheckpointPolicy::default().every_n_publishes,
         }
     }
 
@@ -265,6 +267,16 @@ impl GpsBuilder {
         self
     }
 
+    /// Sets how often a *durable* store writes a snapshot checkpoint and
+    /// truncates its write-ahead log: after every `n` publishes (default
+    /// [`crate::versioned::CheckpointPolicy::default`]; `0` disables
+    /// checkpointing entirely, leaving the log to grow).  Ignored by
+    /// in-memory stores.
+    pub fn checkpoint_every_n_publishes(mut self, n: u64) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
     /// Replaces the whole session configuration at once, including its
     /// embedded learner (which becomes the engine's learner).
     pub fn session_config(mut self, config: SessionConfig) -> Self {
@@ -299,6 +311,20 @@ impl GpsBuilder {
     /// multi-session service owns (see [`crate::service::GpsService`]).
     pub fn build_core(self) -> EngineCore {
         let snapshot = Arc::new(CsrGraph::from_graph(&self.graph));
+        self.into_core(snapshot).1
+    }
+
+    /// The checkpoint policy this builder configures durable stores with.
+    pub(crate) fn checkpoint_policy(&self) -> crate::versioned::CheckpointPolicy {
+        crate::versioned::CheckpointPolicy {
+            every_n_publishes: self.checkpoint_every,
+        }
+    }
+
+    /// Builds a core over a *recovered* snapshot instead of the builder's
+    /// graph (the replay-on-startup path: the snapshot comes from a
+    /// checkpoint, the builder only contributes the configuration knobs).
+    pub(crate) fn core_over(self, snapshot: Arc<CsrGraph>) -> EngineCore {
         self.into_core(snapshot).1
     }
 

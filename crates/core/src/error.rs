@@ -29,6 +29,14 @@ pub enum GpsError {
     /// A session id the service's session table does not contain (never
     /// opened, or already closed).
     UnknownSession(u64),
+    /// The durable store's file I/O failed (WAL append, fsync, checkpoint
+    /// write, recovery read).
+    StoreIo(std::io::Error),
+    /// The durable store's on-disk state failed validation at recovery: a
+    /// bad magic number, an unreadable checkpoint, or a committed batch that
+    /// cannot be replayed onto the recovered snapshot.  (A torn *tail* of
+    /// the log is not corruption — recovery discards it silently.)
+    CorruptLog(String),
 }
 
 impl fmt::Display for GpsError {
@@ -40,6 +48,8 @@ impl fmt::Display for GpsError {
             GpsError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
             GpsError::UnknownEdge(edge) => write!(f, "unknown edge `{edge}`"),
             GpsError::UnknownSession(id) => write!(f, "unknown session #{id}"),
+            GpsError::StoreIo(e) => write!(f, "durable store i/o error: {e}"),
+            GpsError::CorruptLog(reason) => write!(f, "corrupt durable store: {reason}"),
         }
     }
 }
@@ -50,8 +60,21 @@ impl std::error::Error for GpsError {
             GpsError::Parse(e) => Some(e),
             GpsError::Learn(e) => Some(e),
             GpsError::Io(e) => Some(e),
-            GpsError::UnknownNode(_) | GpsError::UnknownEdge(_) | GpsError::UnknownSession(_) => {
-                None
+            GpsError::StoreIo(e) => Some(e),
+            GpsError::UnknownNode(_)
+            | GpsError::UnknownEdge(_)
+            | GpsError::UnknownSession(_)
+            | GpsError::CorruptLog(_) => None,
+        }
+    }
+}
+
+impl From<gps_store::StoreError> for GpsError {
+    fn from(e: gps_store::StoreError) -> Self {
+        match e {
+            gps_store::StoreError::Io(e) => GpsError::StoreIo(e),
+            gps_store::StoreError::Corrupt { offset, reason } => {
+                GpsError::CorruptLog(format!("{reason} (at byte {offset})"))
             }
         }
     }

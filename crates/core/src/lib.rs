@@ -68,7 +68,9 @@ pub use error::GpsError;
 pub use scenario::{ScenarioReport, StaticLabelingOutcome};
 pub use service::{GpsService, ServiceStats, SessionId, SessionManager, SessionStatus};
 pub use transcript::Transcript;
-pub use versioned::{GraphUpdate, PublishReport, VersionedStore};
+pub use versioned::{
+    CheckpointPolicy, DurabilityReport, GraphUpdate, PublishReport, RecoveryReport, VersionedStore,
+};
 
 /// The most common imports in one place.
 ///
@@ -81,7 +83,10 @@ pub mod prelude {
     pub use crate::scenario::{ScenarioReport, StaticLabelingOutcome};
     pub use crate::service::{GpsService, ServiceStats, SessionId, SessionManager, SessionStatus};
     pub use crate::transcript::Transcript;
-    pub use crate::versioned::{GraphUpdate, PublishReport, VersionedStore};
+    pub use crate::versioned::{
+        CheckpointPolicy, DurabilityReport, GraphUpdate, PublishReport, RecoveryReport,
+        VersionedStore,
+    };
     pub use gps_exec::{BatchEvaluator, Plan, PlannerConfig};
     pub use gps_graph::{
         CsrGraph, Edge, EdgeId, Graph, GraphBackend, LabelId, LabelInterner, LabelStats,
@@ -95,4 +100,5 @@ pub mod prelude {
     pub use gps_interactive::user::{ScriptedUser, SimulatedUser, User, UserResponse};
     pub use gps_learner::{ExampleSet, Label, LearnedQuery, Learner};
     pub use gps_rpq::{EvalCache, EvalHandle, NegativeCoverage, PathQuery, QueryAnswer};
+    pub use gps_store::{FileStore, GraphStore, MemoryStore};
 }

@@ -37,9 +37,9 @@
 //! assert_eq!(service.stats().sessions_closed, 4);
 //! ```
 
-use crate::engine::EngineCore;
+use crate::engine::{EngineCore, GpsBuilder};
 use crate::error::GpsError;
-use crate::versioned::{GraphUpdate, PublishReport, VersionedStore};
+use crate::versioned::{GraphUpdate, PublishReport, RecoveryReport, VersionedStore};
 use gps_graph::CsrGraph;
 use gps_interactive::halt::HaltReason;
 use gps_interactive::session::{Session, SessionOutcome};
@@ -166,6 +166,18 @@ impl SessionManager {
     /// single-writer [`VersionedStore`].
     pub fn new(core: EngineCore) -> Self {
         Self::over(Arc::new(VersionedStore::new(core)))
+    }
+
+    /// Creates an empty session table over a *durable* store at `dir` (see
+    /// [`VersionedStore::open_durable`]): a fresh directory is initialised
+    /// from the builder's graph, an existing one is recovered — latest
+    /// checkpoint plus committed write-ahead-log replay.
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        builder: GpsBuilder,
+    ) -> Result<(Self, RecoveryReport), GpsError> {
+        let (store, report) = VersionedStore::open_durable(dir, builder)?;
+        Ok((Self::over(Arc::new(store)), report))
     }
 
     /// Creates an empty session table over an existing (possibly shared)
@@ -349,6 +361,18 @@ impl GpsService {
         Self {
             manager: SessionManager::new(core),
         }
+    }
+
+    /// Creates a service over a *durable* store at `dir` (see
+    /// [`VersionedStore::open_durable`]): publishes survive process
+    /// restarts, and reopening the same directory recovers the graph before
+    /// serving.
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        builder: GpsBuilder,
+    ) -> Result<(Self, RecoveryReport), GpsError> {
+        let (manager, report) = SessionManager::open_durable(dir, builder)?;
+        Ok((Self { manager }, report))
     }
 
     /// Creates a service over an existing versioned store.

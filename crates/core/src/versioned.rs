@@ -26,12 +26,28 @@
 //! The service layer wires this into sessions: `SessionManager` pins every
 //! session to its birth epoch and `GpsService::update` is the client-facing
 //! write API (see [`crate::service`]).
+//!
+//! ## Durability
+//!
+//! Every write goes through a pluggable [`GraphStore`] seam.  The default
+//! [`MemoryStore`] persists nothing (zero cost — the engine behaves exactly
+//! as before).  [`open_durable`](VersionedStore::open_durable) instead backs
+//! the store with a [`FileStore`]: staged batches are appended to a
+//! write-ahead log, each publish fsyncs one commit record *before* the
+//! in-memory epoch swap (visible ⟹ durable), and snapshot checkpoints
+//! bound the log per [`CheckpointPolicy`].  Reopening the same directory
+//! replays the committed log suffix on top of the latest checkpoint through
+//! the ordinary delta/advance machinery, so the recovered epoch carries a
+//! patched label index and an inherited evaluation cache just like a live
+//! publish would.
 
-use crate::engine::EngineCore;
+use crate::engine::{EngineCore, GpsBuilder};
 use crate::error::GpsError;
 use gps_graph::{DeltaGraph, UpdateOp};
+use gps_store::{FileStore, GraphStore, MemoryStore, StagedBatch};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -107,6 +123,60 @@ impl GraphUpdate {
     }
 }
 
+/// When a durable store writes a snapshot checkpoint and truncates its
+/// write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after every `n` publishes; `0` disables checkpointing
+    /// (the log grows until the store is reopened with a different policy).
+    pub every_n_publishes: u64,
+}
+
+impl CheckpointPolicy {
+    /// Never checkpoint — recovery replays the whole log.
+    pub const NEVER: Self = Self {
+        every_n_publishes: 0,
+    };
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        Self {
+            every_n_publishes: 32,
+        }
+    }
+}
+
+/// What a publish cost at the durability layer (all zeros under the default
+/// in-memory store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityReport {
+    /// WAL bytes this publish appended (stage records + commit record).
+    pub wal_bytes: u64,
+    /// Wall-clock time of the commit-record fsync.
+    pub fsync: Duration,
+    /// Whether this publish triggered a snapshot checkpoint.
+    pub checkpointed: bool,
+}
+
+/// What [`VersionedStore::open_durable`] recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `true` when the directory held no prior state (a fresh store was
+    /// initialised from the builder's graph).
+    pub created: bool,
+    /// Epoch of the checkpoint the recovery started from.
+    pub checkpoint_epoch: u64,
+    /// Committed publishes replayed from the write-ahead log.
+    pub replayed_publishes: usize,
+    /// Total ops across the replayed publishes.
+    pub replayed_ops: usize,
+    /// The epoch the store serves after recovery.
+    pub current_epoch: u64,
+    /// Bytes of torn or uncommitted WAL tail discarded by the recovery.
+    pub discarded_bytes: u64,
+}
+
 /// What one [`VersionedStore::publish`] did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PublishReport {
@@ -125,6 +195,9 @@ pub struct PublishReport {
     /// Wall-clock time of the publish (delta apply + compact + index/cache
     /// patch + swap).
     pub latency: Duration,
+    /// What the publish cost at the durability layer (zeros under the
+    /// default in-memory store).
+    pub durability: DurabilityReport,
 }
 
 /// One live epoch: its core and the number of sessions pinned to it.
@@ -142,20 +215,44 @@ pub struct VersionedStore {
     /// The core new readers resolve.  Swapped under the `epochs` lock so a
     /// pin never observes a latest epoch missing from the registry.
     latest: RwLock<EngineCore>,
-    /// Ops staged since the last publish.
-    staged: Mutex<Vec<UpdateOp>>,
+    /// Batches staged since the last publish, each carrying the sequence
+    /// number its WAL record was written under.
+    staged: Mutex<Vec<StagedBatch>>,
     /// The live epochs (the latest plus superseded-but-pinned ones).
     epochs: Mutex<BTreeMap<u64, EpochSlot>>,
     /// Serializes publishes (stage/pin/read paths are not blocked by an
     /// in-flight publish until its final swap).
     publish_lock: Mutex<()>,
+    /// The durability seam every write goes through.
+    store: Arc<dyn GraphStore>,
+    policy: CheckpointPolicy,
+    publishes_since_checkpoint: AtomicU64,
     publishes: AtomicU64,
     retired: AtomicU64,
 }
 
 impl VersionedStore {
-    /// Starts a store at `core`'s epoch.
+    /// Starts an in-memory store at `core`'s epoch (nothing is persisted —
+    /// the zero-cost default).
     pub fn new(core: EngineCore) -> Self {
+        Self::with_store(
+            core,
+            Arc::new(MemoryStore::new()),
+            CheckpointPolicy::default(),
+        )
+    }
+
+    /// Starts a store at `core`'s epoch over an explicit durability seam.
+    ///
+    /// The caller guarantees `store` already holds state covering `core`
+    /// (a fresh store, or one whose latest checkpoint is `core`'s snapshot)
+    /// — [`open_durable`](Self::open_durable) is the safe entry point for
+    /// file-backed stores.
+    pub fn with_store(
+        core: EngineCore,
+        store: Arc<dyn GraphStore>,
+        policy: CheckpointPolicy,
+    ) -> Self {
         let mut epochs = BTreeMap::new();
         epochs.insert(
             core.epoch(),
@@ -169,9 +266,98 @@ impl VersionedStore {
             staged: Mutex::new(Vec::new()),
             epochs: Mutex::new(epochs),
             publish_lock: Mutex::new(()),
+            store,
+            policy,
+            publishes_since_checkpoint: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
             retired: AtomicU64::new(0),
         }
+    }
+
+    /// Opens (creating if needed) a durable store at `dir`: the write path
+    /// of [`Self::new`] plus a file-backed [`GraphStore`] underneath.
+    ///
+    /// On a fresh directory the builder's graph becomes the base checkpoint.
+    /// On an existing one the builder contributes only its configuration
+    /// (evaluation mode, planner, session knobs, checkpoint policy) — the
+    /// graph state comes from the latest checkpoint plus a replay of every
+    /// committed write-ahead-log batch, each applied through the same
+    /// delta/advance machinery as a live publish.  Torn or uncommitted log
+    /// tails are discarded; a crash at any byte offset recovers to either
+    /// the pre- or the post-publish graph.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        builder: GpsBuilder,
+    ) -> Result<(Self, RecoveryReport), GpsError> {
+        let policy = builder.checkpoint_policy();
+        let (file_store, recovered) = FileStore::open(dir)?;
+        let store: Arc<dyn GraphStore> = Arc::new(file_store);
+
+        let (core, created, checkpoint_epoch) = match recovered.snapshot {
+            None => {
+                if !recovered.batches.is_empty() {
+                    return Err(GpsError::CorruptLog(
+                        "write-ahead log without a base checkpoint".to_string(),
+                    ));
+                }
+                let core = builder.build_core();
+                store.checkpoint(core.snapshot(), &[])?;
+                let epoch = core.epoch();
+                (core, true, epoch)
+            }
+            Some(snapshot) => {
+                let checkpoint_epoch = snapshot.epoch();
+                let core = builder.core_over(Arc::new(snapshot));
+                (core, false, checkpoint_epoch)
+            }
+        };
+
+        let mut core = core;
+        let mut replayed_publishes = 0usize;
+        let mut replayed_ops = 0usize;
+        for batch in &recovered.batches {
+            // Batches at or below the checkpoint epoch survive when a crash
+            // interrupted a checkpoint between the snapshot rename and the
+            // WAL truncation; they are already folded into the snapshot.
+            if batch.epoch <= core.epoch() {
+                continue;
+            }
+            if batch.epoch != core.epoch() + 1 {
+                return Err(GpsError::CorruptLog(format!(
+                    "write-ahead log skips from epoch {} to {}",
+                    core.epoch(),
+                    batch.epoch
+                )));
+            }
+            let mut overlay = DeltaGraph::new(core.shared_snapshot());
+            overlay.apply_all(&batch.ops).map_err(|e| {
+                GpsError::CorruptLog(format!(
+                    "committed batch for epoch {} does not apply: {}",
+                    batch.epoch,
+                    GpsError::from(e)
+                ))
+            })?;
+            let delta = overlay.delta();
+            let snapshot = Arc::new(overlay.compact());
+            core = core.advance(snapshot, &delta);
+            replayed_publishes += 1;
+            replayed_ops += batch.ops.len();
+        }
+        if replayed_publishes > 0 && policy.every_n_publishes != 0 {
+            // Fold the replay into a fresh checkpoint so the next open is
+            // cheap; under a `NEVER` policy the log is left untouched.
+            store.checkpoint(core.snapshot(), &[])?;
+        }
+
+        let report = RecoveryReport {
+            created,
+            checkpoint_epoch,
+            replayed_publishes,
+            replayed_ops,
+            current_epoch: core.epoch(),
+            discarded_bytes: recovered.discarded_bytes,
+        };
+        Ok((Self::with_store(core, store, policy), report))
     }
 
     /// A clone of the latest core (un-pinned: for one-shot reads).
@@ -201,12 +387,37 @@ impl VersionedStore {
 
     /// Number of staged ops awaiting the next publish.
     pub fn staged_len(&self) -> usize {
-        self.staged.lock().len()
+        self.staged.lock().iter().map(|batch| batch.ops.len()).sum()
     }
 
-    /// Stages an update for the next [`publish`](Self::publish).
-    pub fn stage(&self, update: GraphUpdate) {
-        self.staged.lock().extend(update.ops);
+    /// Whether writes reach stable storage (`false` for the default
+    /// in-memory store).
+    pub fn is_durable(&self) -> bool {
+        self.store.is_durable()
+    }
+
+    /// Bytes currently held by the durable store's write-ahead log (0 for
+    /// the in-memory store).
+    pub fn wal_bytes(&self) -> u64 {
+        self.store.wal_bytes()
+    }
+
+    /// Stages an update for the next [`publish`](Self::publish), appending
+    /// it to the durable store's write-ahead log (without fsync — only the
+    /// publish's commit record is synced).
+    pub fn stage(&self, update: GraphUpdate) -> Result<(), GpsError> {
+        if update.is_empty() {
+            return Ok(());
+        }
+        // The WAL append happens under the staged lock so record order on
+        // disk matches buffer order (commit ranges assume it).
+        let mut staged = self.staged.lock();
+        let seq = self.store.append_staged(&update.ops)?;
+        staged.push(StagedBatch {
+            seq,
+            ops: update.ops,
+        });
+        Ok(())
     }
 
     /// Resolves the latest core *and* pins its epoch: the epoch stays live —
@@ -241,7 +452,7 @@ impl VersionedStore {
 
     /// Stages `update` and immediately publishes it.
     pub fn update(&self, update: GraphUpdate) -> Result<PublishReport, GpsError> {
-        self.stage(update);
+        self.stage(update)?;
         self.publish()
     }
 
@@ -253,12 +464,16 @@ impl VersionedStore {
     /// epoch; sessions opened after the swap see the new one.  On error (an
     /// op referencing a missing node or edge) nothing is published and the
     /// whole batch is discarded — publishes are all-or-nothing.
+    ///
+    /// Under a durable store the commit record is fsynced *before* the
+    /// in-memory swap: a publish is visible only once it is durable, and a
+    /// crash at any point recovers to either the previous or the new epoch.
     pub fn publish(&self) -> Result<PublishReport, GpsError> {
         let _serialized = self.publish_lock.lock();
         let started = Instant::now();
-        let ops: Vec<UpdateOp> = std::mem::take(&mut *self.staged.lock());
+        let batches: Vec<StagedBatch> = std::mem::take(&mut *self.staged.lock());
         let base = self.latest();
-        if ops.is_empty() {
+        if batches.is_empty() {
             return Ok(PublishReport {
                 epoch: base.epoch(),
                 added_nodes: 0,
@@ -267,8 +482,12 @@ impl VersionedStore {
                 touched_labels: 0,
                 retired_epochs: 0,
                 latency: started.elapsed(),
+                durability: DurabilityReport::default(),
             });
         }
+        let first_seq = batches.first().expect("non-empty").seq;
+        let last_seq = batches.last().expect("non-empty").seq;
+        let ops: Vec<UpdateOp> = batches.into_iter().flat_map(|batch| batch.ops).collect();
 
         let mut overlay = DeltaGraph::new(base.shared_snapshot());
         overlay.apply_all(&ops)?;
@@ -276,6 +495,12 @@ impl VersionedStore {
         let snapshot = Arc::new(overlay.compact());
         let next = base.advance(Arc::clone(&snapshot), &delta);
         let epoch = next.epoch();
+
+        // Durability point: the publish becomes visible to readers only
+        // after its commit record is on stable storage.
+        let commit = self
+            .store
+            .commit(epoch, first_seq, last_seq, ops.len() as u32)?;
 
         let mut retired_epochs = 0usize;
         {
@@ -302,6 +527,7 @@ impl VersionedStore {
         self.publishes.fetch_add(1, Ordering::Relaxed);
         self.retired
             .fetch_add(retired_epochs as u64, Ordering::Relaxed);
+        let checkpointed = self.maybe_checkpoint()?;
         Ok(PublishReport {
             epoch,
             added_nodes: delta.added_nodes,
@@ -310,7 +536,35 @@ impl VersionedStore {
             touched_labels: delta.touched_labels().len(),
             retired_epochs,
             latency: started.elapsed(),
+            durability: DurabilityReport {
+                wal_bytes: commit.wal_bytes,
+                fsync: commit.fsync,
+                checkpointed,
+            },
         })
+    }
+
+    /// Writes a checkpoint if the policy says this publish is due.  Runs
+    /// under the publish lock; holds the staged lock across the store call
+    /// so batches staged concurrently are either re-appended after the WAL
+    /// truncation or land after it — never lost.
+    fn maybe_checkpoint(&self) -> Result<bool, GpsError> {
+        if self.policy.every_n_publishes == 0 {
+            return Ok(false);
+        }
+        let due = self
+            .publishes_since_checkpoint
+            .fetch_add(1, Ordering::Relaxed)
+            + 1
+            >= self.policy.every_n_publishes;
+        if !due {
+            return Ok(false);
+        }
+        let core = self.latest();
+        let staged = self.staged.lock();
+        self.store.checkpoint(core.snapshot(), &staged)?;
+        self.publishes_since_checkpoint.store(0, Ordering::Relaxed);
+        Ok(true)
     }
 }
 

@@ -254,6 +254,57 @@ impl CsrGraph {
         &self.rev_entries
     }
 
+    /// Original edge ids of the forward entries (aligned with
+    /// [`fwd_entries`](Self::fwd_entries)) — the serialization seam used by
+    /// checkpoint writers.
+    #[inline]
+    pub fn fwd_edge_ids(&self) -> &[EdgeId] {
+        &self.fwd_edge_ids
+    }
+
+    /// Original edge ids of the reverse entries (aligned with
+    /// [`rev_entries`](Self::rev_entries)).
+    #[inline]
+    pub fn rev_edge_ids(&self) -> &[EdgeId] {
+        &self.rev_edge_ids
+    }
+
+    /// Assembles a snapshot from raw packed arrays — the checkpoint
+    /// *deserialization* seam.  The name index is rebuilt first-bearer from
+    /// the node names; the caller guarantees the arrays are mutually
+    /// consistent (offsets monotone and spanning the entry arrays, entry
+    /// ids within bounds), exactly what the public accessors of a live
+    /// snapshot expose.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        node_names: Vec<String>,
+        labels: LabelInterner,
+        fwd_offsets: Vec<u32>,
+        fwd_entries: Vec<CsrEntry>,
+        fwd_edge_ids: Vec<EdgeId>,
+        rev_offsets: Vec<u32>,
+        rev_entries: Vec<CsrEntry>,
+        rev_edge_ids: Vec<EdgeId>,
+        epoch: u64,
+    ) -> Self {
+        let mut name_index = BTreeMap::new();
+        for (i, name) in node_names.iter().enumerate() {
+            name_index.entry(name.clone()).or_insert(NodeId::from(i));
+        }
+        Self {
+            node_names,
+            name_index,
+            labels,
+            fwd_offsets,
+            fwd_entries,
+            fwd_edge_ids,
+            rev_offsets,
+            rev_entries,
+            rev_edge_ids,
+            epoch,
+        }
+    }
+
     /// The first-bearer name → id map (what [`node_by_name`](Self::node_by_name)
     /// consults) — cloned wholesale by the delta overlay instead of being
     /// rebuilt per publish.

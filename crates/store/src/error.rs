@@ -1,0 +1,58 @@
+//! The error type of the durable store.
+
+use std::fmt;
+use std::io;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying file I/O failed (append, fsync, rename, read).
+    Io(io::Error),
+    /// On-disk state failed validation: a checksum mismatch, a truncated
+    /// header, or a structurally impossible record.  Recovery treats a
+    /// corrupt *tail* of the WAL as a torn write and discards it silently;
+    /// this error is reserved for corruption that makes the store
+    /// unusable (bad magic, unreadable checkpoint).
+    Corrupt {
+        /// Byte offset of the first invalid byte within the file.
+        offset: u64,
+        /// Human-readable description of the failed validation.
+        reason: String,
+    },
+}
+
+impl StoreError {
+    /// Builds a [`StoreError::Corrupt`] at `offset`.
+    pub fn corrupt(offset: u64, reason: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            offset,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "corrupt store data at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,413 @@
+//! The write-ahead log format: length-prefixed, checksummed records.
+//!
+//! A WAL file is the 8-byte magic [`WAL_MAGIC`] followed by a sequence of
+//! records, each framed as
+//!
+//! ```text
+//! [body length: u32 LE][body][crc32: u32 LE]
+//! ```
+//!
+//! where the checksum covers the length prefix *and* the body, so a
+//! single-bit flip anywhere in a record — including its framing — is
+//! detected.  The body is a kind byte plus a kind-specific payload:
+//!
+//! * **Stage** — one staged batch of name-addressed [`UpdateOp`]s, tagged
+//!   with a monotonically increasing *sequence number*.  Stage records are
+//!   appended without fsync; they carry no durability on their own.
+//! * **Commit** — the durability point of one publish: the epoch it
+//!   produced and the inclusive sequence-number range of the stage records
+//!   it covers.  A publish is durable iff its commit record is on disk.
+//!
+//! Recovery ([`scan`]) walks the records in order, holding staged batches in
+//! a pending set keyed by sequence number.  A commit record resolves its
+//! range against the pending set; stage records never referenced by a commit
+//! (a publish that failed validation, or ops staged right before the crash)
+//! are simply discarded.  The first torn or checksum-invalid record ends the
+//! scan: everything after it is an unreachable tail, truncated on reopen.
+
+use crate::codec::{crc32, put_str, put_u32, put_u64, Cursor};
+use crate::error::StoreError;
+use gps_graph::UpdateOp;
+use std::collections::BTreeMap;
+
+/// First bytes of every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"GPSWAL1\n";
+
+const KIND_STAGE: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+
+const OP_ADD_NODE: u8 = 0;
+const OP_ADD_EDGE: u8 = 1;
+const OP_REMOVE_EDGE: u8 = 2;
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A staged batch of update ops (appended at stage time, not fsynced).
+    Stage {
+        /// The batch's sequence number (unique within the log).
+        seq: u64,
+        /// The staged ops, in application order.
+        ops: Vec<UpdateOp>,
+    },
+    /// The fsynced durability point of one publish.
+    Commit {
+        /// The epoch the publish produced.
+        epoch: u64,
+        /// First stage sequence number covered by this publish (inclusive).
+        first_seq: u64,
+        /// Last stage sequence number covered by this publish (inclusive).
+        last_seq: u64,
+        /// Total ops across the covered stage records (informational).
+        ops: u32,
+    },
+}
+
+fn encode_op(out: &mut Vec<u8>, op: &UpdateOp) {
+    match op {
+        UpdateOp::AddNode(name) => {
+            out.push(OP_ADD_NODE);
+            put_str(out, name);
+        }
+        UpdateOp::AddEdge {
+            source,
+            label,
+            target,
+        } => {
+            out.push(OP_ADD_EDGE);
+            put_str(out, source);
+            put_str(out, label);
+            put_str(out, target);
+        }
+        UpdateOp::RemoveEdge {
+            source,
+            label,
+            target,
+        } => {
+            out.push(OP_REMOVE_EDGE);
+            put_str(out, source);
+            put_str(out, label);
+            put_str(out, target);
+        }
+    }
+}
+
+fn decode_op(cursor: &mut Cursor<'_>) -> Option<UpdateOp> {
+    match cursor.u8()? {
+        OP_ADD_NODE => Some(UpdateOp::AddNode(cursor.string()?)),
+        OP_ADD_EDGE => Some(UpdateOp::AddEdge {
+            source: cursor.string()?,
+            label: cursor.string()?,
+            target: cursor.string()?,
+        }),
+        OP_REMOVE_EDGE => Some(UpdateOp::RemoveEdge {
+            source: cursor.string()?,
+            label: cursor.string()?,
+            target: cursor.string()?,
+        }),
+        _ => None,
+    }
+}
+
+/// Encodes one record with its length prefix and checksum.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    match record {
+        WalRecord::Stage { seq, ops } => {
+            body.push(KIND_STAGE);
+            put_u64(&mut body, *seq);
+            put_u32(&mut body, ops.len() as u32);
+            for op in ops {
+                encode_op(&mut body, op);
+            }
+        }
+        WalRecord::Commit {
+            epoch,
+            first_seq,
+            last_seq,
+            ops,
+        } => {
+            body.push(KIND_COMMIT);
+            put_u64(&mut body, *epoch);
+            put_u64(&mut body, *first_seq);
+            put_u64(&mut body, *last_seq);
+            put_u32(&mut body, *ops);
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 8);
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Decodes the record starting at `bytes[0]`, returning it and the number of
+/// bytes it occupied.  Returns `None` — never panics — when the record is
+/// truncated, fails its checksum, or is structurally invalid (treated by the
+/// scanner as a torn tail).
+pub fn decode_record(bytes: &[u8]) -> Option<(WalRecord, usize)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("four bytes")) as usize;
+    let total = len.checked_add(8)?;
+    if bytes.len() < total {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(bytes[total - 4..total].try_into().expect("four bytes"));
+    if crc32(&bytes[..total - 4]) != stored_crc {
+        return None;
+    }
+    let mut cursor = Cursor::new(&bytes[4..total - 4]);
+    let record = match cursor.u8()? {
+        KIND_STAGE => {
+            let seq = cursor.u64()?;
+            let count = cursor.u32()? as usize;
+            let mut ops = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                ops.push(decode_op(&mut cursor)?);
+            }
+            WalRecord::Stage { seq, ops }
+        }
+        KIND_COMMIT => WalRecord::Commit {
+            epoch: cursor.u64()?,
+            first_seq: cursor.u64()?,
+            last_seq: cursor.u64()?,
+            ops: cursor.u32()?,
+        },
+        _ => return None,
+    };
+    if !cursor.is_empty() {
+        return None; // trailing garbage inside the body
+    }
+    Some((record, total))
+}
+
+/// One committed publish recovered from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedBatch {
+    /// The epoch the publish produced.
+    pub epoch: u64,
+    /// Every op of the publish, in application order.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// What a full scan of a WAL file recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// The committed publishes, in commit order.
+    pub committed: Vec<CommittedBatch>,
+    /// Byte length of the committed prefix (magic through the last commit
+    /// record) — the offset the file is truncated to on reopen.
+    pub committed_end: u64,
+    /// One past the highest stage sequence number observed, so appends after
+    /// recovery never reuse a sequence number still present in the file.
+    pub next_seq: u64,
+}
+
+/// Scans a whole WAL image, resolving commit records against their staged
+/// batches.  An empty image — or a strict prefix of the magic, a write torn
+/// during log creation — is a fresh log (`committed_end` 0); a mismatched
+/// magic is [`StoreError::Corrupt`].  Torn or checksum-invalid records end
+/// the scan — they and everything after them are discarded as an
+/// unreachable tail.
+pub fn scan(bytes: &[u8]) -> Result<WalScan, StoreError> {
+    if bytes.len() < WAL_MAGIC.len() {
+        if !WAL_MAGIC.starts_with(bytes) {
+            return Err(StoreError::corrupt(0, "bad write-ahead log magic"));
+        }
+        return Ok(WalScan {
+            committed: Vec::new(),
+            committed_end: 0,
+            next_seq: 0,
+        });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(StoreError::corrupt(0, "bad write-ahead log magic"));
+    }
+    let mut pos = WAL_MAGIC.len();
+    let mut committed_end = pos as u64;
+    let mut committed = Vec::new();
+    let mut pending: BTreeMap<u64, Vec<UpdateOp>> = BTreeMap::new();
+    let mut next_seq = 0u64;
+    while pos < bytes.len() {
+        let Some((record, consumed)) = decode_record(&bytes[pos..]) else {
+            break; // torn tail: discard from here
+        };
+        match record {
+            WalRecord::Stage { seq, ops } => {
+                next_seq = next_seq.max(seq + 1);
+                pending.insert(seq, ops);
+            }
+            WalRecord::Commit {
+                epoch,
+                first_seq,
+                last_seq,
+                ops: _,
+            } => {
+                if first_seq > last_seq {
+                    break; // structurally impossible: treat as torn
+                }
+                let covered: Vec<u64> = pending
+                    .range(first_seq..=last_seq)
+                    .map(|(&s, _)| s)
+                    .collect();
+                if covered.len() as u64 != last_seq - first_seq + 1 {
+                    // The commit references stage records the log does not
+                    // hold — the file is inconsistent from here on.
+                    break;
+                }
+                let mut ops = Vec::new();
+                for seq in covered {
+                    ops.extend(pending.remove(&seq).expect("just ranged"));
+                }
+                committed.push(CommittedBatch { epoch, ops });
+                committed_end = (pos + consumed) as u64;
+            }
+        }
+        pos += consumed;
+    }
+    Ok(WalScan {
+        committed,
+        committed_end,
+        next_seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(seq: u64, ops: Vec<UpdateOp>) -> Vec<u8> {
+        encode_record(&WalRecord::Stage { seq, ops })
+    }
+
+    fn commit(epoch: u64, first: u64, last: u64) -> Vec<u8> {
+        encode_record(&WalRecord::Commit {
+            epoch,
+            first_seq: first,
+            last_seq: last,
+            ops: 0,
+        })
+    }
+
+    fn ops() -> Vec<UpdateOp> {
+        vec![
+            UpdateOp::AddNode("C9".into()),
+            UpdateOp::AddEdge {
+                source: "N5".into(),
+                label: "cinema".into(),
+                target: "C9".into(),
+            },
+            UpdateOp::RemoveEdge {
+                source: "N2".into(),
+                label: "restaurant".into(),
+                target: "R1".into(),
+            },
+        ]
+    }
+
+    fn log(records: &[Vec<u8>]) -> Vec<u8> {
+        let mut out = WAL_MAGIC.to_vec();
+        for r in records {
+            out.extend_from_slice(r);
+        }
+        out
+    }
+
+    #[test]
+    fn record_round_trips() {
+        for record in [
+            WalRecord::Stage { seq: 7, ops: ops() },
+            WalRecord::Stage {
+                seq: 0,
+                ops: Vec::new(),
+            },
+            WalRecord::Commit {
+                epoch: 3,
+                first_seq: 5,
+                last_seq: 9,
+                ops: 42,
+            },
+        ] {
+            let bytes = encode_record(&record);
+            let (decoded, consumed) = decode_record(&bytes).expect("valid record");
+            assert_eq!(decoded, record);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn scan_resolves_commits_against_their_stage_range() {
+        let image = log(&[
+            stage(0, ops()),
+            stage(1, vec![UpdateOp::AddNode("X".into())]),
+            commit(1, 0, 1),
+            stage(2, vec![UpdateOp::AddNode("Y".into())]),
+            commit(2, 2, 2),
+        ]);
+        let scan = scan(&image).unwrap();
+        assert_eq!(scan.committed.len(), 2);
+        assert_eq!(scan.committed[0].epoch, 1);
+        assert_eq!(scan.committed[0].ops.len(), 4);
+        assert_eq!(scan.committed[1].epoch, 2);
+        assert_eq!(scan.committed_end, image.len() as u64);
+        assert_eq!(scan.next_seq, 3);
+    }
+
+    #[test]
+    fn uncommitted_and_unreferenced_stage_records_are_discarded() {
+        // seq 0 belongs to a publish that failed validation (no commit ever
+        // references it); seq 2 was staged right before the crash.
+        let image = log(&[
+            stage(0, ops()),
+            stage(1, vec![UpdateOp::AddNode("X".into())]),
+            commit(1, 1, 1),
+            stage(2, vec![UpdateOp::AddNode("Y".into())]),
+        ]);
+        let scan = scan(&image).unwrap();
+        assert_eq!(scan.committed.len(), 1);
+        assert_eq!(scan.committed[0].ops, vec![UpdateOp::AddNode("X".into())]);
+        let tail = stage(2, vec![UpdateOp::AddNode("Y".into())]);
+        assert_eq!(
+            scan.committed_end,
+            (image.len() - tail.len()) as u64,
+            "the uncommitted tail is not part of the committed prefix"
+        );
+    }
+
+    #[test]
+    fn a_commit_with_an_unresolvable_range_ends_the_scan() {
+        let image = log(&[stage(0, ops()), commit(1, 0, 1), commit(2, 5, 4)]);
+        let scan = scan(&image).unwrap();
+        assert!(
+            scan.committed.is_empty(),
+            "commit(0..=1) covers a missing seq"
+        );
+    }
+
+    #[test]
+    fn torn_tails_are_discarded_at_every_truncation_point() {
+        let full = log(&[stage(0, ops()), commit(1, 0, 0)]);
+        for cut in WAL_MAGIC.len()..full.len() {
+            let scan = scan(&full[..cut]).unwrap();
+            assert!(scan.committed.is_empty(), "cut at {cut}");
+            assert_eq!(scan.committed_end, WAL_MAGIC.len() as u64);
+        }
+        assert_eq!(scan(&full).unwrap().committed.len(), 1);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt_but_a_torn_magic_is_fresh() {
+        assert!(matches!(
+            scan(b"NOTAWAL!rest"),
+            Err(StoreError::Corrupt { offset: 0, .. })
+        ));
+        assert!(matches!(scan(b"GXS"), Err(StoreError::Corrupt { .. })));
+        // A write torn mid-magic (crash during log creation) is a fresh log.
+        let fresh = scan(b"GPS").unwrap();
+        assert!(fresh.committed.is_empty());
+        assert_eq!(fresh.committed_end, 0);
+    }
+}

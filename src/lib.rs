@@ -20,6 +20,7 @@ pub use gps_graph as graph;
 pub use gps_interactive as interactive;
 pub use gps_learner as learner;
 pub use gps_rpq as rpq;
+pub use gps_store as store;
 
 /// The most common imports, re-exported from [`gps_core::prelude`].
 pub mod prelude {
