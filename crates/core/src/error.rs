@@ -37,6 +37,10 @@ pub enum GpsError {
     /// cannot be replayed onto the recovered snapshot.  (A torn *tail* of
     /// the log is not corruption — recovery discards it silently.)
     CorruptLog(String),
+    /// The durable store's directory is already held open by another store
+    /// (the rendered lock-file path) — a second writer would corrupt the
+    /// write-ahead log, so the open is refused.
+    StoreLocked(String),
 }
 
 impl fmt::Display for GpsError {
@@ -50,6 +54,9 @@ impl fmt::Display for GpsError {
             GpsError::UnknownSession(id) => write!(f, "unknown session #{id}"),
             GpsError::StoreIo(e) => write!(f, "durable store i/o error: {e}"),
             GpsError::CorruptLog(reason) => write!(f, "corrupt durable store: {reason}"),
+            GpsError::StoreLocked(path) => {
+                write!(f, "durable store locked by another open store: {path}")
+            }
         }
     }
 }
@@ -64,7 +71,8 @@ impl std::error::Error for GpsError {
             GpsError::UnknownNode(_)
             | GpsError::UnknownEdge(_)
             | GpsError::UnknownSession(_)
-            | GpsError::CorruptLog(_) => None,
+            | GpsError::CorruptLog(_)
+            | GpsError::StoreLocked(_) => None,
         }
     }
 }
@@ -75,6 +83,9 @@ impl From<gps_store::StoreError> for GpsError {
             gps_store::StoreError::Io(e) => GpsError::StoreIo(e),
             gps_store::StoreError::Corrupt { offset, reason } => {
                 GpsError::CorruptLog(format!("{reason} (at byte {offset})"))
+            }
+            gps_store::StoreError::Locked { path } => {
+                GpsError::StoreLocked(path.display().to_string())
             }
         }
     }

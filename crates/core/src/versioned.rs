@@ -149,7 +149,7 @@ impl Default for CheckpointPolicy {
 
 /// What a publish cost at the durability layer (all zeros under the default
 /// in-memory store).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DurabilityReport {
     /// WAL bytes this publish appended (stage records + commit record).
     pub wal_bytes: u64,
@@ -157,6 +157,14 @@ pub struct DurabilityReport {
     pub fsync: Duration,
     /// Whether this publish triggered a snapshot checkpoint.
     pub checkpointed: bool,
+    /// A checkpoint that was due but failed, rendered for display.  The
+    /// publish itself succeeded — its commit record is durable and the new
+    /// epoch is visible — so a checkpoint failure is *not* a publish
+    /// failure: returning `Err` would invite callers to re-stage and
+    /// double-apply ops that are already in.  The store poisons itself on
+    /// failures that desynchronize the log, so subsequent writes fail fast;
+    /// this field is how the original cause surfaces.
+    pub checkpoint_error: Option<String>,
 }
 
 /// What [`VersionedStore::open_durable`] recovered.
@@ -468,6 +476,9 @@ impl VersionedStore {
     /// Under a durable store the commit record is fsynced *before* the
     /// in-memory swap: a publish is visible only once it is durable, and a
     /// crash at any point recovers to either the previous or the new epoch.
+    /// A checkpoint failure *after* the swap does not fail the publish —
+    /// `Err` from this method always means nothing was published.  It is
+    /// surfaced in [`DurabilityReport::checkpoint_error`] instead.
     pub fn publish(&self) -> Result<PublishReport, GpsError> {
         let _serialized = self.publish_lock.lock();
         let started = Instant::now();
@@ -527,7 +538,15 @@ impl VersionedStore {
         self.publishes.fetch_add(1, Ordering::Relaxed);
         self.retired
             .fetch_add(retired_epochs as u64, Ordering::Relaxed);
-        let checkpointed = self.maybe_checkpoint()?;
+        // The publish is already committed, swapped and visible: a
+        // checkpoint failure past this point must not turn into an `Err`
+        // (callers would read it as "publish failed" and re-stage ops that
+        // are already in).  It is reported, not propagated; the store
+        // poisons itself when the failure left the log inconsistent.
+        let (checkpointed, checkpoint_error) = match self.maybe_checkpoint() {
+            Ok(done) => (done, None),
+            Err(e) => (false, Some(e.to_string())),
+        };
         Ok(PublishReport {
             epoch,
             added_nodes: delta.added_nodes,
@@ -540,6 +559,7 @@ impl VersionedStore {
                 wal_bytes: commit.wal_bytes,
                 fsync: commit.fsync,
                 checkpointed,
+                checkpoint_error,
             },
         })
     }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 
 /// Why a store operation failed.
 #[derive(Debug)]
@@ -18,6 +19,13 @@ pub enum StoreError {
         offset: u64,
         /// Human-readable description of the failed validation.
         reason: String,
+    },
+    /// The store directory is already held open by another store (this
+    /// process or another) — two writers interleaving WAL appends would
+    /// corrupt the log, so the open is refused.
+    Locked {
+        /// The lock file that is held.
+        path: PathBuf,
     },
 }
 
@@ -38,6 +46,13 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt { offset, reason } => {
                 write!(f, "corrupt store data at byte {offset}: {reason}")
             }
+            StoreError::Locked { path } => {
+                write!(
+                    f,
+                    "store directory already locked by another open store ({})",
+                    path.display()
+                )
+            }
         }
     }
 }
@@ -46,7 +61,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
-            StoreError::Corrupt { .. } => None,
+            StoreError::Corrupt { .. } | StoreError::Locked { .. } => None,
         }
     }
 }

@@ -217,6 +217,15 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<CsrGraph, StoreError> {
         .seek_to(arrays_offset)
         .ok_or_else(|| corrupt(&cursor, "packed-array offset out of bounds"))?;
 
+    // Validate the packed-region length before any preallocation: `n` and
+    // `m` are header-supplied, so a crafted (or CRC-colliding) file could
+    // otherwise request multi-gigabyte `with_capacity` calls — an abort,
+    // not a typed error — before the element reads ever fail.
+    let packed_len = 2 * ((n as u64 + 1) * 4 + m as u64 * 12);
+    if cursor.remaining() as u64 != packed_len {
+        return Err(corrupt(&cursor, "packed-array region length mismatch"));
+    }
+
     let fwd_offsets = read_offsets(&mut cursor, n, m, "forward")?;
     let fwd_entries = read_entries(&mut cursor, m, n, label_count, "forward")?;
     let fwd_edge_ids = read_edge_ids(&mut cursor, m, "forward")?;
@@ -307,6 +316,23 @@ mod tests {
         flipped[20] ^= 0x40;
         assert!(matches!(
             decode_snapshot(&flipped),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn a_huge_declared_edge_count_is_rejected_before_allocating() {
+        // Patch the header's edge count to u32::MAX and re-stamp the CRC:
+        // the decoder must return Corrupt without attempting the ~48 GB of
+        // preallocation the count implies.
+        let mut bytes = encode_snapshot(&sample());
+        let edge_count_at = SNAPSHOT_MAGIC.len() + 4 + 8 + 8;
+        bytes[edge_count_at..edge_count_at + 8].copy_from_slice(&(u32::MAX as u64).to_le_bytes());
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_snapshot(&bytes),
             Err(StoreError::Corrupt { .. })
         ));
     }

@@ -5,7 +5,9 @@
 //!   exactly like the pre-durability engine.
 //! * [`FileStore`] — a directory holding one write-ahead log (`wal.log`,
 //!   format in [`crate::wal`]) plus the latest snapshot checkpoint
-//!   (`checkpoint-<epoch>.snap`, format in [`crate::snapshot`]).
+//!   (`checkpoint-<epoch>.snap`, format in [`crate::snapshot`]), guarded by
+//!   an exclusive advisory lock (`LOCK`) so only one store can have the
+//!   directory open at a time.
 //!
 //! ## The durability contract
 //!
@@ -23,7 +25,11 @@
 //! commit fsync, whose outcome is unknowable after an error — fails, the
 //! store *poisons* itself: every later operation returns an error, and the
 //! one recovery path is reopening from disk, which re-derives the truth from
-//! what actually reached the device.
+//! what actually reached the device.  The same applies to any failure after
+//! a checkpoint has truncated the WAL (re-appending pending staged batches,
+//! or the sync that follows): the log no longer matches the engine's staged
+//! buffer, so continuing could fsync a commit record recovery cannot
+//! resolve — an acknowledged publish that silently vanishes on restart.
 
 use crate::error::StoreError;
 use crate::snapshot::{decode_snapshot, encode_snapshot};
@@ -180,6 +186,11 @@ struct Inner {
 #[derive(Debug)]
 pub struct FileStore {
     dir: PathBuf,
+    /// Exclusive advisory lock on the directory (`LOCK`), held for the
+    /// store's whole life so a second open — same process or another —
+    /// cannot interleave WAL appends with ours.  Released by the OS when
+    /// the file closes, so a crashed process never leaves a stale lock.
+    _lock: File,
     inner: Mutex<Inner>,
 }
 
@@ -200,6 +211,9 @@ fn parse_checkpoint_name(path: &Path) -> Option<u64> {
 impl FileStore {
     /// File name of the write-ahead log inside a store directory.
     pub const WAL_FILE: &'static str = "wal.log";
+
+    /// File name of the advisory lock inside a store directory.
+    pub const LOCK_FILE: &'static str = "LOCK";
 
     /// Path of the WAL inside `dir`.
     pub fn wal_path(dir: &Path) -> PathBuf {
@@ -222,6 +236,22 @@ impl FileStore {
     pub fn open(dir: impl AsRef<Path>) -> Result<(Self, RecoveredState), StoreError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+
+        // Take the directory lock before reading anything: a second opener
+        // would otherwise race this one's WAL truncation and appends.
+        let lock_path = dir.join(Self::LOCK_FILE);
+        let lock = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&lock_path)?;
+        match lock.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => {
+                return Err(StoreError::Locked { path: lock_path });
+            }
+            Err(std::fs::TryLockError::Error(e)) => return Err(e.into()),
+        }
 
         // Sweep leftovers of an interrupted checkpoint write, then find the
         // newest complete checkpoint.
@@ -279,6 +309,7 @@ impl FileStore {
 
         let store = Self {
             dir,
+            _lock: lock,
             inner: Mutex::new(Inner {
                 wal,
                 wal_len,
@@ -313,6 +344,25 @@ impl FileStore {
         }
         inner.wal_len += bytes.len() as u64;
         Ok(bytes.len() as u64)
+    }
+
+    /// Re-appends the still-pending staged batches after a checkpoint's WAL
+    /// truncation and syncs the rewritten log.  Any failure here leaves the
+    /// log out of step with the engine's staged buffer — the caller must
+    /// poison the store.
+    fn refill_pending(inner: &mut Inner, pending: &[StagedBatch]) -> Result<(), StoreError> {
+        for batch in pending {
+            let bytes = Self::append_record(
+                inner,
+                &WalRecord::Stage {
+                    seq: batch.seq,
+                    ops: batch.ops.clone(),
+                },
+            )?;
+            inner.appended_since_commit += bytes;
+        }
+        inner.wal.sync_all()?;
+        Ok(())
     }
 }
 
@@ -402,17 +452,15 @@ impl GraphStore for FileStore {
         }
         inner.wal_len = header;
         inner.appended_since_commit = 0;
-        for batch in pending {
-            let bytes = Self::append_record(
-                &mut inner,
-                &WalRecord::Stage {
-                    seq: batch.seq,
-                    ops: batch.ops.clone(),
-                },
-            )?;
-            inner.appended_since_commit += bytes;
+        if let Err(e) = Self::refill_pending(&mut inner, pending) {
+            // Past the truncation the log no longer matches the engine's
+            // staged buffer: a later commit could fsync a record covering
+            // stage records that never made it back, acknowledging a
+            // publish recovery cannot resolve.  Only a reopen re-derives
+            // truth from disk.
+            inner.poisoned = true;
+            return Err(e);
         }
-        inner.wal.sync_all()?;
 
         let previous = inner.checkpoint_epoch.replace(snapshot.epoch());
         if let Some(previous) = previous {
@@ -567,6 +615,23 @@ mod tests {
         assert!(!dir
             .join("checkpoint-00000000000000000003.snap.tmp")
             .exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_second_open_of_the_same_directory_is_refused() {
+        let dir = tmp_dir();
+        let (store, _) = FileStore::open(&dir).unwrap();
+        match FileStore::open(&dir) {
+            Err(StoreError::Locked { path }) => {
+                assert_eq!(path, dir.join(FileStore::LOCK_FILE));
+            }
+            other => panic!("expected StoreError::Locked, got {other:?}"),
+        }
+        // Dropping the store releases the lock; a reopen succeeds.
+        drop(store);
+        let (_, recovered) = FileStore::open(&dir).unwrap();
+        assert!(recovered.batches.is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -249,11 +249,19 @@ pub fn scan(bytes: &[u8]) -> Result<WalScan, StoreError> {
                 if first_seq > last_seq {
                     break; // structurally impossible: treat as torn
                 }
+                // Checked: a CRC-colliding record claiming the whole u64
+                // space (first 0, last u64::MAX) must not overflow-panic.
+                let Some(span) = last_seq
+                    .checked_sub(first_seq)
+                    .and_then(|d| d.checked_add(1))
+                else {
+                    break;
+                };
                 let covered: Vec<u64> = pending
                     .range(first_seq..=last_seq)
                     .map(|(&s, _)| s)
                     .collect();
-                if covered.len() as u64 != last_seq - first_seq + 1 {
+                if covered.len() as u64 != span {
                     // The commit references stage records the log does not
                     // hold — the file is inconsistent from here on.
                     break;
@@ -385,6 +393,16 @@ mod tests {
             scan.committed.is_empty(),
             "commit(0..=1) covers a missing seq"
         );
+    }
+
+    #[test]
+    fn a_commit_spanning_the_whole_u64_space_is_torn_not_a_panic() {
+        // A valid-CRC record whose range length (u64::MAX - 0 + 1) does not
+        // fit in u64: the scan must stop gracefully, never overflow.
+        let image = log(&[stage(0, ops()), commit(1, 0, u64::MAX)]);
+        let scan = scan(&image).unwrap();
+        assert!(scan.committed.is_empty());
+        assert_eq!(scan.committed_end, WAL_MAGIC.len() as u64);
     }
 
     #[test]
