@@ -34,7 +34,11 @@
 //!   price of durability;
 //! * `recovery` — reopening a durable store whose log holds 32 committed
 //!   publishes past its checkpoint (checkpoint decode + full WAL replay),
-//!   reported as **ns per open**.
+//!   reported as **ns per open**;
+//! * `telemetry-disabled` / `telemetry-enabled` — the identical session
+//!   batch served with no metrics registry vs. a live one wired through
+//!   exec, cache, sessions and service, reported as **ns per session** —
+//!   the price of observability (bounded by the smoke floor).
 //!
 //! Samples for the compared modes are interleaved round-robin so clock or
 //! thermal drift cannot bias the comparison one way.
@@ -619,6 +623,68 @@ fn durable_records(graph: &Graph, samples: usize, records: &mut Vec<Record>) {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// Times the identical session batch with telemetry off vs. on
+/// (`telemetry-disabled` / `telemetry-enabled`, ns per session, interleaved).
+/// The disabled path is one branch per would-be record, so the two shapes
+/// must stay within noise of each other; the smoke floor pins that down.
+/// Returns the enabled service so the smoke run can validate its exports
+/// after real traffic.
+fn telemetry_records(
+    graph: &Graph,
+    goal_syntaxes: &[String],
+    samples: usize,
+    records: &mut Vec<Record>,
+) -> GpsService {
+    use gps_core::telemetry::MetricsRegistry;
+    let build = |registry: Option<std::sync::Arc<MetricsRegistry>>| {
+        let mut builder = Engine::builder(graph.clone())
+            .eval_mode(EvalMode::Frontier)
+            .max_interactions(24);
+        if let Some(registry) = registry {
+            builder = builder.metrics(registry);
+        }
+        GpsService::new(builder.build_core())
+    };
+    let disabled = build(None);
+    let enabled = build(Some(std::sync::Arc::new(MetricsRegistry::enabled())));
+    let sessions = goal_syntaxes.len() as f64;
+
+    let mut run_disabled = || {
+        disabled.core().eval_cache().clear();
+        black_box(
+            disabled
+                .serve(goal_syntaxes, 1)
+                .expect("goals parse and sessions halt"),
+        );
+    };
+    let mut run_enabled = || {
+        enabled.core().eval_cache().clear();
+        black_box(
+            enabled
+                .serve(goal_syntaxes, 1)
+                .expect("goals parse and sessions halt"),
+        );
+    };
+    let before = records.len();
+    bench_group(
+        "scale-free-2000-telemetry",
+        (graph.node_count(), graph.edge_count()),
+        &format!("batch of {} sessions", goal_syntaxes.len()),
+        samples,
+        &mut [
+            ("telemetry-disabled", &mut run_disabled),
+            ("telemetry-enabled", &mut run_enabled),
+        ],
+        records,
+    );
+    // Normalize from ns/batch to ns/session.
+    for record in &mut records[before..] {
+        record.mean_ns /= sessions;
+        record.min_ns /= sessions;
+    }
+    enabled
+}
+
 fn mean_of(records: &[Record], dataset: &str, backend: &str) -> f64 {
     records
         .iter()
@@ -688,6 +754,9 @@ fn main() {
     // Durability: the same publish through the file-backed store, and
     // recovery (checkpoint + WAL replay) of a 32-publish log.
     durable_records(&sf, session_samples, &mut records);
+
+    // Observability: the identical session batch with telemetry off vs. on.
+    let instrumented = telemetry_records(&sf, &service_goals, session_samples, &mut records);
 
     // Render the records as JSON by hand (stable field order, no extra
     // deps), stamped with the machine profile numbers depend on.
@@ -841,6 +910,54 @@ fn main() {
     }
     if smoke && recovery.is_nan() {
         failures.push(format!("{durable_dataset}: missing recovery record"));
+    }
+    let telemetry_dataset = "scale-free-2000-telemetry";
+    let telemetry_off = mean_of(&records, telemetry_dataset, "telemetry-disabled");
+    let telemetry_on = mean_of(&records, telemetry_dataset, "telemetry-enabled");
+    let telemetry_ratio = telemetry_off / telemetry_on;
+    println!(
+        "{telemetry_dataset}: {:.0} sessions/sec disabled vs {:.0}/sec enabled ({telemetry_ratio:.2}x)",
+        1e9 / telemetry_off,
+        1e9 / telemetry_on,
+    );
+    // The instrumented path must keep at least 95% of the uninstrumented
+    // throughput — the disabled side of every metric is one branch, and the
+    // enabled side is a relaxed atomic add, so a bigger gap means someone
+    // put real work (allocation, locking, formatting) on the hot path
+    // (written so a NaN — a missing record — fails rather than vacuously
+    // passing).
+    if smoke && (telemetry_ratio.is_nan() || telemetry_ratio < 0.95) {
+        failures.push(format!(
+            "{telemetry_dataset}: instrumented sessions at {telemetry_ratio:.2}x of uninstrumented throughput ({telemetry_on:.0} vs {telemetry_off:.0} ns/session), below the 0.95x smoke floor"
+        ));
+    }
+    // The smoke run also proves the exports off the instrumented service are
+    // well-formed after real traffic: the JSON document parses and the
+    // Prometheus exposition passes the grammar validator with the headline
+    // series present.
+    if smoke {
+        let json = instrumented.metrics_json();
+        if let Err(err) = gps_core::telemetry::validate_json(&json) {
+            failures.push(format!("{telemetry_dataset}: invalid JSON export: {err}"));
+        }
+        let text = instrumented.metrics_text();
+        if let Err(err) = gps_core::telemetry::validate_prometheus_text(&text) {
+            failures.push(format!(
+                "{telemetry_dataset}: invalid Prometheus export: {err}"
+            ));
+        }
+        for series in [
+            "gps_exec_eval_latency_ns",
+            "gps_rpq_cache_misses_total",
+            "gps_service_sessions_opened_total",
+            "gps_interactive_interactions_total",
+        ] {
+            if !text.contains(series) {
+                failures.push(format!(
+                    "{telemetry_dataset}: Prometheus export missing {series}"
+                ));
+            }
+        }
     }
     if !failures.is_empty() {
         for failure in &failures {

@@ -35,7 +35,7 @@
 use crate::error::GpsError;
 use crate::render;
 use crate::scenario::{self, ScenarioReport, StaticLabelingOutcome};
-use gps_exec::{BatchEvaluator, LabelIndex, PlannerConfig};
+use gps_exec::{BatchEvaluator, ExecMetrics, LabelIndex, PlannerConfig};
 use gps_graph::{
     CsrGraph, Graph, GraphBackend, GraphDelta, LabelStats, Neighborhood, NodeId, PathEnumerator,
     PrefixTree,
@@ -48,6 +48,7 @@ use gps_interactive::strategy::{
 use gps_interactive::user::{SimulatedUser, User};
 use gps_learner::{Label, Learner};
 use gps_rpq::{DfaEvaluator, EvalCache, EvalHandle, NaiveEvaluator, PathQuery, QueryAnswer};
+use gps_telemetry::MetricsRegistry;
 use std::sync::Arc;
 
 /// Which execution engine the facade evaluates queries with.
@@ -83,6 +84,7 @@ impl EvalMode {
         self,
         csr: &Arc<CsrGraph>,
         planner: PlannerConfig,
+        metrics: ExecMetrics,
     ) -> (
         Box<dyn DfaEvaluator>,
         Option<Arc<LabelIndex>>,
@@ -95,7 +97,9 @@ impl EvalMode {
                 None,
             ),
             EvalMode::Frontier => {
-                let evaluator = BatchEvaluator::from_csr(csr).with_planner_config(planner);
+                let evaluator = BatchEvaluator::from_csr(csr)
+                    .with_planner_config(planner)
+                    .with_metrics(metrics);
                 let index = evaluator.shared_index();
                 let stats = evaluator.stats().clone();
                 (Box::new(evaluator), Some(index), Some(stats))
@@ -103,7 +107,8 @@ impl EvalMode {
             EvalMode::Parallel => {
                 let evaluator = BatchEvaluator::from_csr(csr)
                     .with_planner_config(planner)
-                    .with_parallelism(BatchEvaluator::default_threads());
+                    .with_parallelism(BatchEvaluator::default_threads())
+                    .with_metrics(metrics);
                 let index = evaluator.shared_index();
                 let stats = evaluator.stats().clone();
                 (Box::new(evaluator), Some(index), Some(stats))
@@ -163,6 +168,7 @@ pub struct GpsBuilder {
     cache_capacity: Option<usize>,
     words_capacity: Option<usize>,
     checkpoint_every: u64,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl GpsBuilder {
@@ -178,6 +184,7 @@ impl GpsBuilder {
             cache_capacity: None,
             words_capacity: None,
             checkpoint_every: crate::versioned::CheckpointPolicy::default().every_n_publishes,
+            metrics: Arc::new(MetricsRegistry::disabled()),
         }
     }
 
@@ -277,6 +284,23 @@ impl GpsBuilder {
         self
     }
 
+    /// Wires a telemetry registry through the whole stack: the evaluation
+    /// cache's hit/miss/eviction counters, the frontier engine's per-eval
+    /// latency and plan counters, the sessions' interaction and pruning
+    /// counters, the MVCC store's publish/epoch series, the durable store's
+    /// WAL/fsync/checkpoint series and the service's session lifecycle
+    /// series all register under this registry, and every epoch advanced
+    /// from this core keeps extending the same series.
+    ///
+    /// Defaults to [`MetricsRegistry::disabled`], under which every
+    /// recording site costs one branch and nothing is allocated.  Metrics
+    /// are purely observational: transcripts and query answers are
+    /// byte-identical with and without them (`tests/telemetry_conformance.rs`).
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = registry;
+        self
+    }
+
     /// Replaces the whole session configuration at once, including its
     /// embedded learner (which becomes the engine's learner).
     pub fn session_config(mut self, config: SessionConfig) -> Self {
@@ -314,6 +338,12 @@ impl GpsBuilder {
         self.into_core(snapshot).1
     }
 
+    /// The telemetry registry this builder wires through (disabled unless
+    /// [`metrics`](Self::metrics) was called).
+    pub(crate) fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// The checkpoint policy this builder configures durable stores with.
     pub(crate) fn checkpoint_policy(&self) -> crate::versioned::CheckpointPolicy {
         crate::versioned::CheckpointPolicy {
@@ -333,8 +363,13 @@ impl GpsBuilder {
     fn into_core(self, snapshot: Arc<CsrGraph>) -> (Graph, EngineCore) {
         let mut session = self.session;
         session.learner = self.learner.clone();
-        let (evaluator, index, stats) = self.eval_mode.evaluator_for(&snapshot, self.planner);
-        let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator);
+        let (evaluator, index, stats) = self.eval_mode.evaluator_for(
+            &snapshot,
+            self.planner,
+            ExecMetrics::from_registry(&self.metrics),
+        );
+        let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator)
+            .with_metrics(&self.metrics);
         if let Some(capacity) = self.cache_capacity {
             cache = cache.with_capacity(capacity);
         }
@@ -354,6 +389,7 @@ impl GpsBuilder {
                 planner: self.planner,
                 cache_capacity: self.cache_capacity,
                 words_capacity: self.words_capacity,
+                metrics: self.metrics,
             }),
         };
         (self.graph, core)
@@ -373,6 +409,7 @@ pub(crate) struct EngineOptions {
     planner: PlannerConfig,
     cache_capacity: Option<usize>,
     words_capacity: Option<usize>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// The immutable, cheaply-cloneable heart of an engine: one graph snapshot,
@@ -427,7 +464,8 @@ impl EngineCore {
             ),
             (mode, Some(index), Some(stats)) => {
                 let previous = BatchEvaluator::from_shared_index(Arc::clone(index), stats.clone())
-                    .with_planner_config(self.options.planner);
+                    .with_planner_config(self.options.planner)
+                    .with_metrics(ExecMetrics::from_registry(&self.options.metrics));
                 let previous = if mode == EvalMode::Parallel {
                     previous.with_parallelism(BatchEvaluator::default_threads())
                 } else {
@@ -440,9 +478,14 @@ impl EngineCore {
             }
             // A frontier core without index/stats cannot exist through the
             // builder; rebuild defensively if it ever does.
-            (mode, _, _) => mode.evaluator_for(&snapshot, self.options.planner),
+            (mode, _, _) => mode.evaluator_for(
+                &snapshot,
+                self.options.planner,
+                ExecMetrics::from_registry(&self.options.metrics),
+            ),
         };
-        let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator);
+        let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator)
+            .with_metrics(&self.options.metrics);
         if let Some(capacity) = self.options.cache_capacity {
             cache = cache.with_capacity(capacity);
         }
@@ -516,6 +559,13 @@ impl EngineCore {
         &self.options.learner
     }
 
+    /// The telemetry registry this core (and every epoch advanced from it)
+    /// records into — the disabled registry unless the builder wired one via
+    /// [`GpsBuilder::metrics`].
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.options.metrics
+    }
+
     /// Parses a query in the paper's syntax against the snapshot's alphabet.
     pub fn parse_query(&self, syntax: &str) -> Result<PathQuery, GpsError> {
         Ok(PathQuery::parse(syntax, self.snapshot.labels())?)
@@ -534,11 +584,17 @@ impl EngineCore {
     /// learner/coverage/pruning state is private to the session, while every
     /// query it evaluates goes through the core's one bounded cache.
     pub fn open_session(&self) -> Session<'static, CsrGraph> {
-        Session::with_shared_exec(
+        let mut session = Session::with_shared_exec(
             Arc::clone(&self.snapshot),
             self.options.session.clone(),
             self.eval_handle(),
-        )
+        );
+        if self.options.metrics.is_enabled() {
+            session.set_metrics(gps_interactive::metrics::SessionMetrics::from_registry(
+                &self.options.metrics,
+            ));
+        }
+        session
     }
 
     /// Instantiates the configured node-proposal strategy for the snapshot
@@ -599,7 +655,8 @@ impl<B: GraphBackend> Engine<B> {
         let eval_mode = EvalMode::default();
         let planner = PlannerConfig::default();
         let snapshot = Arc::new(CsrGraph::from_backend(&backend));
-        let (evaluator, index, stats) = eval_mode.evaluator_for(&snapshot, planner);
+        let (evaluator, index, stats) =
+            eval_mode.evaluator_for(&snapshot, planner, ExecMetrics::disabled());
         let cache = Arc::new(EvalCache::with_shared_evaluator(
             Arc::clone(&snapshot),
             evaluator,
@@ -624,6 +681,7 @@ impl<B: GraphBackend> Engine<B> {
                     planner,
                     cache_capacity: None,
                     words_capacity: None,
+                    metrics: Arc::new(MetricsRegistry::disabled()),
                 }),
             },
         }
@@ -776,11 +834,17 @@ impl<B: GraphBackend> Engine<B> {
     /// configured session options, evaluating through the engine's shared
     /// stack (cache + configured execution engine).
     pub fn new_session(&self) -> Session<'_, B> {
-        Session::with_exec(
+        let mut session = Session::with_exec(
             &self.backend,
             self.core.options.session.clone(),
             self.eval_handle(),
-        )
+        );
+        if self.core.options.metrics.is_enabled() {
+            session.set_metrics(gps_interactive::metrics::SessionMetrics::from_registry(
+                &self.core.options.metrics,
+            ));
+        }
+        session
     }
 
     /// Runs a full interactive session against `user` with the configured

@@ -57,6 +57,7 @@
 
 pub mod engine;
 pub mod error;
+mod metrics;
 pub mod render;
 pub mod scenario;
 pub mod service;
@@ -71,6 +72,11 @@ pub use transcript::Transcript;
 pub use versioned::{
     CheckpointPolicy, DurabilityReport, GraphUpdate, PublishReport, RecoveryReport, VersionedStore,
 };
+
+/// The zero-dependency metrics/tracing layer (`gps-telemetry`), re-exported
+/// so deployments can build a [`gps_telemetry::MetricsRegistry`] for
+/// [`GpsBuilder::metrics`] without naming the crate themselves.
+pub use gps_telemetry as telemetry;
 
 /// The most common imports in one place.
 ///
@@ -101,4 +107,5 @@ pub mod prelude {
     pub use gps_learner::{ExampleSet, Label, LearnedQuery, Learner};
     pub use gps_rpq::{EvalCache, EvalHandle, NegativeCoverage, PathQuery, QueryAnswer};
     pub use gps_store::{FileStore, GraphStore, MemoryStore};
+    pub use gps_telemetry::{MetricsRegistry, MetricsSnapshot};
 }

@@ -39,13 +39,16 @@
 
 use crate::engine::{EngineCore, GpsBuilder};
 use crate::error::GpsError;
+use crate::metrics::ServiceMetrics;
 use crate::versioned::{GraphUpdate, PublishReport, RecoveryReport, VersionedStore};
 use gps_graph::CsrGraph;
 use gps_interactive::halt::HaltReason;
+use gps_interactive::metrics::SessionMetrics;
 use gps_interactive::session::{Session, SessionOutcome};
 use gps_interactive::stats::SessionStats;
 use gps_interactive::strategy::Strategy;
 use gps_interactive::user::SimulatedUser;
+use gps_telemetry::{MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -150,6 +153,11 @@ pub struct SessionManager {
     closed: AtomicU64,
     completed: AtomicU64,
     interactions: AtomicU64,
+    /// Pre-bound service-layer telemetry handles plus the per-session
+    /// handles cloned into every opened session (all no-ops under a
+    /// disabled registry).
+    metrics: ServiceMetrics,
+    session_metrics: SessionMetrics,
 }
 
 impl std::fmt::Debug for ManagedSession {
@@ -183,6 +191,13 @@ impl SessionManager {
     /// Creates an empty session table over an existing (possibly shared)
     /// versioned store.
     pub fn over(store: Arc<VersionedStore>) -> Self {
+        let registry = store.metrics_registry();
+        let metrics = ServiceMetrics::from_registry(registry);
+        let session_metrics = if registry.is_enabled() {
+            SessionMetrics::from_registry(registry)
+        } else {
+            SessionMetrics::disabled()
+        };
         Self {
             store,
             sessions: Mutex::new(HashMap::new()),
@@ -191,6 +206,8 @@ impl SessionManager {
             closed: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             interactions: AtomicU64::new(0),
+            metrics,
+            session_metrics,
         }
     }
 
@@ -216,12 +233,14 @@ impl SessionManager {
     /// options.  The session is pinned to the store's current epoch.
     /// Returns the id to step/close it with.
     pub fn open(&self, goal_syntax: &str) -> Result<SessionId, GpsError> {
+        let span = self.metrics.open_latency.start_timer();
         let core = self.store.pin_latest();
         let epoch = core.epoch();
         let user = match core.simulated_user(goal_syntax) {
             Ok(user) => user,
             Err(error) => {
                 self.store.unpin(epoch);
+                span.cancel();
                 return Err(error);
             }
         };
@@ -237,6 +256,17 @@ impl SessionManager {
             .lock()
             .insert(id, Arc::new(Mutex::new(managed)));
         self.opened.fetch_add(1, Ordering::Relaxed);
+        self.metrics.sessions_opened.inc();
+        self.metrics.active_sessions.set(self.active_count() as u64);
+        self.store
+            .metrics_registry()
+            .event_with("session_open", || {
+                vec![
+                    ("session".to_string(), id.to_string()),
+                    ("epoch".to_string(), epoch.to_string()),
+                ]
+            });
+        span.stop();
         Ok(SessionId(id))
     }
 
@@ -249,8 +279,10 @@ impl SessionManager {
     /// halted), returning its status afterwards.
     pub fn step(&self, id: SessionId) -> Result<SessionStatus, GpsError> {
         let slot = self.slot(id)?;
+        let span = self.metrics.step_latency.start_timer();
         let mut managed = slot.lock();
         if managed.halted.is_some() {
+            span.cancel();
             return Ok(managed.status());
         }
         let before = managed.session.stats().interactions;
@@ -261,9 +293,19 @@ impl SessionManager {
         {
             managed.halted = Some(reason);
             self.completed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.sessions_completed.inc();
+            self.store
+                .metrics_registry()
+                .event_with("session_halt", || {
+                    vec![
+                        ("session".to_string(), id.raw().to_string()),
+                        ("reason".to_string(), format!("{reason:?}")),
+                    ]
+                });
         }
         let delta = managed.session.stats().interactions - before;
         self.interactions.fetch_add(delta as u64, Ordering::Relaxed);
+        span.stop();
         Ok(managed.status())
     }
 
@@ -296,6 +338,7 @@ impl SessionManager {
             .lock()
             .remove(&id.raw())
             .ok_or(GpsError::UnknownSession(id.raw()))?;
+        let span = self.metrics.close_latency.start_timer();
         self.closed.fetch_add(1, Ordering::Relaxed);
         // Usually ours is the last reference; a concurrent `step` racing the
         // close can briefly hold another, in which case the outcome is
@@ -315,6 +358,25 @@ impl SessionManager {
         // Unpin last: a superseded epoch with no other pinned session is
         // retired right here.
         self.store.unpin(epoch);
+        self.metrics.sessions_closed.inc();
+        self.metrics.active_sessions.set(self.active_count() as u64);
+        self.session_metrics
+            .interactions_per_session
+            .record(outcome.stats.interactions as u64);
+        self.store
+            .metrics_registry()
+            .event_with("session_close", || {
+                vec![
+                    ("session".to_string(), id.raw().to_string()),
+                    ("epoch".to_string(), epoch.to_string()),
+                    ("reason".to_string(), format!("{:?}", outcome.halt_reason)),
+                    (
+                        "interactions".to_string(),
+                        outcome.stats.interactions.to_string(),
+                    ),
+                ]
+            });
+        span.stop();
         Ok(outcome)
     }
 
@@ -335,6 +397,32 @@ impl SessionManager {
             current_epoch: self.store.current_epoch(),
             live_epochs: self.store.live_epochs(),
         }
+    }
+
+    /// The telemetry registry this manager records into (disabled unless the
+    /// founding core was built with [`GpsBuilder::metrics`]).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        self.store.metrics_registry()
+    }
+
+    /// A point-in-time snapshot of every registered metric and buffered
+    /// audit event (empty under a disabled registry).  The active-sessions
+    /// gauge is refreshed before the snapshot is taken.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.active_sessions.set(self.active_count() as u64);
+        self.store.metrics_registry().snapshot()
+    }
+
+    /// The current metrics in Prometheus text exposition format (empty under
+    /// a disabled registry).
+    pub fn metrics_text(&self) -> String {
+        self.metrics().to_prometheus_text()
+    }
+
+    /// The current metrics and audit events as a JSON document (an empty
+    /// document under a disabled registry).
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
     }
 
     fn slot(&self, id: SessionId) -> Result<Arc<Mutex<ManagedSession>>, GpsError> {
@@ -408,6 +496,29 @@ impl GpsService {
     /// A snapshot of the aggregate throughput counters.
     pub fn stats(&self) -> ServiceStats {
         self.manager.stats()
+    }
+
+    /// The telemetry registry this service records into (disabled unless the
+    /// founding core was built with [`GpsBuilder::metrics`]).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        self.manager.metrics_registry()
+    }
+
+    /// A point-in-time snapshot of every registered metric and buffered
+    /// audit event (empty under a disabled registry).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.manager.metrics()
+    }
+
+    /// The current metrics in Prometheus text exposition format — one call
+    /// serves a `/metrics` scrape endpoint.
+    pub fn metrics_text(&self) -> String {
+        self.manager.metrics_text()
+    }
+
+    /// The current metrics and audit events as a JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.manager.metrics_json()
     }
 
     /// Serves one full interactive session per goal query, fanning the

@@ -43,8 +43,10 @@
 
 use crate::engine::{EngineCore, GpsBuilder};
 use crate::error::GpsError;
+use crate::metrics::CoreMetrics;
 use gps_graph::{DeltaGraph, UpdateOp};
-use gps_store::{FileStore, GraphStore, MemoryStore, StagedBatch};
+use gps_store::{FileStore, GraphStore, MemoryStore, StagedBatch, StoreMetrics};
+use gps_telemetry::MetricsRegistry;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -237,6 +239,11 @@ pub struct VersionedStore {
     publishes_since_checkpoint: AtomicU64,
     publishes: AtomicU64,
     retired: AtomicU64,
+    /// The registry the founding core was built with (disabled by default);
+    /// event records go here, and [`metrics`](Self::metrics) are pre-bound
+    /// handles into it.
+    registry: Arc<MetricsRegistry>,
+    metrics: CoreMetrics,
 }
 
 impl VersionedStore {
@@ -261,6 +268,11 @@ impl VersionedStore {
         store: Arc<dyn GraphStore>,
         policy: CheckpointPolicy,
     ) -> Self {
+        let registry = Arc::clone(core.metrics_registry());
+        let metrics = CoreMetrics::from_registry(&registry);
+        store.set_metrics(StoreMetrics::from_registry(&registry));
+        metrics.live_epochs.set(1);
+        metrics.current_epoch.set(core.epoch());
         let mut epochs = BTreeMap::new();
         epochs.insert(
             core.epoch(),
@@ -279,6 +291,8 @@ impl VersionedStore {
             publishes_since_checkpoint: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
             retired: AtomicU64::new(0),
+            registry,
+            metrics,
         }
     }
 
@@ -298,8 +312,12 @@ impl VersionedStore {
         builder: GpsBuilder,
     ) -> Result<(Self, RecoveryReport), GpsError> {
         let policy = builder.checkpoint_policy();
+        let registry = Arc::clone(builder.metrics_registry());
+        let metrics = CoreMetrics::from_registry(&registry);
+        let recovery_started = Instant::now();
         let (file_store, recovered) = FileStore::open(dir)?;
         let store: Arc<dyn GraphStore> = Arc::new(file_store);
+        store.set_metrics(StoreMetrics::from_registry(&registry));
 
         let (core, created, checkpoint_epoch) = match recovered.snapshot {
             None => {
@@ -365,12 +383,43 @@ impl VersionedStore {
             current_epoch: core.epoch(),
             discarded_bytes: recovered.discarded_bytes,
         };
+        metrics
+            .recovery_replay
+            .record_duration(recovery_started.elapsed());
+        registry.event_with("recovery", || {
+            vec![
+                ("created".to_string(), report.created.to_string()),
+                (
+                    "checkpoint_epoch".to_string(),
+                    report.checkpoint_epoch.to_string(),
+                ),
+                (
+                    "replayed_publishes".to_string(),
+                    report.replayed_publishes.to_string(),
+                ),
+                ("replayed_ops".to_string(), report.replayed_ops.to_string()),
+                (
+                    "current_epoch".to_string(),
+                    report.current_epoch.to_string(),
+                ),
+                (
+                    "discarded_bytes".to_string(),
+                    report.discarded_bytes.to_string(),
+                ),
+            ]
+        });
         Ok((Self::with_store(core, store, policy), report))
     }
 
     /// A clone of the latest core (un-pinned: for one-shot reads).
     pub fn latest(&self) -> EngineCore {
         self.latest.read().clone()
+    }
+
+    /// The telemetry registry this store records into — the founding core's
+    /// registry (disabled unless [`GpsBuilder::metrics`] wired one).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// The epoch new sessions currently resolve.
@@ -421,6 +470,13 @@ impl VersionedStore {
         // disk matches buffer order (commit ranges assume it).
         let mut staged = self.staged.lock();
         let seq = self.store.append_staged(&update.ops)?;
+        self.metrics.staged_ops.add(update.ops.len() as u64);
+        self.registry.event_with("stage", || {
+            vec![
+                ("seq".to_string(), seq.to_string()),
+                ("ops".to_string(), update.ops.len().to_string()),
+            ]
+        });
         staged.push(StagedBatch {
             seq,
             ops: update.ops,
@@ -454,6 +510,10 @@ impl VersionedStore {
                 let slot = epochs.remove(&epoch).expect("just seen");
                 slot.core.eval_cache().retire();
                 self.retired.fetch_add(1, Ordering::Relaxed);
+                self.metrics.retired_epochs.inc();
+                self.metrics.live_epochs.set(epochs.len() as u64);
+                self.registry
+                    .event_with("retire", || vec![("epoch".to_string(), epoch.to_string())]);
             }
         }
     }
@@ -514,6 +574,7 @@ impl VersionedStore {
             .commit(epoch, first_seq, last_seq, ops.len() as u32)?;
 
         let mut retired_epochs = 0usize;
+        let live_epochs;
         {
             let mut epochs = self.epochs.lock();
             *self.latest.write() = next.clone();
@@ -534,10 +595,15 @@ impl VersionedStore {
                 slot.core.eval_cache().retire();
                 retired_epochs += 1;
             }
+            live_epochs = epochs.len() as u64;
         }
         self.publishes.fetch_add(1, Ordering::Relaxed);
         self.retired
             .fetch_add(retired_epochs as u64, Ordering::Relaxed);
+        self.metrics.publishes.inc();
+        self.metrics.retired_epochs.add(retired_epochs as u64);
+        self.metrics.live_epochs.set(live_epochs);
+        self.metrics.current_epoch.set(epoch);
         // The publish is already committed, swapped and visible: a
         // checkpoint failure past this point must not turn into an `Err`
         // (callers would read it as "publish failed" and re-stage ops that
@@ -547,6 +613,29 @@ impl VersionedStore {
             Ok(done) => (done, None),
             Err(e) => (false, Some(e.to_string())),
         };
+        if checkpointed {
+            self.registry.event_with("checkpoint", || {
+                vec![("epoch".to_string(), epoch.to_string())]
+            });
+        }
+        if let Some(error) = &checkpoint_error {
+            self.metrics.checkpoint_errors.inc();
+            self.registry.event_with("checkpoint_error", || {
+                vec![
+                    ("epoch".to_string(), epoch.to_string()),
+                    ("error".to_string(), error.clone()),
+                ]
+            });
+        }
+        let latency = started.elapsed();
+        self.metrics.publish_latency.record_duration(latency);
+        self.registry.event_with("publish", || {
+            vec![
+                ("epoch".to_string(), epoch.to_string()),
+                ("ops".to_string(), ops.len().to_string()),
+                ("retired_epochs".to_string(), retired_epochs.to_string()),
+            ]
+        });
         Ok(PublishReport {
             epoch,
             added_nodes: delta.added_nodes,
@@ -554,7 +643,7 @@ impl VersionedStore {
             removed_edges: delta.removed_edges.len(),
             touched_labels: delta.touched_labels().len(),
             retired_epochs,
-            latency: started.elapsed(),
+            latency,
             durability: DurabilityReport {
                 wal_bytes: commit.wal_bytes,
                 fsync: commit.fsync,

@@ -14,8 +14,9 @@
 //! runs on the frontier engine by flipping the `EvalMode` builder knob.
 
 use crate::bitset::FixedBitSet;
-use crate::frontier::{evaluate_with, selects_from, witness_from, Scratch};
+use crate::frontier::{evaluate_counting, selects_from, witness_from, Scratch};
 use crate::index::{Direction, LabelIndex};
+use crate::metrics::ExecMetrics;
 use crate::planner::{self, Plan, PlanDecision, PlannerConfig};
 use gps_automata::Dfa;
 use gps_graph::{
@@ -56,6 +57,7 @@ pub struct BatchEvaluator {
     plan_override: Option<Plan>,
     parallelism: Option<usize>,
     split: ParallelSplit,
+    metrics: ExecMetrics,
 }
 
 impl BatchEvaluator {
@@ -78,6 +80,7 @@ impl BatchEvaluator {
             plan_override: None,
             parallelism: None,
             split: ParallelSplit::default(),
+            metrics: ExecMetrics::disabled(),
         }
     }
 
@@ -98,6 +101,7 @@ impl BatchEvaluator {
             plan_override: self.plan_override,
             parallelism: self.parallelism,
             split: self.split,
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -143,6 +147,20 @@ impl BatchEvaluator {
         self.split
     }
 
+    /// Installs pre-bound telemetry handles (default:
+    /// [`ExecMetrics::disabled`] — recording costs one branch).  Carried
+    /// across epochs by [`apply_delta`](Self::apply_delta), so a rebuilt
+    /// evaluator keeps extending the same registry series.
+    pub fn with_metrics(mut self, metrics: ExecMetrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The telemetry handles in effect.
+    pub fn metrics(&self) -> &ExecMetrics {
+        &self.metrics
+    }
+
     /// The label-partitioned index the evaluator sweeps.
     pub fn index(&self) -> &LabelIndex {
         &self.index
@@ -185,7 +203,14 @@ impl BatchEvaluator {
     }
 
     fn evaluate_scratch(&self, dfa: &Dfa, scratch: &mut Scratch) -> QueryAnswer {
-        evaluate_with(&self.index, dfa, self.plan_for(dfa).plan, scratch)
+        let plan = self.plan_for(dfa).plan;
+        self.metrics.record_plan(plan);
+        let span = self.metrics.eval_latency.start_timer();
+        let (answer, rounds) = evaluate_counting(&self.index, dfa, plan, scratch);
+        span.stop();
+        self.metrics.evals.inc();
+        self.metrics.frontier_rounds.add(rounds);
+        answer
     }
 
     /// Evaluates a batch sequentially, sharing one scratch allocation across

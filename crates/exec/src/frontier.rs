@@ -55,10 +55,21 @@ pub fn evaluate_with(
     plan: Plan,
     scratch: &mut Scratch,
 ) -> QueryAnswer {
+    evaluate_counting(index, dfa, plan, scratch).0
+}
+
+/// [`evaluate_with`], additionally reporting how many frontier rounds the
+/// fixed point swept (what `gps_exec_frontier_rounds_total` aggregates).
+pub fn evaluate_counting(
+    index: &LabelIndex,
+    dfa: &Dfa,
+    plan: Plan,
+    scratch: &mut Scratch,
+) -> (QueryAnswer, u64) {
     let n = index.node_count();
     let s = dfa.state_count();
     if n == 0 || s == 0 {
-        return QueryAnswer::from_flags(vec![false; n]);
+        return (QueryAnswer::from_flags(vec![false; n]), 0);
     }
     scratch.prepare(s, n);
 
@@ -87,12 +98,14 @@ pub fn evaluate_with(
     }
 
     let start = dfa.start();
+    let mut rounds = 0u64;
     loop {
         // The answer only reads `alive[start]`; once every node is selected
         // no further round can change it.
         if scratch.alive[start].count() == n {
             break;
         }
+        rounds += 1;
 
         let pull = match plan {
             Plan::Reverse => false,
@@ -160,7 +173,7 @@ pub fn evaluate_with(
     let selected = (0..n)
         .map(|node| scratch.alive[start].contains(node))
         .collect();
-    QueryAnswer::from_flags(selected)
+    (QueryAnswer::from_flags(selected), rounds)
 }
 
 /// Forward single-source check: does some path from `source` spell an

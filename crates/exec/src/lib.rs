@@ -51,9 +51,11 @@ pub mod batch;
 pub mod bitset;
 pub mod frontier;
 pub mod index;
+pub mod metrics;
 pub mod planner;
 
 pub use batch::{BatchEvaluator, ParallelSplit};
 pub use bitset::FixedBitSet;
 pub use index::{Direction, LabelIndex};
+pub use metrics::ExecMetrics;
 pub use planner::{Plan, PlanDecision, PlannerConfig};

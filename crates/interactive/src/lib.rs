@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod halt;
+pub mod metrics;
 pub mod propagation;
 pub mod pruning;
 pub mod session;
@@ -59,6 +60,7 @@ pub mod validation;
 pub mod zoom;
 
 pub use halt::HaltReason;
+pub use metrics::{PruningMetrics, SessionMetrics};
 pub use session::{Session, SessionConfig, SessionOutcome};
 pub use stats::SessionStats;
 pub use strategy::{DegreeStrategy, InformativePathsStrategy, RandomStrategy, Strategy};

@@ -17,6 +17,7 @@
 //! evaluation — and rescans only those.  The cached per-node uncovered-word
 //! counts double as the informative-paths strategy's scores.
 
+use crate::metrics::PruningMetrics;
 use gps_graph::{GraphBackend, NodeId};
 use gps_learner::ExampleSet;
 use gps_rpq::{EvalHandle, NegativeCoverage};
@@ -50,6 +51,11 @@ pub struct PruningState {
     /// surfacing it as a counter makes a misrouted handle measurable instead
     /// of just "sessions feel slower".
     foreign_rescans: u64,
+    /// Telemetry handles (all disabled by default — one branch per event).
+    /// The session installs registry-backed handles via
+    /// [`set_metrics`](Self::set_metrics); they never affect which nodes get
+    /// pruned.
+    metrics: PruningMetrics,
 }
 
 impl PruningState {
@@ -62,7 +68,14 @@ impl PruningState {
             scores: Vec::new(),
             synced: None,
             foreign_rescans: 0,
+            metrics: PruningMetrics::disabled(),
         }
+    }
+
+    /// Installs telemetry handles (see [`PruningMetrics`]); observational
+    /// only — the pruned set evolves identically with or without them.
+    pub fn set_metrics(&mut self, metrics: PruningMetrics) {
+        self.metrics = metrics;
     }
 
     /// The path-length bound.
@@ -140,6 +153,7 @@ impl PruningState {
             && matches!(self.synced, Some((id, v)) if id == identity && v < version && scores_current)
         {
             self.foreign_rescans += 1;
+            self.metrics.foreign_rescans.inc();
         }
         match self.synced {
             Some((id, v)) if id == identity && v == version && scores_current => {}
@@ -161,6 +175,7 @@ impl PruningState {
                         }
                     }
                     self.synced = Some((identity, version));
+                    self.metrics.incremental_refreshes.inc();
                 }
             }
             // First refresh, or a coverage/graph this state has never been
@@ -191,6 +206,7 @@ impl PruningState {
     }
 
     fn full_rescan<B: GraphBackend>(&mut self, graph: &B, coverage: &NegativeCoverage) {
+        self.metrics.full_sweeps.inc();
         let n = graph.node_count();
         self.scores = vec![0; n];
         for node in graph.nodes() {

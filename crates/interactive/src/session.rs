@@ -8,6 +8,7 @@
 //! step-by-step demo scenarios use.
 
 use crate::halt::{HaltConfig, HaltReason};
+use crate::metrics::SessionMetrics;
 use crate::pruning::PruningState;
 use crate::stats::SessionStats;
 use crate::strategy::{Strategy, StrategyContext};
@@ -135,6 +136,7 @@ pub struct Session<'g, B: GraphBackend = Graph> {
     stats: SessionStats,
     hypothesis: Option<LearnedQuery>,
     transcript: Vec<InteractionRecord>,
+    metrics: SessionMetrics,
 }
 
 impl<B: GraphBackend> Session<'static, B> {
@@ -191,7 +193,16 @@ impl<'g, B: GraphBackend> Session<'g, B> {
             stats: SessionStats::default(),
             hypothesis: None,
             transcript: Vec::new(),
+            metrics: SessionMetrics::disabled(),
         }
+    }
+
+    /// Installs telemetry handles (see [`SessionMetrics`]) into the session
+    /// and its pruning state.  Purely observational: the transcript produced
+    /// by an instrumented session is byte-identical to an uninstrumented run.
+    pub fn set_metrics(&mut self, metrics: SessionMetrics) {
+        self.pruning.set_metrics(metrics.pruning.clone());
+        self.metrics = metrics;
     }
 
     /// The examples collected so far.
@@ -327,6 +338,7 @@ impl<'g, B: GraphBackend> Session<'g, B> {
             UserResponse::ZoomOut => unreachable!("resolved by the zoom loop"),
         };
         self.stats.interactions += 1;
+        self.metrics.interactions.inc();
         self.transcript.push(record);
 
         // Learn from all labels, propagate, prune.  The learner shares the
@@ -402,6 +414,9 @@ impl<'g, B: GraphBackend> Session<'g, B> {
                 break reason;
             }
         };
+        self.metrics
+            .interactions_per_session
+            .record(self.stats.interactions as u64);
         self.outcome(halt_reason)
     }
 

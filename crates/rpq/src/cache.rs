@@ -17,6 +17,7 @@
 use crate::eval::{DfaEvaluator, NaiveEvaluator, QueryAnswer};
 use gps_automata::{Dfa, Regex};
 use gps_graph::{CsrGraph, GraphBackend, NodeId, Path, PathEnumerator, Word};
+use gps_telemetry::{Counter, Histogram, MetricsRegistry};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -72,10 +73,18 @@ pub struct EvalCache {
     /// snapshots dominate the cache's memory, so a shard-sized deployment can
     /// cap them independently of the answer cache.
     words: RwLock<HashMap<usize, WordsEntry>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    word_evictions: AtomicU64,
+    /// Hit/miss/eviction counters.  Standalone (per-cache) by default so the
+    /// legacy accessors keep their exact per-instance semantics; rebound to
+    /// the shared `gps_rpq_cache_*` registry series by
+    /// [`with_metrics`](Self::with_metrics), where rebuilt-per-epoch caches
+    /// keep extending one aggregate series.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    word_evictions: Counter,
+    /// `gps_rpq_eval_latency_ns` — wall time of one cache-miss evaluation
+    /// (disabled until [`with_metrics`](Self::with_metrics) binds it).
+    eval_latency: Histogram,
     tick: AtomicU64,
     /// Set once the snapshot this cache serves has been superseded by a
     /// newer epoch and every entry has been dropped (see
@@ -118,13 +127,33 @@ impl EvalCache {
             words_capacity: DEFAULT_WORDS_CAPACITY,
             answers: RwLock::new(HashMap::new()),
             words: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            word_evictions: AtomicU64::new(0),
+            hits: Counter::standalone(),
+            misses: Counter::standalone(),
+            evictions: Counter::standalone(),
+            word_evictions: Counter::standalone(),
+            eval_latency: Histogram::disabled(),
             tick: AtomicU64::new(0),
             retired: AtomicBool::new(false),
         }
+    }
+
+    /// Binds the cache's counters to `registry`'s `gps_rpq_cache_*` series
+    /// and its miss-evaluation latency to `gps_rpq_eval_latency_ns`.
+    ///
+    /// With an enabled registry the counters are *shared* across every cache
+    /// bound to it — exactly what the epoch-advancing engine wants, where
+    /// each publish rebuilds the cache but the hit/miss series must continue.
+    /// With a disabled registry this is a no-op and the cache keeps its
+    /// standalone per-instance counters.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        if registry.is_enabled() {
+            self.hits = registry.counter("gps_rpq_cache_hits_total");
+            self.misses = registry.counter("gps_rpq_cache_misses_total");
+            self.evictions = registry.counter("gps_rpq_cache_evictions_total");
+            self.word_evictions = registry.counter("gps_rpq_cache_word_evictions_total");
+            self.eval_latency = registry.histogram("gps_rpq_eval_latency_ns");
+        }
+        self
     }
 
     /// Sets the maximum number of cached answers (at least 1).
@@ -298,7 +327,9 @@ impl EvalCache {
             return answer;
         }
         let dfa = Dfa::from_regex(regex);
+        let span = self.eval_latency.start_timer();
         let answer = Arc::new(self.evaluator.evaluate_dfa(&dfa));
+        span.stop();
         self.insert(regex, &answer);
         answer
     }
@@ -313,7 +344,9 @@ impl EvalCache {
         if let Some(answer) = self.touch(regex) {
             return answer;
         }
+        let span = self.eval_latency.start_timer();
         let answer = Arc::new(self.evaluator.evaluate_dfa(dfa));
+        span.stop();
         self.insert(regex, &answer);
         answer
     }
@@ -387,7 +420,7 @@ impl EvalCache {
                 .map(|(&bound, _)| bound)
             {
                 map.remove(&oldest);
-                self.word_evictions.fetch_add(1, Ordering::Relaxed);
+                self.word_evictions.inc();
             }
         }
         map.insert(
@@ -407,8 +440,14 @@ impl EvalCache {
     }
 
     /// Number of bounded-word snapshots evicted by the capacity cap so far.
+    ///
+    /// Deprecated in favor of the registry snapshot path
+    /// (`gps_rpq_cache_word_evictions_total` in
+    /// [`MetricsRegistry::snapshot`]); kept as a thin read of the same
+    /// counter.  Note that under [`with_metrics`](Self::with_metrics) the
+    /// counter is shared registry-wide, not per-cache.
     pub fn word_evictions(&self) -> u64 {
-        self.word_evictions.load(Ordering::Relaxed)
+        self.word_evictions.get()
     }
 
     /// Evaluates a batch of expressions, returning the answers in input
@@ -439,12 +478,14 @@ impl EvalCache {
                 .map(|&i| Dfa::from_regex(regexes[i]))
                 .collect();
             let dfa_refs: Vec<&Dfa> = dfas.iter().collect();
+            let span = self.eval_latency.start_timer();
             let answers: Vec<Arc<QueryAnswer>> = self
                 .evaluator
                 .evaluate_dfas(&dfa_refs)
                 .into_iter()
                 .map(Arc::new)
                 .collect();
+            span.stop();
             for (&i, answer) in distinct.iter().zip(&answers) {
                 self.insert(regexes[i], answer);
             }
@@ -465,10 +506,10 @@ impl EvalCache {
         let answers = self.answers.read();
         if let Some(entry) = answers.get(regex) {
             entry.last_used.store(tick, Ordering::Relaxed);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             Some(Arc::clone(&entry.answer))
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             None
         }
     }
@@ -484,7 +525,7 @@ impl EvalCache {
                 .map(|(regex, _)| regex.clone())
             {
                 answers.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         answers.entry(regex.clone()).or_insert(Entry {
@@ -504,16 +545,22 @@ impl EvalCache {
     }
 
     /// `(hits, misses)` counters, useful in benchmarks.
+    ///
+    /// Deprecated in favor of the registry snapshot path
+    /// (`gps_rpq_cache_hits_total` / `gps_rpq_cache_misses_total` in
+    /// [`MetricsRegistry::snapshot`]); kept as a thin read of the same
+    /// counters.  Note that under [`with_metrics`](Self::with_metrics) the
+    /// counters are shared registry-wide, not per-cache.
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
     }
 
     /// Number of entries evicted by the capacity cap so far.
+    ///
+    /// Deprecated like [`stats`](Self::stats) — prefer
+    /// `gps_rpq_cache_evictions_total` from the registry snapshot.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 
     /// Clears all cached answers (the counters are kept).

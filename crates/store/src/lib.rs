@@ -27,12 +27,14 @@
 
 pub mod codec;
 pub mod error;
+pub mod metrics;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use codec::crc32;
 pub use error::StoreError;
+pub use metrics::StoreMetrics;
 pub use snapshot::{decode_snapshot, encode_snapshot, SNAPSHOT_MAGIC};
 pub use store::{
     CheckpointReceipt, CommitReceipt, FileStore, GraphStore, MemoryStore, RecoveredState,

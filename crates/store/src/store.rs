@@ -32,6 +32,7 @@
 //! resolve — an acknowledged publish that silently vanishes on restart.
 
 use crate::error::StoreError;
+use crate::metrics::StoreMetrics;
 use crate::snapshot::{decode_snapshot, encode_snapshot};
 use crate::wal::{self, CommittedBatch, WalRecord, WAL_MAGIC};
 use gps_graph::{CsrGraph, UpdateOp};
@@ -123,6 +124,11 @@ pub trait GraphStore: Send + Sync + std::fmt::Debug {
 
     /// `false` for the in-memory no-op store.
     fn is_durable(&self) -> bool;
+
+    /// Installs pre-bound telemetry handles ([`StoreMetrics`]) the store
+    /// records WAL/fsync/checkpoint activity through.  Default: no-op — the
+    /// in-memory store has nothing to measure.
+    fn set_metrics(&self, _metrics: StoreMetrics) {}
 }
 
 /// The zero-cost default store: persists nothing, never fails.
@@ -178,6 +184,9 @@ struct Inner {
     appended_since_commit: u64,
     checkpoint_epoch: Option<u64>,
     poisoned: bool,
+    /// Telemetry handles (disabled until [`GraphStore::set_metrics`] binds
+    /// them); recorded under this lock, which every I/O path already holds.
+    metrics: StoreMetrics,
 }
 
 /// A durable store over one directory: `wal.log` plus the latest
@@ -317,6 +326,7 @@ impl FileStore {
                 appended_since_commit: 0,
                 checkpoint_epoch: latest.map(|(epoch, _)| epoch),
                 poisoned: false,
+                metrics: StoreMetrics::disabled(),
             }),
         };
         let recovered = RecoveredState {
@@ -343,6 +353,7 @@ impl FileStore {
             return Err(e.into());
         }
         inner.wal_len += bytes.len() as u64;
+        inner.metrics.wal_bytes.add(bytes.len() as u64);
         Ok(bytes.len() as u64)
     }
 
@@ -411,6 +422,8 @@ impl GraphStore for FileStore {
             wal_bytes: inner.appended_since_commit,
             fsync: started.elapsed(),
         };
+        inner.metrics.fsyncs.inc();
+        inner.metrics.fsync_latency.record_duration(receipt.fsync);
         inner.appended_since_commit = 0;
         Ok(receipt)
     }
@@ -468,11 +481,17 @@ impl GraphStore for FileStore {
                 let _ = fs::remove_file(Self::checkpoint_path(&self.dir, previous));
             }
         }
-        Ok(CheckpointReceipt {
+        let receipt = CheckpointReceipt {
             bytes: encoded.len() as u64,
             truncated_wal_bytes: truncated,
             elapsed: started.elapsed(),
-        })
+        };
+        inner.metrics.checkpoints.inc();
+        inner
+            .metrics
+            .checkpoint_latency
+            .record_duration(receipt.elapsed);
+        Ok(receipt)
     }
 
     fn wal_bytes(&self) -> u64 {
@@ -481,6 +500,10 @@ impl GraphStore for FileStore {
 
     fn is_durable(&self) -> bool {
         true
+    }
+
+    fn set_metrics(&self, metrics: StoreMetrics) {
+        self.inner.lock().metrics = metrics;
     }
 }
 

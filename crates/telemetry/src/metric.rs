@@ -1,0 +1,470 @@
+//! The three metric primitives: [`Counter`], [`Gauge`] and [`Histogram`]
+//! (with its [`TimerGuard`] RAII span).
+//!
+//! Every handle is a cheaply cloneable `Option<Arc<...>>`: a disabled handle
+//! holds `None` and every recording operation is a single branch — no
+//! atomics touched, no `Instant::now()` taken.  Enabled handles share their
+//! cell, so clones (and re-registrations of the same name in a
+//! [`MetricsRegistry`](crate::MetricsRegistry)) aggregate into one value —
+//! exactly what the epoch-advancing layers need, where caches and
+//! evaluators are rebuilt per epoch but the metric series must continue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: one for the value `0`, one per power of two
+/// up to `2^63..=u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter over a relaxed atomic.
+///
+/// Construct through [`MetricsRegistry::counter`](crate::MetricsRegistry),
+/// [`Counter::standalone`] (own cell, always counts — for layers that keep
+/// per-instance statistics even without a registry) or [`Counter::disabled`]
+/// (no cell, recording is one branch).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A no-op counter: [`inc`](Self::inc)/[`add`](Self::add) cost one
+    /// branch, [`get`](Self::get) reads `0`.
+    pub fn disabled() -> Self {
+        Self { cell: None }
+    }
+
+    /// A counter with a private cell, counting regardless of any registry.
+    pub fn standalone() -> Self {
+        Self {
+            cell: Some(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    pub(crate) fn from_cell(cell: Arc<AtomicU64>) -> Self {
+        Self { cell: Some(cell) }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (`0` when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// A last-write-wins instantaneous value (active sessions, live epochs).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn disabled() -> Self {
+        Self { cell: None }
+    }
+
+    /// A gauge with a private cell, recording regardless of any registry.
+    pub fn standalone() -> Self {
+        Self {
+            cell: Some(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    pub(crate) fn from_cell(cell: Arc<AtomicU64>) -> Self {
+        Self { cell: Some(cell) }
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (`0` when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// The shared cells of one histogram: 65 log2 buckets plus the running sum.
+///
+/// Bucket `0` counts the value `0`; bucket `i ≥ 1` counts values in
+/// `[2^(i-1), 2^i - 1]`; bucket `64` covers `[2^63, u64::MAX]`.  The count
+/// is the sum of the buckets, so a snapshot is internally consistent.  The
+/// sum wraps modulo `2^64` (irrelevant for latencies; Prometheus renders
+/// sums as floats anyway).
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// The log2 bucket a value lands in: `0` for `0`, else
+/// `64 - leading_zeros(value)`.
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `index` — `0`, `2^index - 1`, or
+/// `u64::MAX` for the last bucket.
+pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A fixed log2-bucket latency histogram.
+///
+/// Values are dimensionless `u64`s; the GPS convention is nanoseconds for
+/// `*_latency_ns` metrics (see [`Histogram::record_duration`]).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    cell: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A no-op histogram: recording is one branch,
+    /// [`start_timer`](Self::start_timer) never reads the clock.
+    pub fn disabled() -> Self {
+        Self { cell: None }
+    }
+
+    /// A histogram with private cells, recording regardless of any registry.
+    pub fn standalone() -> Self {
+        Self {
+            cell: Some(Arc::new(HistogramCore::new())),
+        }
+    }
+
+    pub(crate) fn from_cell(cell: Arc<HistogramCore>) -> Self {
+        Self { cell: Some(cell) }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            cell.record(value);
+        }
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, duration: Duration) {
+        if self.cell.is_some() {
+            self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Starts an RAII span: the elapsed nanoseconds are recorded when the
+    /// guard drops.  A disabled histogram returns a guard that never read
+    /// the clock and records nothing.
+    #[inline]
+    pub fn start_timer(&self) -> TimerGuard {
+        TimerGuard {
+            start: self.cell.is_some().then(Instant::now),
+            histogram: self.clone(),
+        }
+    }
+
+    /// The number of recorded observations (`0` when disabled).
+    pub fn count(&self) -> u64 {
+        self.snapshot().count
+    }
+
+    /// A consistent copy of the current distribution (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |c| c.snapshot())
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations (sum of `buckets`).
+    pub count: u64,
+    /// Sum of observed values, modulo `2^64`.
+    pub sum: u64,
+    /// Per-bucket (non-cumulative) observation counts;
+    /// `buckets.len() == HISTOGRAM_BUCKETS`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The inclusive upper bound of bucket `index`.
+    pub fn upper_bound(index: usize) -> u64 {
+        bucket_upper_bound(index)
+    }
+
+    /// The index of the highest non-empty bucket, or `None` when empty.
+    pub fn highest_nonempty(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// RAII span recording its elapsed wall time into a [`Histogram`] on drop.
+///
+/// Holds its own (cheap) clone of the histogram handle, so the span can
+/// outlive the borrow it was started from.
+#[derive(Debug)]
+pub struct TimerGuard {
+    start: Option<Instant>,
+    histogram: Histogram,
+}
+
+impl TimerGuard {
+    /// Stops the span now, recording the elapsed time (instead of at drop).
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    /// Discards the span without recording anything.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+
+    fn finish(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.histogram.record_duration(start.elapsed());
+        }
+    }
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let counter = Counter::disabled();
+        counter.inc();
+        counter.add(10);
+        assert_eq!(counter.get(), 0);
+        assert!(!counter.is_enabled());
+
+        let gauge = Gauge::disabled();
+        gauge.set(7);
+        assert_eq!(gauge.get(), 0);
+
+        let histogram = Histogram::disabled();
+        histogram.record(1);
+        drop(histogram.start_timer());
+        assert_eq!(histogram.count(), 0);
+        assert!(!histogram.is_enabled());
+    }
+
+    #[test]
+    fn standalone_counters_count_and_clones_share() {
+        let counter = Counter::standalone();
+        let clone = counter.clone();
+        counter.inc();
+        clone.add(2);
+        assert_eq!(counter.get(), 3);
+        assert_eq!(clone.get(), 3);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let gauge = Gauge::standalone();
+        gauge.set(5);
+        gauge.set(2);
+        assert_eq!(gauge.get(), 2);
+    }
+
+    #[test]
+    fn timer_guard_records_once_on_drop() {
+        let histogram = Histogram::standalone();
+        {
+            let _span = histogram.start_timer();
+        }
+        assert_eq!(histogram.count(), 1);
+        histogram.start_timer().stop();
+        assert_eq!(histogram.count(), 2);
+        histogram.start_timer().cancel();
+        assert_eq!(histogram.count(), 2, "cancel records nothing");
+    }
+
+    #[test]
+    fn zero_and_max_land_in_the_outermost_buckets() {
+        let histogram = Histogram::standalone();
+        histogram.record(0);
+        histogram.record(u64::MAX);
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.buckets[0], 1, "0 lands in bucket 0");
+        assert_eq!(
+            snapshot.buckets[HISTOGRAM_BUCKETS - 1],
+            1,
+            "u64::MAX lands in the last bucket"
+        );
+        assert_eq!(snapshot.count, 2);
+        assert_eq!(snapshot.sum, u64::MAX, "0 + u64::MAX");
+    }
+
+    /// Reference bucketing: the smallest bucket whose inclusive upper bound
+    /// admits the value.  The shipped `bucket_index` must agree everywhere.
+    fn reference_bucket(value: u64) -> usize {
+        (0..HISTOGRAM_BUCKETS)
+            .find(|&i| value <= bucket_upper_bound(i))
+            .expect("the last bucket admits every u64")
+    }
+
+    #[test]
+    fn bucket_index_matches_the_reference_at_every_boundary() {
+        let mut probes = vec![0u64, 1, 2, 3, u64::MAX];
+        for shift in 1..64 {
+            let bound = 1u64 << shift;
+            probes.extend([bound - 1, bound, bound + 1]);
+        }
+        for value in probes {
+            assert_eq!(
+                bucket_index(value),
+                reference_bucket(value),
+                "value {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_matches_the_reference_on_a_pseudorandom_sweep() {
+        // Deterministic xorshift — no dependency on a rand crate.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            assert_eq!(
+                bucket_index(state),
+                reference_bucket(state),
+                "value {state}"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        // Upper bounds are strictly increasing and every bucket's lower edge
+        // is the previous bound + 1 — off-by-one-proof coverage of u64.
+        for i in 1..HISTOGRAM_BUCKETS {
+            let previous = bucket_upper_bound(i - 1);
+            let current = bucket_upper_bound(i);
+            assert!(previous < current, "bucket {i}");
+            assert_eq!(
+                bucket_index(previous.wrapping_add(1)),
+                i,
+                "lower edge of bucket {i}"
+            );
+            assert_eq!(bucket_index(current), i, "upper edge of bucket {i}");
+        }
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_counts() {
+        let histogram = Histogram::standalone();
+        let counter = Counter::standalone();
+        let threads = 8;
+        let per_thread = 5_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let histogram = histogram.clone();
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        histogram.record(t * per_thread + i);
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), threads * per_thread);
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, threads * per_thread);
+        assert_eq!(
+            snapshot.buckets.iter().sum::<u64>(),
+            threads * per_thread,
+            "bucket totals agree with the count"
+        );
+    }
+}
