@@ -539,6 +539,145 @@ fn live_update_records(
     }
 }
 
+/// Times what delta-driven answer migration buys at publish time, on a warm
+/// 16-query answer cache and a 4-op leaf publish under the fresh label
+/// `live` (disjoint from every query's DFA alphabet, so every entry is a
+/// Tier-1 carry):
+///
+/// * `publish-ivm` / `post-publish-first-eval-ivm` — the migrating path:
+///   the publish carries the cache across the epoch, and the first
+///   post-publish read of all 16 queries answers from it;
+/// * `publish-coldstart` / `post-publish-first-eval-coldstart` — the
+///   pre-migration behavior, simulated by clearing the answer cache before
+///   the publish: the first read re-evaluates everything from scratch.
+///
+/// The arms are interleaved sample by sample so clock or thermal drift
+/// cannot bias the ratio; each sample is one whole publish + first-read
+/// cycle (`iterations: 1`).
+fn ivm_records(graph: &Graph, samples: usize, records: &mut Vec<Record>) {
+    let size = (graph.node_count(), graph.edge_count());
+    let name = |i: u32| graph.labels().name(LabelId::new(i)).unwrap().to_string();
+    let l: Vec<String> = (0..4).map(name).collect();
+    let syntaxes = [
+        l[0].clone(),
+        l[1].clone(),
+        l[2].clone(),
+        l[3].clone(),
+        format!("{}.{}", l[0], l[1]),
+        format!("{}.{}", l[1], l[2]),
+        format!("{}.{}", l[2], l[3]),
+        format!("{}.{}", l[3], l[0]),
+        format!("{}*", l[0]),
+        format!("{}*.{}", l[1], l[2]),
+        format!("({}+{})*.{}", l[0], l[1], l[2]),
+        format!("({}+{})*.{}", l[2], l[3], l[0]),
+        format!("{}.{}*", l[0], l[1]),
+        format!("({}+{}).{}", l[0], l[2], l[3]),
+        format!("{}.{}.{}", l[1], l[2], l[3]),
+        format!("({}+{})*.{}", l[1], l[3], l[2]),
+    ];
+    let queries: Vec<PathQuery> = syntaxes
+        .iter()
+        .map(|s| PathQuery::parse(s, graph.labels()).expect("query over the generated alphabet"))
+        .collect();
+
+    let build = || {
+        GpsService::new(
+            Engine::builder(graph.clone())
+                .eval_mode(EvalMode::Frontier)
+                .max_interactions(24)
+                .build_core(),
+        )
+    };
+    let leaf_edges: Vec<UpdateOp> = {
+        let mut by_degree: Vec<NodeId> = graph.nodes().collect();
+        by_degree.sort_by_key(|&n| (graph.out_degree(n) + graph.in_degree(n), n.index()));
+        by_degree
+            .chunks(2)
+            .take(4)
+            .filter(|pair| pair.len() == 2)
+            .map(|pair| UpdateOp::AddEdge {
+                source: graph.node_name(pair[0]).to_string(),
+                label: "live".to_string(),
+                target: graph.node_name(pair[1]).to_string(),
+            })
+            .collect()
+    };
+    let ivm = build();
+    let cold = build();
+    let ivm_updates = OscillatingUpdates::from_adds(leaf_edges.clone());
+    let cold_updates = OscillatingUpdates::from_adds(leaf_edges);
+    // Warm both deployments the way a serving store is warm: answer cache
+    // and word snapshots populated.
+    for service in [&ivm, &cold] {
+        let core = service.core();
+        let cache = core.eval_cache();
+        cache.bounded_words(4);
+        for q in &queries {
+            black_box(cache.evaluate_compiled(q.regex(), q.dfa()));
+        }
+    }
+
+    let mut publish_ivm = Vec::with_capacity(samples);
+    let mut eval_ivm = Vec::with_capacity(samples);
+    let mut publish_cold = Vec::with_capacity(samples);
+    let mut eval_cold = Vec::with_capacity(samples);
+    let first_eval = |service: &GpsService, series: &mut Vec<f64>| {
+        let core = service.core();
+        let cache = core.eval_cache();
+        let start = Instant::now();
+        for q in &queries {
+            black_box(cache.evaluate_compiled(q.regex(), q.dfa()));
+        }
+        series.push(start.elapsed().as_nanos() as f64);
+    };
+    for _ in 0..samples {
+        // Migrating arm: the publish carries the warm cache forward.
+        let start = Instant::now();
+        let report = ivm
+            .update(ivm_updates.next())
+            .expect("leaf publish applies");
+        publish_ivm.push(start.elapsed().as_nanos() as f64);
+        assert_eq!(
+            report.carried_answers,
+            queries.len(),
+            "the label-disjoint leaf publish must carry the whole cache"
+        );
+        first_eval(&ivm, &mut eval_ivm);
+
+        // Cold-start arm: identical publish, but the cache is emptied first
+        // (the pre-migration epoch swap had nothing to migrate).
+        cold.core().eval_cache().clear();
+        let start = Instant::now();
+        cold.update(cold_updates.next())
+            .expect("leaf publish applies");
+        publish_cold.push(start.elapsed().as_nanos() as f64);
+        first_eval(&cold, &mut eval_cold);
+    }
+    let query = format!(
+        "publish of 4 leaf ops + first eval of {} warm queries",
+        queries.len()
+    );
+    for (backend, series) in [
+        ("publish-ivm", &publish_ivm),
+        ("publish-coldstart", &publish_cold),
+        ("post-publish-first-eval-ivm", &eval_ivm),
+        ("post-publish-first-eval-coldstart", &eval_cold),
+    ] {
+        let (mean_ns, min_ns) = summarize(series);
+        records.push(Record {
+            dataset: "scale-free-2000-ivm".to_string(),
+            backend,
+            nodes: size.0,
+            edges: size.1,
+            query: query.clone(),
+            mean_ns,
+            min_ns,
+            iterations: 1,
+        });
+    }
+}
+
 /// Times the identical oscillating publish through a file-backed store vs.
 /// the in-memory one (`durable-publish` / `memory-publish`, ns per publish,
 /// interleaved so disk or thermal drift cannot bias the ratio), then full
@@ -751,6 +890,10 @@ fn main() {
     // session throughput while updates are being published mid-batch.
     live_update_records(&sf, &service_goals, session_samples, &mut records);
 
+    // Incremental answer maintenance: publish + first post-publish read
+    // with the answer cache migrated across the epoch vs. cold-started.
+    ivm_records(&sf, session_samples, &mut records);
+
     // Durability: the same publish through the file-backed store, and
     // recovery (checkpoint + WAL replay) of a 32-publish log.
     durable_records(&sf, session_samples, &mut records);
@@ -885,6 +1028,32 @@ fn main() {
     }
     if smoke && publish.is_nan() {
         failures.push(format!("{live_dataset}: missing update-publish record"));
+    }
+    let ivm_dataset = "scale-free-2000-ivm";
+    let post_ivm = mean_of(&records, ivm_dataset, "post-publish-first-eval-ivm");
+    let post_cold = mean_of(&records, ivm_dataset, "post-publish-first-eval-coldstart");
+    let publish_ivm = mean_of(&records, ivm_dataset, "publish-ivm");
+    let publish_coldstart = mean_of(&records, ivm_dataset, "publish-coldstart");
+    let ivm_speedup = post_cold / post_ivm;
+    println!(
+        "{ivm_dataset}: first post-publish read of 16 warm queries {:.1} µs carried vs {:.1} µs cold ({ivm_speedup:.1}x); publish {:.1} µs with migration vs {:.1} µs cold-start",
+        post_ivm / 1e3,
+        post_cold / 1e3,
+        publish_ivm / 1e3,
+        publish_coldstart / 1e3,
+    );
+    // The whole point of answer migration: a label-disjoint publish must
+    // leave untouched queries answerable far faster than re-evaluating them
+    // from scratch.  The measured gap is orders of magnitude (cache hits vs
+    // 16 frontier fixed points); 5x is the conservative smoke floor (NaN —
+    // a missing record — fails rather than vacuously passing).
+    if smoke && (ivm_speedup.is_nan() || ivm_speedup < 5.0) {
+        failures.push(format!(
+            "{ivm_dataset}: carried post-publish reads at {ivm_speedup:.1}x of cold re-evaluation ({post_ivm:.0} vs {post_cold:.0} ns), below the 5x smoke floor"
+        ));
+    }
+    if smoke && (publish_ivm.is_nan() || publish_coldstart.is_nan()) {
+        failures.push(format!("{ivm_dataset}: missing publish records"));
     }
     let durable_dataset = "scale-free-2000-durable";
     let durable_publish = mean_of(&records, durable_dataset, "durable-publish");

@@ -47,7 +47,9 @@ use gps_interactive::strategy::{
 };
 use gps_interactive::user::{SimulatedUser, User};
 use gps_learner::{Label, Learner};
-use gps_rpq::{DfaEvaluator, EvalCache, EvalHandle, NaiveEvaluator, PathQuery, QueryAnswer};
+use gps_rpq::{
+    DfaEvaluator, EvalCache, EvalHandle, MigrationReport, NaiveEvaluator, PathQuery, QueryAnswer,
+};
 use gps_telemetry::MetricsRegistry;
 use std::sync::Arc;
 
@@ -448,10 +450,17 @@ impl EngineCore {
     /// Builds the next epoch's core over `snapshot` (the compacted result of
     /// `delta`): the frontier modes patch their label index and planner
     /// statistics through the delta instead of re-indexing, the new bounded
-    /// evaluation cache inherits the old epoch's word snapshots
+    /// evaluation cache migrates the old epoch's answers across the delta
+    /// ([`EvalCache::migrate_answers`]) and inherits its word snapshots
     /// ([`EvalCache::inherit_words`]), and every configuration knob carries
-    /// over unchanged.
-    pub(crate) fn advance(&self, snapshot: Arc<CsrGraph>, delta: &GraphDelta) -> EngineCore {
+    /// over unchanged.  Returns the new core together with the migration
+    /// split (how many cached answers were carried verbatim, re-derived from
+    /// their seed, or dropped to a cold recompute).
+    pub(crate) fn advance(
+        &self,
+        snapshot: Arc<CsrGraph>,
+        delta: &GraphDelta,
+    ) -> (EngineCore, MigrationReport) {
         let (evaluator, index, stats): (
             Box<dyn DfaEvaluator>,
             Option<Arc<LabelIndex>>,
@@ -492,14 +501,16 @@ impl EngineCore {
         if let Some(capacity) = self.options.words_capacity {
             cache = cache.with_words_capacity(capacity);
         }
-        cache.inherit_words(&self.cache, &delta.changed_sources());
-        EngineCore {
+        let migration = cache.migrate_answers(&self.cache, delta);
+        cache.inherit_words(&self.cache, delta);
+        let core = EngineCore {
             snapshot,
             cache: Arc::new(cache),
             index,
             stats,
             options: Arc::clone(&self.options),
-        }
+        };
+        (core, migration)
     }
 
     /// A new reference to the shared snapshot.

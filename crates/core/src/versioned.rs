@@ -200,6 +200,15 @@ pub struct PublishReport {
     pub removed_edges: usize,
     /// Label partitions the index patch touched.
     pub touched_labels: usize,
+    /// Cached answers whose DFA alphabet is disjoint from the touched labels,
+    /// migrated verbatim into the new epoch's cache (Tier-1 carry).
+    pub carried_answers: usize,
+    /// Cached answers re-derived from their seeded fixed point restricted to
+    /// the delta (Tier-2 reseed; insert-only deltas).
+    pub reseeded_answers: usize,
+    /// Cached answers dropped to a cold recompute on next use (deletion
+    /// deltas, or no captured seed).
+    pub recomputed_answers: usize,
     /// Superseded epochs retired by this publish (no sessions pinned).
     pub retired_epochs: usize,
     /// Wall-clock time of the publish (delta apply + compact + index/cache
@@ -365,7 +374,10 @@ impl VersionedStore {
             })?;
             let delta = overlay.delta();
             let snapshot = Arc::new(overlay.compact());
-            core = core.advance(snapshot, &delta);
+            // Replay cares only about reaching the final epoch; the per-step
+            // migration split is a live-publish observability concern.
+            let (advanced, _migration) = core.advance(snapshot, &delta);
+            core = advanced;
             replayed_publishes += 1;
             replayed_ops += batch.ops.len();
         }
@@ -551,6 +563,9 @@ impl VersionedStore {
                 added_edges: 0,
                 removed_edges: 0,
                 touched_labels: 0,
+                carried_answers: 0,
+                reseeded_answers: 0,
+                recomputed_answers: 0,
                 retired_epochs: 0,
                 latency: started.elapsed(),
                 durability: DurabilityReport::default(),
@@ -564,7 +579,7 @@ impl VersionedStore {
         overlay.apply_all(&ops)?;
         let delta = overlay.delta();
         let snapshot = Arc::new(overlay.compact());
-        let next = base.advance(Arc::clone(&snapshot), &delta);
+        let (next, migration) = base.advance(Arc::clone(&snapshot), &delta);
         let epoch = next.epoch();
 
         // Durability point: the publish becomes visible to readers only
@@ -642,6 +657,9 @@ impl VersionedStore {
             added_edges: delta.added_edges.len(),
             removed_edges: delta.removed_edges.len(),
             touched_labels: delta.touched_labels().len(),
+            carried_answers: migration.carried,
+            reseeded_answers: migration.reseeded,
+            recomputed_answers: migration.recomputed,
             retired_epochs,
             latency,
             durability: DurabilityReport {

@@ -14,7 +14,9 @@
 //! runs on the frontier engine by flipping the `EvalMode` builder knob.
 
 use crate::bitset::FixedBitSet;
-use crate::frontier::{evaluate_counting, selects_from, witness_from, Scratch};
+use crate::frontier::{
+    evaluate_captured, evaluate_counting, resume_counting, selects_from, witness_from, Scratch,
+};
 use crate::index::{Direction, LabelIndex};
 use crate::metrics::ExecMetrics;
 use crate::planner::{self, Plan, PlanDecision, PlannerConfig};
@@ -22,7 +24,7 @@ use gps_automata::Dfa;
 use gps_graph::{
     CsrGraph, GraphBackend, GraphDelta, LabelStats, NodeId, Path, PrefixNodeId, PrefixTree, Word,
 };
-use gps_rpq::{DfaEvaluator, PathQuery, QueryAnswer};
+use gps_rpq::{DfaEvaluator, EvalResume, PathQuery, QueryAnswer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -213,6 +215,64 @@ impl BatchEvaluator {
         answer
     }
 
+    /// [`evaluate_scratch`](Self::evaluate_scratch) that additionally
+    /// captures the alive sets when the fixed point completed (see
+    /// [`evaluate_captured`]).
+    fn evaluate_captured_scratch(
+        &self,
+        dfa: &Dfa,
+        scratch: &mut Scratch,
+    ) -> (QueryAnswer, Option<EvalResume>) {
+        let plan = self.plan_for(dfa).plan;
+        self.metrics.record_plan(plan);
+        let span = self.metrics.eval_latency.start_timer();
+        let (answer, rounds, resume) = evaluate_captured(&self.index, dfa, plan, scratch);
+        span.stop();
+        self.metrics.evals.inc();
+        self.metrics.frontier_rounds.add(rounds);
+        (answer, resume)
+    }
+
+    /// Capture-enabled work-stealing batch (same shape as
+    /// [`evaluate_many_stealing`](Self::evaluate_many_stealing)).
+    fn evaluate_many_captured_parallel(
+        &self,
+        dfas: &[&Dfa],
+        threads: usize,
+    ) -> Vec<(QueryAnswer, Option<EvalResume>)> {
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<(QueryAnswer, Option<EvalResume>)>> = vec![None; dfas.len()];
+        std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut scratch = Scratch::default();
+                        let mut answered = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= dfas.len() {
+                                break;
+                            }
+                            answered
+                                .push((i, self.evaluate_captured_scratch(dfas[i], &mut scratch)));
+                        }
+                        answered
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, outcome) in handle.join().expect("batch worker panicked") {
+                    results[i] = Some(outcome);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("the cursor visits every query exactly once"))
+            .collect()
+    }
+
     /// Evaluates a batch sequentially, sharing one scratch allocation across
     /// all queries (answers in input order).
     pub fn evaluate_many(&self, dfas: &[&Dfa]) -> Vec<QueryAnswer> {
@@ -400,6 +460,43 @@ impl DfaEvaluator for BatchEvaluator {
             Some(threads) if dfas.len() > 1 => self.evaluate_many_parallel(dfas, threads),
             _ => self.evaluate_many(dfas),
         }
+    }
+
+    fn evaluate_dfa_captured(&self, dfa: &Dfa) -> (QueryAnswer, Option<EvalResume>) {
+        let mut scratch = Scratch::default();
+        self.evaluate_captured_scratch(dfa, &mut scratch)
+    }
+
+    fn evaluate_dfas_captured(&self, dfas: &[&Dfa]) -> Vec<(QueryAnswer, Option<EvalResume>)> {
+        match self.parallelism {
+            Some(threads) if dfas.len() > 1 => {
+                let threads = threads.clamp(1, dfas.len());
+                self.evaluate_many_captured_parallel(dfas, threads)
+            }
+            _ => {
+                let mut scratch = Scratch::default();
+                dfas.iter()
+                    .map(|dfa| self.evaluate_captured_scratch(dfa, &mut scratch))
+                    .collect()
+            }
+        }
+    }
+
+    fn evaluate_dfa_resumed(
+        &self,
+        dfa: &Dfa,
+        resume: &EvalResume,
+        delta: &GraphDelta,
+    ) -> Option<(QueryAnswer, EvalResume)> {
+        let mut scratch = Scratch::default();
+        let (answer, rounds, next) =
+            resume_counting(&self.index, dfa, resume, delta, &mut scratch)?;
+        // Counted as an evaluation (its rounds are the delta-restricted
+        // sweeps); latency is attributed by the caller's reseed histogram,
+        // not the cold-eval one.
+        self.metrics.evals.inc();
+        self.metrics.frontier_rounds.add(rounds);
+        Some((answer, next))
     }
 
     fn selects_node(&self, dfa: &Dfa, node: NodeId) -> bool {

@@ -22,8 +22,8 @@ use crate::bitset::FixedBitSet;
 use crate::index::{Direction, LabelIndex};
 use crate::planner::Plan;
 use gps_automata::Dfa;
-use gps_graph::{LabelId, NodeId, Path};
-use gps_rpq::QueryAnswer;
+use gps_graph::{GraphDelta, LabelId, NodeId, Path};
+use gps_rpq::{EvalResume, QueryAnswer};
 
 /// Reusable allocation for one evaluation: per-state alive/frontier/delta
 /// bitsets.  Batch callers keep one `Scratch` per worker and amortize the
@@ -66,10 +66,38 @@ pub fn evaluate_counting(
     plan: Plan,
     scratch: &mut Scratch,
 ) -> (QueryAnswer, u64) {
+    let (answer, rounds, _) = fixed_point(index, dfa, plan, scratch, false);
+    (answer, rounds)
+}
+
+/// [`evaluate_counting`], additionally capturing the per-state alive sets as
+/// an [`EvalResume`] seed for later delta-restricted re-derivation.
+///
+/// The seed is only sound when the fixed point actually completed, so the
+/// capture is `None` exactly when the evaluation took the early exit (the
+/// start state saturated while other states were still under-derived) — which
+/// only happens on queries that select every node, the cheapest ones to
+/// recompute cold.
+pub fn evaluate_captured(
+    index: &LabelIndex,
+    dfa: &Dfa,
+    plan: Plan,
+    scratch: &mut Scratch,
+) -> (QueryAnswer, u64, Option<EvalResume>) {
+    fixed_point(index, dfa, plan, scratch, true)
+}
+
+fn fixed_point(
+    index: &LabelIndex,
+    dfa: &Dfa,
+    plan: Plan,
+    scratch: &mut Scratch,
+    capture: bool,
+) -> (QueryAnswer, u64, Option<EvalResume>) {
     let n = index.node_count();
     let s = dfa.state_count();
     if n == 0 || s == 0 {
-        return (QueryAnswer::from_flags(vec![false; n]), 0);
+        return (QueryAnswer::from_flags(vec![false; n]), 0, None);
     }
     scratch.prepare(s, n);
 
@@ -99,11 +127,12 @@ pub fn evaluate_counting(
 
     let start = dfa.start();
     let mut rounds = 0u64;
-    loop {
+    let complete = loop {
         // The answer only reads `alive[start]`; once every node is selected
-        // no further round can change it.
+        // no further round can change it.  This exit can leave *other*
+        // states under-derived, so it does not produce a resumable seed.
         if scratch.alive[start].count() == n {
-            break;
+            break false;
         }
         rounds += 1;
 
@@ -162,18 +191,140 @@ pub fn evaluate_counting(
             }
         }
         if !progress {
+            // No round mode can derive anything further: a true fixed point.
+            break true;
+        }
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+        for bits in &mut scratch.next {
+            bits.clear();
+        }
+    };
+
+    let selected = (0..n)
+        .map(|node| scratch.alive[start].contains(node))
+        .collect();
+    let resume = (capture && complete).then(|| {
+        EvalResume::new(
+            n,
+            scratch
+                .alive
+                .iter()
+                .map(|bits| bits.as_words().to_vec())
+                .collect(),
+        )
+    });
+    (QueryAnswer::from_flags(selected), rounds, resume)
+}
+
+/// Resumes the product fixed point from a captured [`EvalResume`] after an
+/// **insert-only** [`GraphDelta`]: the old alive sets are restored, nodes
+/// added since the capture seed the accepting states, the added edges'
+/// direct derivations seed the frontier, and push rounds over the patched
+/// index expand only what the delta can newly derive.
+///
+/// The fixed point is monotone in the edge set, so converging from the old
+/// answer is exact for insertions; any removal invalidates the seed and the
+/// caller must fall back to a cold evaluation — signalled by `None`, as is a
+/// seed whose DFA shape does not match.
+pub fn resume_counting(
+    index: &LabelIndex,
+    dfa: &Dfa,
+    resume: &EvalResume,
+    delta: &GraphDelta,
+    scratch: &mut Scratch,
+) -> Option<(QueryAnswer, u64, EvalResume)> {
+    if !delta.removed_edges.is_empty() {
+        return None;
+    }
+    let n = index.node_count();
+    let s = dfa.state_count();
+    if n == 0 || s == 0 || resume.state_count() != s || resume.nodes() > n {
+        return None;
+    }
+    scratch.prepare(s, n);
+
+    let mut rev_dfa: Vec<Vec<(LabelId, usize)>> = vec![Vec::new(); s];
+    for state in 0..s {
+        for (label, target) in dfa.transitions_from(state) {
+            rev_dfa[target].push((label, state));
+        }
+    }
+
+    // Restore the pre-delta fixed point over the node range it covered.
+    for state in 0..s {
+        scratch.alive[state].load_prefix(resume.state_words(state));
+    }
+    // Nodes added since the capture: their accepting configurations are
+    // alive by definition and expand like any fresh discovery.
+    for state in 0..s {
+        if dfa.is_accepting(state) {
+            for node in resume.nodes()..n {
+                if scratch.alive[state].insert(node) {
+                    scratch.frontier[state].insert(node);
+                }
+            }
+        }
+    }
+    // Direct consequences of the added edges: (u, p) is alive when
+    // u --a--> v was inserted, p --a--> q in the DFA and (v, q) is alive.
+    // Cascades through *old* edges are handled by the push rounds below —
+    // every new discovery enters the frontier and is expanded through the
+    // full (patched) reverse index.
+    for edge in &delta.added_edges {
+        let (u, v) = (edge.source.index(), edge.target.index());
+        if u >= n || v >= n {
+            return None;
+        }
+        for p in 0..s {
+            if let Some(q) = dfa.step(p, edge.label) {
+                if scratch.alive[q].contains(v) && scratch.alive[p].insert(u) {
+                    scratch.frontier[p].insert(u);
+                }
+            }
+        }
+    }
+
+    let mut rounds = 0u64;
+    loop {
+        let mut progress = false;
+        for (q, transitions) in rev_dfa.iter().enumerate() {
+            if scratch.frontier[q].is_empty() {
+                continue;
+            }
+            for &(label, p) in transitions {
+                for u in scratch.frontier[q].ones() {
+                    for &w in index.neighbors(Direction::Reverse, label, u) {
+                        if scratch.alive[p].insert(w as usize) {
+                            scratch.next[p].insert(w as usize);
+                            progress = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !progress {
             break;
         }
+        rounds += 1;
         std::mem::swap(&mut scratch.frontier, &mut scratch.next);
         for bits in &mut scratch.next {
             bits.clear();
         }
     }
 
+    let start = dfa.start();
     let selected = (0..n)
         .map(|node| scratch.alive[start].contains(node))
         .collect();
-    (QueryAnswer::from_flags(selected), rounds)
+    let next_resume = EvalResume::new(
+        n,
+        scratch
+            .alive
+            .iter()
+            .map(|bits| bits.as_words().to_vec())
+            .collect(),
+    );
+    Some((QueryAnswer::from_flags(selected), rounds, next_resume))
 }
 
 /// Forward single-source check: does some path from `source` spell an

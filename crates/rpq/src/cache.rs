@@ -14,9 +14,9 @@
 //! [`DfaEvaluator`], so the same cache serves the naive reference evaluator
 //! and the `gps-exec` frontier/batch engines.
 
-use crate::eval::{DfaEvaluator, NaiveEvaluator, QueryAnswer};
-use gps_automata::{Dfa, Regex};
-use gps_graph::{CsrGraph, GraphBackend, NodeId, Path, PathEnumerator, Word};
+use crate::eval::{DfaEvaluator, EvalResume, NaiveEvaluator, QueryAnswer};
+use gps_automata::{Alphabet, Dfa, Regex};
+use gps_graph::{CsrGraph, GraphBackend, GraphDelta, NodeId, Path, PathEnumerator, Word};
 use gps_telemetry::{Counter, Histogram, MetricsRegistry};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -38,6 +38,21 @@ pub const DEFAULT_WORDS_CAPACITY: usize = 8;
 #[derive(Debug)]
 struct Entry {
     answer: Arc<QueryAnswer>,
+    /// The labels the query's DFA can ever read — the per-entry alphabet
+    /// fingerprint epoch migration compares against a delta's touched labels
+    /// to prove the entry unaffected (Tier 1).
+    alphabet: Alphabet,
+    /// Whether the query's language contains the empty word — the membership
+    /// a node with no alphabet-relevant out-edges has, i.e. the fill value
+    /// when a carried answer is extended over nodes a label-disjoint delta
+    /// added.
+    nullable: bool,
+    /// The compiled automaton the answer was computed from, kept so a
+    /// touched entry can be re-derived without reparsing the expression.
+    dfa: Arc<Dfa>,
+    /// The captured fixed point (Tier-2 seed); `None` when the evaluator
+    /// does not capture (naive mode) or the evaluation early-exited.
+    resume: Option<Arc<EvalResume>>,
     /// Monotonic recency tick, updated with a relaxed store on every hit so
     /// lookups stay on the shared read lock.
     last_used: AtomicU64,
@@ -51,7 +66,35 @@ struct Entry {
 struct WordsEntry {
     words: Arc<Vec<Vec<Word>>>,
     counts: Arc<Vec<usize>>,
+    /// Every label occurring in any node's bounded words — the fingerprint
+    /// [`EvalCache::inherit_words`] uses to skip its union-BFS entirely when
+    /// a removal-only delta cannot touch any materialized word.
+    alphabet: Alphabet,
     last_used: AtomicU64,
+}
+
+/// Every label appearing in any word of a bounded-word snapshot.
+fn words_alphabet(words: &[Vec<Word>]) -> Alphabet {
+    Alphabet::from_labels(words.iter().flatten().flatten().copied())
+}
+
+/// One bounded-word snapshot lifted out of an old cache for inheritance:
+/// `(bound, words, counts, alphabet)`.
+type WordsSnapshot = (usize, Arc<Vec<Vec<Word>>>, Arc<Vec<usize>>, Alphabet);
+
+/// How one epoch migration ([`EvalCache::migrate_answers`]) split the old
+/// cache's answers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Entries whose alphabet misses every touched label: carried verbatim
+    /// (Tier 1), zero recomputation.
+    pub carried: usize,
+    /// Touched entries re-derived from their seeded fixed point restricted
+    /// to the delta (Tier 2, insert-only deltas).
+    pub reseeded: usize,
+    /// Touched entries dropped to a cold recompute on next use (deletion
+    /// deltas, or no captured seed to resume from).
+    pub recomputed: usize,
 }
 
 /// A concurrent, bounded evaluation cache bound to one graph snapshot.
@@ -82,9 +125,20 @@ pub struct EvalCache {
     misses: Counter,
     evictions: Counter,
     word_evictions: Counter,
+    /// Epoch-migration split: answers carried verbatim (Tier 1), re-derived
+    /// from their seed (Tier 2), and dropped to a cold recompute.
+    carried: Counter,
+    reseeded: Counter,
+    fallback: Counter,
+    /// Entries (answers + word snapshots) dropped when the cache's epoch was
+    /// retired — the eviction attribution of the epoch swap.
+    retired_entries: Counter,
     /// `gps_rpq_eval_latency_ns` — wall time of one cache-miss evaluation
     /// (disabled until [`with_metrics`](Self::with_metrics) binds it).
     eval_latency: Histogram,
+    /// `gps_rpq_reseed_latency_ns` — wall time of one Tier-2 seeded
+    /// re-derivation at publish.
+    reseed_latency: Histogram,
     tick: AtomicU64,
     /// Set once the snapshot this cache serves has been superseded by a
     /// newer epoch and every entry has been dropped (see
@@ -131,7 +185,12 @@ impl EvalCache {
             misses: Counter::standalone(),
             evictions: Counter::standalone(),
             word_evictions: Counter::standalone(),
+            carried: Counter::standalone(),
+            reseeded: Counter::standalone(),
+            fallback: Counter::standalone(),
+            retired_entries: Counter::standalone(),
             eval_latency: Histogram::disabled(),
+            reseed_latency: Histogram::disabled(),
             tick: AtomicU64::new(0),
             retired: AtomicBool::new(false),
         }
@@ -151,7 +210,12 @@ impl EvalCache {
             self.misses = registry.counter("gps_rpq_cache_misses_total");
             self.evictions = registry.counter("gps_rpq_cache_evictions_total");
             self.word_evictions = registry.counter("gps_rpq_cache_word_evictions_total");
+            self.carried = registry.counter("gps_rpq_cache_carried_total");
+            self.reseeded = registry.counter("gps_rpq_cache_reseeded_total");
+            self.fallback = registry.counter("gps_rpq_cache_fallback_total");
+            self.retired_entries = registry.counter("gps_rpq_cache_retired_total");
             self.eval_latency = registry.histogram("gps_rpq_eval_latency_ns");
+            self.reseed_latency = registry.histogram("gps_rpq_reseed_latency_ns");
         }
         self
     }
@@ -199,9 +263,15 @@ impl EvalCache {
     /// stays functional (a straggling handle re-misses and recomputes
     /// deterministically), but its memory is released eagerly instead of
     /// waiting for the last `Arc` to die.
+    ///
+    /// The drop is attributed to `gps_rpq_cache_retired_total` (answers plus
+    /// word snapshots), so the epoch swap's evictions stay observable next to
+    /// the migration split instead of vanishing without a counter.
     pub fn retire(&self) {
         let mut answers = self.answers.write();
         let mut words = self.words.write();
+        self.retired_entries
+            .add((answers.len() + words.len()) as u64);
         answers.clear();
         words.clear();
         self.retired.store(true, Ordering::Release);
@@ -210,6 +280,108 @@ impl EvalCache {
     /// Returns `true` once [`retire`](Self::retire) has run.
     pub fn is_retired(&self) -> bool {
         self.retired.load(Ordering::Acquire)
+    }
+
+    /// Migrates `old`'s (the superseded epoch's) cached answers into this
+    /// (new-epoch) cache across `delta`, in two tiers:
+    ///
+    /// * **Tier 1 — proof of irrelevance.** An entry whose DFA alphabet
+    ///   misses every touched label cannot observe the delta: edges with
+    ///   labels outside the alphabet never fire a DFA transition, so the
+    ///   product — and the answer, witnesses and captured fixed point — is
+    ///   unchanged.  The entry is carried verbatim (`Arc`-shared; when the
+    ///   delta added nodes, the answer is extended with the language's
+    ///   nullability, since a node whose every edge is alphabet-irrelevant is
+    ///   selected iff the language contains the empty word).
+    /// * **Tier 2 — delta-restricted re-derivation.** A touched entry with a
+    ///   captured seed is re-derived by resuming its fixed point restricted
+    ///   to the delta ([`DfaEvaluator::evaluate_dfa_resumed`]) — sound only
+    ///   for insert-only deltas (the fixed point is monotone in the edge
+    ///   set).  Any delta containing a removal, and any entry without a
+    ///   seed, falls back to a cold recompute on next use instead.
+    ///
+    /// Recency ticks carry over, so LRU ordering survives the epoch swap;
+    /// the split is recorded on the `carried`/`reseeded`/`fallback` counters
+    /// and each reseed's wall time on `gps_rpq_reseed_latency_ns`.
+    pub fn migrate_answers(&self, old: &EvalCache, delta: &GraphDelta) -> MigrationReport {
+        let mut report = MigrationReport::default();
+        let touched = delta.touched_labels();
+        let insert_only = delta.removed_edges.is_empty();
+        let new_n = self.csr.node_count();
+        // Continue the old epoch's tick stream so carried recency stays
+        // comparable with post-migration touches.
+        self.tick
+            .fetch_max(old.tick.load(Ordering::Relaxed), Ordering::Relaxed);
+        let old_entries = old.answers.read();
+        // Most-recently-used first, so the capacity cap keeps the hot end.
+        let mut ordered: Vec<(&Regex, &Entry)> = old_entries.iter().collect();
+        ordered
+            .sort_by_key(|(_, entry)| std::cmp::Reverse(entry.last_used.load(Ordering::Relaxed)));
+        let mut entries = self.answers.write();
+        for (regex, entry) in ordered {
+            if entries.len() >= self.capacity {
+                break;
+            }
+            let untouched = !entry.alphabet.iter().any(|label| touched.contains(&label));
+            let migrated = if untouched {
+                report.carried += 1;
+                let answer = if entry.answer.flags().len() == new_n {
+                    Arc::clone(&entry.answer)
+                } else {
+                    let mut flags = entry.answer.flags().to_vec();
+                    flags.resize(new_n, entry.nullable);
+                    Arc::new(QueryAnswer::from_flags(flags))
+                };
+                Entry {
+                    answer,
+                    alphabet: entry.alphabet.clone(),
+                    nullable: entry.nullable,
+                    dfa: Arc::clone(&entry.dfa),
+                    // The seed stays valid: the relevant subgraph is
+                    // unchanged, and nodes past `resume.nodes()` are
+                    // re-seeded from the DFA alone at the next resume.
+                    resume: entry.resume.clone(),
+                    last_used: AtomicU64::new(entry.last_used.load(Ordering::Relaxed)),
+                }
+            } else {
+                let reseeded = if insert_only {
+                    entry.resume.as_ref().and_then(|resume| {
+                        let span = self.reseed_latency.start_timer();
+                        let outcome = self
+                            .evaluator
+                            .evaluate_dfa_resumed(&entry.dfa, resume, delta);
+                        if outcome.is_none() {
+                            span.cancel();
+                        }
+                        outcome
+                    })
+                } else {
+                    None
+                };
+                match reseeded {
+                    Some((answer, resume)) => {
+                        report.reseeded += 1;
+                        Entry {
+                            answer: Arc::new(answer),
+                            alphabet: entry.alphabet.clone(),
+                            nullable: entry.nullable,
+                            dfa: Arc::clone(&entry.dfa),
+                            resume: Some(Arc::new(resume)),
+                            last_used: AtomicU64::new(entry.last_used.load(Ordering::Relaxed)),
+                        }
+                    }
+                    None => {
+                        report.recomputed += 1;
+                        continue;
+                    }
+                }
+            };
+            entries.insert(regex.clone(), migrated);
+        }
+        self.carried.add(report.carried as u64);
+        self.reseeded.add(report.reseeded as u64);
+        self.fallback.add(report.recomputed as u64);
+        report
     }
 
     /// Seeds this (new-epoch) cache's bounded-word snapshots from `old` (the
@@ -228,14 +400,28 @@ impl EvalCache {
     /// newly-inserted nodes are re-enumerated on the new snapshot and every
     /// other node's word set is carried over verbatim.  The result is
     /// identical to a cold enumeration (asserted by the conformance tests).
-    pub fn inherit_words(&self, old: &EvalCache, changed_sources: &[NodeId]) {
+    ///
+    /// Before any of that, a fingerprint check can skip even the union BFS:
+    /// when the delta adds no edges (an insertion always mints a fresh
+    /// length-1 word at its source) and no removed edge's label occurs in any
+    /// snapshot's word alphabet, no materialized word can change, and every
+    /// snapshot is carried verbatim — `Arc`-shared when the node count is
+    /// unchanged, extended with empty word sets for added nodes otherwise.
+    pub fn inherit_words(&self, old: &EvalCache, delta: &GraphDelta) {
         let old_n = old.csr.node_count();
         let new_n = self.csr.node_count();
-        let mut snapshots: Vec<(usize, Arc<Vec<Vec<Word>>>)> = old
+        let mut snapshots: Vec<WordsSnapshot> = old
             .words
             .read()
             .iter()
-            .map(|(&bound, entry)| (bound, Arc::clone(&entry.words)))
+            .map(|(&bound, entry)| {
+                (
+                    bound,
+                    Arc::clone(&entry.words),
+                    Arc::clone(&entry.counts),
+                    entry.alphabet.clone(),
+                )
+            })
             .collect();
         if snapshots.is_empty() {
             return;
@@ -243,13 +429,45 @@ impl EvalCache {
         // Deterministic inheritance order: when the capacity cap truncates,
         // the smallest bounds — the ones the session fast paths ask for
         // first — survive, not whatever the map iteration happened to yield.
-        snapshots.sort_by_key(|&(bound, _)| bound);
+        snapshots.sort_by_key(|(bound, ..)| *bound);
+
+        let touched = delta.touched_labels();
+        let untouchable = delta.added_edges.is_empty()
+            && snapshots
+                .iter()
+                .all(|(_, _, _, alphabet)| !alphabet.iter().any(|label| touched.contains(&label)));
+        if untouchable {
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut map = self.words.write();
+            for (bound, old_words, old_counts, alphabet) in snapshots {
+                if map.len() >= self.words_capacity {
+                    break;
+                }
+                let (words, counts) = if old_n == new_n {
+                    (old_words, old_counts)
+                } else {
+                    let mut words = (*old_words).clone();
+                    words.resize(new_n, Vec::new());
+                    let counts: Vec<usize> = words.iter().map(|words| words.len()).collect();
+                    (Arc::new(words), Arc::new(counts))
+                };
+                map.entry(bound).or_insert(WordsEntry {
+                    words,
+                    counts,
+                    alphabet,
+                    last_used: AtomicU64::new(tick),
+                });
+            }
+            return;
+        }
+
+        let changed_sources = delta.changed_sources();
         // One union reverse BFS up to the largest materialized bound; the
         // per-bound affected set is "reached within bound - 1 steps".
-        let max_bound = snapshots.iter().map(|&(bound, _)| bound).max().unwrap();
+        let max_bound = snapshots.iter().map(|(bound, ..)| *bound).max().unwrap();
         let mut depth: Vec<Option<usize>> = vec![None; new_n.max(old_n)];
         let mut frontier: Vec<NodeId> = Vec::new();
-        for &source in changed_sources {
+        for &source in &changed_sources {
             if source.index() < depth.len() && depth[source.index()].is_none() {
                 depth[source.index()] = Some(0);
                 frontier.push(source);
@@ -282,7 +500,7 @@ impl EvalCache {
 
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let mut map = self.words.write();
-        for (bound, old_words) in snapshots {
+        for (bound, old_words, _, _) in snapshots {
             if map.len() >= self.words_capacity {
                 break;
             }
@@ -301,9 +519,11 @@ impl EvalCache {
                 })
                 .collect();
             let counts: Vec<usize> = words.iter().map(|words| words.len()).collect();
+            let alphabet = words_alphabet(&words);
             map.entry(bound).or_insert(WordsEntry {
                 words: Arc::new(words),
                 counts: Arc::new(counts),
+                alphabet,
                 last_used: AtomicU64::new(tick),
             });
         }
@@ -328,9 +548,10 @@ impl EvalCache {
         }
         let dfa = Dfa::from_regex(regex);
         let span = self.eval_latency.start_timer();
-        let answer = Arc::new(self.evaluator.evaluate_dfa(&dfa));
+        let (answer, resume) = self.evaluator.evaluate_dfa_captured(&dfa);
         span.stop();
-        self.insert(regex, &answer);
+        let answer = Arc::new(answer);
+        self.insert(regex, &answer, dfa, resume);
         answer
     }
 
@@ -345,9 +566,10 @@ impl EvalCache {
             return answer;
         }
         let span = self.eval_latency.start_timer();
-        let answer = Arc::new(self.evaluator.evaluate_dfa(dfa));
+        let (answer, resume) = self.evaluator.evaluate_dfa_captured(dfa);
         span.stop();
-        self.insert(regex, &answer);
+        let answer = Arc::new(answer);
+        self.insert(regex, &answer, dfa.clone(), resume);
         answer
     }
 
@@ -411,6 +633,7 @@ impl EvalCache {
             })
             .collect();
         let counts: Vec<usize> = words.iter().map(|words| words.len()).collect();
+        let alphabet = words_alphabet(&words);
         let words = Arc::new(words);
         let counts = Arc::new(counts);
         if map.len() >= self.words_capacity {
@@ -428,6 +651,7 @@ impl EvalCache {
             WordsEntry {
                 words: Arc::clone(&words),
                 counts: Arc::clone(&counts),
+                alphabet,
                 last_used: AtomicU64::new(tick),
             },
         );
@@ -477,17 +701,18 @@ impl EvalCache {
                 .iter()
                 .map(|&i| Dfa::from_regex(regexes[i]))
                 .collect();
-            let dfa_refs: Vec<&Dfa> = dfas.iter().collect();
-            let span = self.eval_latency.start_timer();
-            let answers: Vec<Arc<QueryAnswer>> = self
-                .evaluator
-                .evaluate_dfas(&dfa_refs)
-                .into_iter()
-                .map(Arc::new)
-                .collect();
-            span.stop();
-            for (&i, answer) in distinct.iter().zip(&answers) {
-                self.insert(regexes[i], answer);
+            let outcomes = {
+                let dfa_refs: Vec<&Dfa> = dfas.iter().collect();
+                let span = self.eval_latency.start_timer();
+                let outcomes = self.evaluator.evaluate_dfas_captured(&dfa_refs);
+                span.stop();
+                outcomes
+            };
+            let mut answers: Vec<Arc<QueryAnswer>> = Vec::with_capacity(outcomes.len());
+            for ((&i, dfa), (answer, resume)) in distinct.iter().zip(dfas).zip(outcomes) {
+                let answer = Arc::new(answer);
+                self.insert(regexes[i], &answer, dfa, resume);
+                answers.push(answer);
             }
             for (i, slot) in assignment {
                 results[i] = Some(Arc::clone(&answers[slot]));
@@ -514,8 +739,16 @@ impl EvalCache {
         }
     }
 
-    /// Inserts an answer, evicting the least-recently-used entry when full.
-    fn insert(&self, regex: &Regex, answer: &Arc<QueryAnswer>) {
+    /// Inserts an answer (with the automaton it came from and, when captured,
+    /// its resumable fixed point), evicting the least-recently-used entry
+    /// when full.
+    fn insert(
+        &self,
+        regex: &Regex,
+        answer: &Arc<QueryAnswer>,
+        dfa: Dfa,
+        resume: Option<EvalResume>,
+    ) {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let mut answers = self.answers.write();
         if !answers.contains_key(regex) && answers.len() >= self.capacity {
@@ -528,8 +761,12 @@ impl EvalCache {
                 self.evictions.inc();
             }
         }
-        answers.entry(regex.clone()).or_insert(Entry {
+        answers.entry(regex.clone()).or_insert_with(|| Entry {
             answer: Arc::clone(answer),
+            alphabet: dfa.used_alphabet(),
+            nullable: dfa.is_accepting(dfa.start()),
+            dfa: Arc::new(dfa),
+            resume: resume.map(Arc::new),
             last_used: AtomicU64::new(tick),
         });
     }
@@ -882,7 +1119,7 @@ mod tests {
         let compacted = delta.compact();
 
         let new_cache = EvalCache::from_csr(compacted.clone());
-        new_cache.inherit_words(&old_cache, &summary.changed_sources());
+        new_cache.inherit_words(&old_cache, &summary);
         assert_eq!(new_cache.words_len(), 2, "both bounds inherited");
         let cold = EvalCache::from_csr(compacted);
         for bound in [2usize, 4] {
@@ -919,8 +1156,172 @@ mod tests {
             old_cache.bounded_words(bound);
         }
         let new_cache = EvalCache::new(&g).with_words_capacity(2);
-        new_cache.inherit_words(&old_cache, &[]);
+        new_cache.inherit_words(&old_cache, &GraphDelta::default());
         assert!(new_cache.words_len() <= 2);
+    }
+
+    #[test]
+    fn migrate_answers_carries_label_disjoint_entries() {
+        use gps_graph::DeltaGraph;
+
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_edge_by_name(a, "x", b);
+        let base = Arc::new(CsrGraph::from_graph(&g));
+        let old_cache = EvalCache::from_csr((*base).clone());
+        let x = g.label_id("x").unwrap();
+        let q = Regex::symbol(x);
+        let star = Regex::star(Regex::symbol(x));
+        old_cache.evaluate(&q);
+        old_cache.evaluate(&star);
+
+        // Publish an epoch that only touches a fresh label `z`.
+        let mut delta = DeltaGraph::new(Arc::clone(&base));
+        let w = delta.add_node("W");
+        let z = delta.label("z");
+        delta.add_edge(b, z, w);
+        let summary = delta.delta();
+        let compacted = delta.compact();
+
+        let new_cache = EvalCache::from_csr(compacted.clone());
+        let report = new_cache.migrate_answers(&old_cache, &summary);
+        assert_eq!(
+            report,
+            MigrationReport {
+                carried: 2,
+                reseeded: 0,
+                recomputed: 0
+            }
+        );
+        assert_eq!(new_cache.len(), 2);
+
+        // Both lookups are hits — the migrated answers serve without any
+        // re-evaluation — and match a cold evaluation on the new snapshot.
+        let migrated = new_cache.evaluate(&q);
+        assert_eq!(new_cache.stats(), (1, 0));
+        let migrated_star = new_cache.evaluate(&star);
+        assert!(migrated.contains(a));
+        assert!(!migrated.contains(w), "`x` is not nullable: W unselected");
+        assert!(migrated_star.contains(w), "`x*` is nullable: W selected");
+        let cold = EvalCache::from_csr(compacted);
+        assert_eq!(migrated.flags(), cold.evaluate(&q).flags());
+        assert_eq!(migrated_star.flags(), cold.evaluate(&star).flags());
+    }
+
+    #[test]
+    fn migrate_answers_shares_answers_when_no_nodes_were_added() {
+        use gps_graph::DeltaGraph;
+
+        let g = sample();
+        let base = Arc::new(CsrGraph::from_graph(&g));
+        let old_cache = EvalCache::from_csr((*base).clone());
+        let x = g.label_id("x").unwrap();
+        let q = Regex::symbol(x);
+        let old_answer = old_cache.evaluate(&q);
+
+        // A disjoint-label edge between existing nodes: no node growth.
+        let mut delta = DeltaGraph::new(Arc::clone(&base));
+        let z = delta.label("z");
+        delta.add_edge(
+            g.node_by_name("B").unwrap(),
+            z,
+            g.node_by_name("A").unwrap(),
+        );
+        let summary = delta.delta();
+        let new_cache = EvalCache::from_csr(delta.compact());
+
+        let report = new_cache.migrate_answers(&old_cache, &summary);
+        assert_eq!(report.carried, 1);
+        let migrated = new_cache.evaluate(&q);
+        assert!(
+            Arc::ptr_eq(&old_answer, &migrated),
+            "same node count: the answer allocation is shared, not copied"
+        );
+    }
+
+    #[test]
+    fn migrate_answers_drops_touched_entries_without_a_seed() {
+        use gps_graph::DeltaGraph;
+
+        let g = sample();
+        let base = Arc::new(CsrGraph::from_graph(&g));
+        let old_cache = EvalCache::from_csr((*base).clone());
+        let x = g.label_id("x").unwrap();
+        let q = Regex::symbol(x);
+        old_cache.evaluate(&q);
+
+        // Remove the only x-edge: the entry is touched, and the naive
+        // evaluator captures no seed to resume from.
+        let mut delta = DeltaGraph::new(Arc::clone(&base));
+        assert!(delta.remove_edge(
+            g.node_by_name("A").unwrap(),
+            x,
+            g.node_by_name("B").unwrap()
+        ));
+        let summary = delta.delta();
+        let new_cache = EvalCache::from_csr(delta.compact());
+
+        let report = new_cache.migrate_answers(&old_cache, &summary);
+        assert_eq!(
+            report,
+            MigrationReport {
+                carried: 0,
+                reseeded: 0,
+                recomputed: 1
+            }
+        );
+        assert!(new_cache.is_empty(), "touched entry dropped, not carried");
+        // The cold recompute on next use is correct for the new graph.
+        let recomputed = new_cache.evaluate(&q);
+        assert!(!recomputed.contains(g.node_by_name("A").unwrap()));
+    }
+
+    #[test]
+    fn inherit_words_short_circuits_to_shared_snapshots() {
+        let g = sample();
+        let old_cache = EvalCache::new(&g);
+        let w2 = old_cache.bounded_words(2);
+        let c2 = old_cache.bounded_word_counts(2);
+        let new_cache = EvalCache::new(&g);
+        new_cache.inherit_words(&old_cache, &GraphDelta::default());
+        assert!(
+            Arc::ptr_eq(&w2, &new_cache.bounded_words(2)),
+            "an irrelevant delta carries the snapshot allocation verbatim"
+        );
+        assert!(Arc::ptr_eq(&c2, &new_cache.bounded_word_counts(2)));
+    }
+
+    #[test]
+    fn inherit_words_extends_snapshots_over_added_nodes() {
+        use gps_graph::DeltaGraph;
+
+        let g = sample();
+        let base = Arc::new(CsrGraph::from_graph(&g));
+        let old_cache = EvalCache::from_csr((*base).clone());
+        let old_words = old_cache.bounded_words(2);
+
+        // A node-only delta adds no edge and touches no label.
+        let mut delta = DeltaGraph::new(Arc::clone(&base));
+        let w = delta.add_node("W");
+        let summary = delta.delta();
+        let compacted = delta.compact();
+        let new_cache = EvalCache::from_csr(compacted.clone());
+        new_cache.inherit_words(&old_cache, &summary);
+
+        let inherited = new_cache.bounded_words(2);
+        assert_eq!(inherited.len(), 3);
+        assert_eq!(inherited[..2], old_words[..]);
+        assert!(
+            inherited[w.index()].is_empty(),
+            "isolated node spells nothing"
+        );
+        let cold = EvalCache::from_csr(compacted);
+        assert_eq!(*inherited, *cold.bounded_words(2));
+        assert_eq!(
+            *new_cache.bounded_word_counts(2),
+            *cold.bounded_word_counts(2)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! start nodes), then reads off the answer for every node at once.
 
 use gps_automata::Dfa;
-use gps_graph::{CsrGraph, GraphBackend, LabelId, NodeId, Path, PrefixTree, Word};
+use gps_graph::{CsrGraph, GraphBackend, GraphDelta, LabelId, NodeId, Path, PrefixTree, Word};
 use std::collections::{BTreeMap, VecDeque};
 
 /// The set of nodes selected by a query on a graph.
@@ -53,6 +53,52 @@ impl QueryAnswer {
             .into_iter()
             .map(|n| graph.node_name(n))
             .collect()
+    }
+
+    /// The underlying per-node membership flags (indexed by node id).
+    pub fn flags(&self) -> &[bool] {
+        &self.selected
+    }
+}
+
+/// A portable snapshot of a *completed* product fixed point: for every DFA
+/// state, the packed bit-words of its alive-node set (one bit per node, 64
+/// nodes per word, little-endian within each word).
+///
+/// An answer cache stores one of these next to each answer so that after an
+/// insert-only [`GraphDelta`] the fixed point can be re-entered from the old
+/// alive sets (monotone, so it converges to the new answer) instead of from
+/// zero.  The snapshot is only a valid seed when it describes a true fixed
+/// point of the old graph — evaluators that early-exit once the start state
+/// saturates must not capture one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalResume {
+    nodes: usize,
+    states: Vec<Vec<u64>>,
+}
+
+impl EvalResume {
+    /// Packs a captured fixed point: `states[q]` holds the bit-words of DFA
+    /// state `q`'s alive set over a universe of `nodes` nodes.
+    pub fn new(nodes: usize, states: Vec<Vec<u64>>) -> Self {
+        Self { nodes, states }
+    }
+
+    /// The node count of the graph the fixed point was computed on.  A later
+    /// epoch may have more nodes; bits for nodes `>= nodes()` are implied by
+    /// the DFA alone (accepting states are alive everywhere).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of DFA states captured.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The packed alive-set words of DFA state `state`.
+    pub fn state_words(&self, state: usize) -> &[u64] {
+        &self.states[state]
     }
 }
 
@@ -159,6 +205,42 @@ pub trait DfaEvaluator: std::fmt::Debug + Send + Sync {
     /// override it to share visited state or fan out across threads.
     fn evaluate_dfas(&self, dfas: &[&Dfa]) -> Vec<QueryAnswer> {
         dfas.iter().map(|dfa| self.evaluate_dfa(dfa)).collect()
+    }
+
+    /// Evaluates one DFA and, when the engine ran the product to a true
+    /// fixed point, additionally captures the per-state alive sets as an
+    /// [`EvalResume`] seed for later delta-restricted re-derivation.
+    ///
+    /// The default captures nothing (a plain evaluation); only engines whose
+    /// internal state is exactly the product fixed point override this.
+    fn evaluate_dfa_captured(&self, dfa: &Dfa) -> (QueryAnswer, Option<EvalResume>) {
+        (self.evaluate_dfa(dfa), None)
+    }
+
+    /// Batch variant of [`evaluate_dfa_captured`](Self::evaluate_dfa_captured)
+    /// (answers in input order).
+    fn evaluate_dfas_captured(&self, dfas: &[&Dfa]) -> Vec<(QueryAnswer, Option<EvalResume>)> {
+        dfas.iter()
+            .map(|dfa| self.evaluate_dfa_captured(dfa))
+            .collect()
+    }
+
+    /// Re-derives `dfa`'s answer on this evaluator's (post-delta) graph by
+    /// resuming the product fixed point from `resume` — the captured alive
+    /// sets of the *pre-delta* evaluation — expanding only what `delta`'s
+    /// added edges can newly derive.
+    ///
+    /// Only sound for insert-only deltas (the fixed point is monotone in the
+    /// edge set); returns `None` when the delta contains removals, when the
+    /// seed does not match the DFA, or when the engine has no resumable
+    /// entry point (the default).
+    fn evaluate_dfa_resumed(
+        &self,
+        _dfa: &Dfa,
+        _resume: &EvalResume,
+        _delta: &GraphDelta,
+    ) -> Option<(QueryAnswer, EvalResume)> {
+        None
     }
 
     /// Single-node membership: is `node` selected by `dfa`?

@@ -49,8 +49,8 @@ pub mod handle;
 pub mod query;
 pub mod witness;
 
-pub use cache::EvalCache;
+pub use cache::{EvalCache, MigrationReport};
 pub use coverage::NegativeCoverage;
-pub use eval::{DfaEvaluator, NaiveEvaluator, QueryAnswer};
+pub use eval::{DfaEvaluator, EvalResume, NaiveEvaluator, QueryAnswer};
 pub use handle::EvalHandle;
 pub use query::PathQuery;

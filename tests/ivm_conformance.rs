@@ -1,0 +1,283 @@
+//! IVM conformance suite — delta-driven incremental answer maintenance
+//! across epochs must be *invisible* except in latency:
+//!
+//! 1. **Tier-1 carries are free and exact.**  After a publish whose label no
+//!    cached query's DFA alphabet contains, every cached answer is migrated
+//!    verbatim ([`PublishReport::carried_answers`]), the first post-publish
+//!    read of each query runs **zero frontier rounds**
+//!    (`gps_exec_frontier_rounds_total` is unchanged), and the served
+//!    answers equal a from-scratch evaluation on the new snapshot.
+//! 2. **Tier-2 reseeds converge.**  Across chained random insert-only
+//!    epochs that *do* touch the query alphabet, the seeded delta-restricted
+//!    fixed point produces exactly the cold-evaluation answers, under every
+//!    [`EvalMode`]; the frontier modes actually take the reseed path.
+//! 3. **Deletions always fall back.**  Any delta containing a removal never
+//!    reseeds (the fixed point is only monotone under insertion) — touched
+//!    entries are recomputed cold, and the answers stay correct.
+
+use gps_core::prelude::*;
+use gps_core::service::GpsService;
+use gps_core::versioned::GraphUpdate;
+use gps_datasets::scale_free::{self, ScaleFreeConfig};
+use gps_rpq::PathQuery;
+use gps_telemetry::MetricsRegistry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const MODES: [EvalMode; 3] = [EvalMode::Naive, EvalMode::Frontier, EvalMode::Parallel];
+
+fn scale_free_graph(nodes: usize) -> Graph {
+    scale_free::generate(&ScaleFreeConfig {
+        nodes,
+        seed: 11,
+        ..ScaleFreeConfig::default()
+    })
+}
+
+/// Sixteen distinct queries over the generated `a0..a3` alphabet — the warm
+/// cache every test publishes against.
+fn warm_queries(graph: &Graph) -> Vec<PathQuery> {
+    let name = |i: u32| graph.labels().name(LabelId::new(i)).unwrap().to_string();
+    let l: Vec<String> = (0..4).map(name).collect();
+    [
+        l[0].clone(),
+        l[1].clone(),
+        l[2].clone(),
+        l[3].clone(),
+        format!("{}.{}", l[0], l[1]),
+        format!("{}.{}", l[1], l[2]),
+        format!("{}.{}", l[2], l[3]),
+        format!("{}.{}", l[3], l[0]),
+        format!("{}*", l[0]),
+        format!("{}*.{}", l[1], l[2]),
+        format!("({}+{})*.{}", l[0], l[1], l[2]),
+        format!("({}+{})*.{}", l[2], l[3], l[0]),
+        format!("{}.{}*", l[0], l[1]),
+        format!("({}+{}).{}", l[0], l[2], l[3]),
+        format!("{}.{}.{}", l[1], l[2], l[3]),
+        format!("({}+{})*.{}", l[1], l[3], l[2]),
+    ]
+    .iter()
+    .map(|syntax| PathQuery::parse(syntax, graph.labels()).expect("query over generated alphabet"))
+    .collect()
+}
+
+fn warm(service: &GpsService, queries: &[PathQuery]) {
+    let core = service.core();
+    let cache = core.eval_cache();
+    for q in queries {
+        cache.evaluate_compiled(q.regex(), q.dfa());
+    }
+}
+
+/// Every cached query answer on the service's latest epoch must equal a
+/// from-scratch evaluation of the same query on the same snapshot.
+fn assert_matches_cold(service: &GpsService, queries: &[PathQuery], context: &str) {
+    let core = service.core();
+    let cache = core.eval_cache();
+    let snapshot = core.snapshot();
+    for q in queries {
+        let live = cache.evaluate_compiled(q.regex(), q.dfa());
+        let cold = q.evaluate_csr(snapshot);
+        assert_eq!(
+            *live,
+            cold,
+            "{context}: {} diverged from cold evaluation",
+            q.display(snapshot.labels())
+        );
+    }
+}
+
+/// A 4-op publish attaching the lowest-degree node pairs under the fresh
+/// label `live` — an update no `a0..a3` query can observe.
+fn leaf_update(graph: &Graph) -> GraphUpdate {
+    let mut by_degree: Vec<NodeId> = graph.nodes().collect();
+    by_degree.sort_by_key(|&n| (graph.out_degree(n) + graph.in_degree(n), n.index()));
+    let mut update = GraphUpdate::new();
+    for pair in by_degree.chunks(2).take(4) {
+        if let [source, target] = pair {
+            update = update.add_edge(graph.node_name(*source), "live", graph.node_name(*target));
+        }
+    }
+    update
+}
+
+// --------------------------------------------------- 1. Tier-1 carry exact
+
+#[test]
+fn label_disjoint_publish_carries_answers_with_zero_frontier_rounds() {
+    let graph = scale_free_graph(2_000);
+    let registry = Arc::new(MetricsRegistry::enabled());
+    let service = GpsService::new(
+        Engine::builder(graph.clone())
+            .eval_mode(EvalMode::Frontier)
+            .metrics(Arc::clone(&registry))
+            .build_core(),
+    );
+    let queries = warm_queries(&graph);
+    warm(&service, &queries);
+
+    let report = service.update(leaf_update(&graph)).unwrap();
+    assert_eq!(
+        report.carried_answers,
+        queries.len(),
+        "every query alphabet is disjoint from the published label"
+    );
+    assert_eq!(report.reseeded_answers, 0);
+    assert_eq!(report.recomputed_answers, 0);
+    assert_eq!(report.added_edges, 4);
+
+    // The first post-publish read of every carried query is answered from
+    // the migrated cache: not a single frontier round runs.
+    let rounds_before = registry
+        .snapshot()
+        .counter("gps_exec_frontier_rounds_total")
+        .expect("frontier mode records rounds");
+    assert_matches_cold(&service, &queries, "after leaf publish");
+    let rounds_after = registry
+        .snapshot()
+        .counter("gps_exec_frontier_rounds_total")
+        .unwrap();
+    assert_eq!(
+        rounds_before, rounds_after,
+        "carried answers must serve without any evaluation"
+    );
+
+    // The migration split is also on the shared counters.
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.counter("gps_rpq_cache_carried_total"),
+        Some(queries.len() as u64)
+    );
+    assert_eq!(snapshot.counter("gps_rpq_cache_reseeded_total"), Some(0));
+    assert_eq!(snapshot.counter("gps_rpq_cache_fallback_total"), Some(0));
+}
+
+#[test]
+fn retired_epochs_report_their_dropped_entries() {
+    let graph = scale_free_graph(200);
+    let registry = Arc::new(MetricsRegistry::enabled());
+    let service = GpsService::new(
+        Engine::builder(graph.clone())
+            .eval_mode(EvalMode::Frontier)
+            .metrics(Arc::clone(&registry))
+            .build_core(),
+    );
+    let queries = warm_queries(&graph);
+    warm(&service, &queries);
+    service.core().eval_cache().bounded_words(2);
+
+    // No session pins epoch 0, so the publish retires it — and the retired
+    // cache's entries (16 answers + 1 word snapshot) land on the counter.
+    let report = service.update(leaf_update(&graph)).unwrap();
+    assert_eq!(report.retired_epochs, 1);
+    assert_eq!(
+        registry.snapshot().counter("gps_rpq_cache_retired_total"),
+        Some(queries.len() as u64 + 1)
+    );
+}
+
+// ------------------------------------------------- 2. Tier-2 reseed exact
+
+/// One random insert-only publish: a fresh node attached into the graph
+/// plus a few `a0..a3` edges between existing nodes — touching the query
+/// alphabet on purpose.
+fn random_insert_update(graph: &Graph, rng: &mut StdRng, round: usize) -> GraphUpdate {
+    let n = graph.node_count();
+    let pick = |rng: &mut StdRng| {
+        graph
+            .node_name(NodeId::from(rng.gen_range(0..n)))
+            .to_string()
+    };
+    let fresh = format!("ivm{round}");
+    let mut update =
+        GraphUpdate::new()
+            .add_node(fresh.clone())
+            .add_edge(fresh.as_str(), "a0", pick(rng));
+    for _ in 0..3 {
+        let source = pick(rng);
+        let target = pick(rng);
+        let label = format!("a{}", rng.gen_range(0..4u32));
+        update = update.add_edge(source, label, target);
+    }
+    update
+}
+
+#[test]
+fn insert_only_epochs_reseed_to_exactly_the_cold_answers() {
+    let graph = scale_free_graph(400);
+    for mode in MODES {
+        let service = GpsService::new(Engine::builder(graph.clone()).eval_mode(mode).build_core());
+        let queries = warm_queries(&graph);
+        warm(&service, &queries);
+        let mut rng = StdRng::seed_from_u64(0x1B4D_5EED);
+        let mut reseeded = 0usize;
+        for epoch in 1..=4u64 {
+            let update = random_insert_update(&graph, &mut rng, epoch as usize);
+            let report = service.update(update).unwrap();
+            assert_eq!(report.epoch, epoch, "{mode:?}");
+            assert_eq!(
+                report.carried_answers + report.reseeded_answers + report.recomputed_answers,
+                queries.len(),
+                "{mode:?}, epoch {epoch}: the migration split partitions the cache"
+            );
+            reseeded += report.reseeded_answers;
+            assert_matches_cold(&service, &queries, &format!("{mode:?}, epoch {epoch}"));
+        }
+        match mode {
+            // The naive evaluator captures no seed: touched entries are
+            // always recomputed, never reseeded.
+            EvalMode::Naive => assert_eq!(reseeded, 0),
+            // The frontier modes capture seeds and must actually use them.
+            _ => assert!(
+                reseeded > 0,
+                "{mode:?}: insert-only touched epochs must take the reseed path"
+            ),
+        }
+    }
+}
+
+// ------------------------------------------------- 3. deletions fall back
+
+#[test]
+fn deletion_deltas_never_reseed_and_stay_correct() {
+    let graph = scale_free_graph(400);
+    for mode in MODES {
+        let service = GpsService::new(Engine::builder(graph.clone()).eval_mode(mode).build_core());
+        let queries = warm_queries(&graph);
+        warm(&service, &queries);
+
+        // Remove an existing a0 edge (touching most query alphabets) and add
+        // an a1 edge in the same batch: a mixed delta with a deletion.
+        let (_, removed) = graph
+            .edges()
+            .find(|(_, e)| graph.labels().name(e.label).unwrap() == "a0")
+            .expect("scale-free graph has a0 edges");
+        let update = GraphUpdate::new()
+            .remove_edge(
+                graph.node_name(removed.source),
+                "a0",
+                graph.node_name(removed.target),
+            )
+            .add_edge(
+                graph.node_name(removed.target),
+                "a1",
+                graph.node_name(removed.source),
+            );
+        let report = service.update(update).unwrap();
+        assert_eq!(
+            report.reseeded_answers, 0,
+            "{mode:?}: a delta with a removal must never take the monotone reseed path"
+        );
+        assert!(
+            report.recomputed_answers > 0,
+            "{mode:?}: queries reading a0/a1 fall back to recomputation"
+        );
+        assert!(
+            report.carried_answers > 0,
+            "{mode:?}: queries not reading a0/a1 are still carried"
+        );
+        assert_matches_cold(&service, &queries, &format!("{mode:?}, after removal"));
+    }
+}
