@@ -38,7 +38,14 @@
 //! * `telemetry-disabled` / `telemetry-enabled` — the identical session
 //!   batch served with no metrics registry vs. a live one wired through
 //!   exec, cache, sessions and service, reported as **ns per session** —
-//!   the price of observability (bounded by the smoke floor).
+//!   the price of observability (bounded by the smoke floor);
+//! * the scale-out group (`scale-free-1m` in a full run, `scale-free-100k`
+//!   under `--smoke`): streamed corpus build vs. Graph-then-compact (wall
+//!   time plus **peak heap bytes** from the counting allocator, in the
+//!   `*-peak-bytes` pseudo-records), sequential vs. sharded label-index
+//!   build, dense vs. sparse frontier evaluation of a low-reach chain
+//!   query, sequential vs. parallel batch evaluation, and publish latency
+//!   with sequential vs. sharded index patching.
 //!
 //! Samples for the compared modes are interleaved round-robin so clock or
 //! thermal drift cannot bias the comparison one way.
@@ -62,13 +69,84 @@ use gps_datasets::transport::{self, TransportConfig};
 use gps_datasets::updates::{update_stream, UpdateStreamConfig};
 use gps_datasets::Workload;
 use gps_exec::BatchEvaluator;
-use gps_graph::{CsrGraph, Graph, LabelId};
+use gps_graph::{CsrGraph, DeltaGraph, Graph, LabelId};
 use gps_graph::{NodeId, UpdateOp};
 use gps_interactive::strategy::InformativePathsStrategy;
 use gps_interactive::user::SimulatedUser;
-use gps_rpq::PathQuery;
+use gps_rpq::{DfaEvaluator, PathQuery};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// The system allocator wrapped with live/peak byte counters, so the corpus
+/// builds of the scale-out group can report their true peak heap footprint.
+/// Relaxed atomics only — the tracking cost is a few nanoseconds per
+/// allocation and identical for every interleaved arm.
+mod alloc_track {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Counting wrapper around [`System`].
+    pub struct CountingAlloc;
+
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    fn on_alloc(size: usize) {
+        let now = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(size: usize) {
+        LIVE.fetch_sub(size, Ordering::Relaxed);
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let ptr = System.alloc(layout);
+            if !ptr.is_null() {
+                on_alloc(layout.size());
+            }
+            ptr
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let ptr = System.alloc_zeroed(layout);
+            if !ptr.is_null() {
+                on_alloc(layout.size());
+            }
+            ptr
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            on_dealloc(layout.size());
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let new_ptr = System.realloc(ptr, layout, new_size);
+            if !new_ptr.is_null() {
+                on_dealloc(layout.size());
+                on_alloc(new_size);
+            }
+            new_ptr
+        }
+    }
+
+    /// Resets the peak to the current live footprint and returns that base.
+    pub fn reset_peak() -> usize {
+        let live = LIVE.load(Ordering::Relaxed);
+        PEAK.store(live, Ordering::Relaxed);
+        live
+    }
+
+    /// Peak bytes allocated beyond `base` since the last [`reset_peak`].
+    pub fn peak_since(base: usize) -> usize {
+        PEAK.load(Ordering::Relaxed).saturating_sub(base)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
 
 struct Record {
     dataset: String,
@@ -824,6 +902,281 @@ fn telemetry_records(
     enabled
 }
 
+/// The scale-out group: a 4-edges-per-node, 8-label scale-free corpus at
+/// 1M nodes (full run) or 100k nodes (`--smoke`), measuring the pieces that
+/// make that size tractable:
+///
+/// * `build-streamed` vs. `build-graph-then-compact` — the streamed
+///   `CsrGraph` builder vs. materializing the mutable `Graph` first, wall
+///   time per build plus `*-peak-bytes` pseudo-records whose `mean_ns`
+///   holds the **peak heap bytes** of one build (counting allocator);
+/// * `index-build-seq` vs. `index-build-sharded` — `LabelIndex`
+///   construction sequentially vs. fanned out across all cores;
+/// * `eval-dense-frontier` vs. `eval-sparse-frontier` — the low-reach
+///   reseed path: re-deriving a 6-hop chain answer from its captured
+///   [`EvalResume`] seed after a 6-edge insert-only delta, under the dense
+///   vs. the two-level sparse frontier representation (same shared index).
+///   The resume frontier holds only the delta's consequences — a handful of
+///   nodes out of a million — which is the population regime the sparse
+///   sets' `O(population)` clears and scans are built for (a cold full
+///   evaluation seeds *every* node into the accepting frontier, so it never
+///   exercises the sparse representation's favourable regime);
+/// * `batch-eval-seq` vs. `batch-eval-parallel` — 8 chain queries through
+///   the shared-scratch batch API vs. the scoped-thread executor;
+/// * `publish-seq` vs. `publish-sharded` — one 4-op leaf publish through
+///   the epoch-versioned store with the index patched on 1 shard vs. all
+///   cores (`GpsBuilder::index_shards`).
+///
+/// Returns the dataset name so the caller can check the smoke floors.
+fn scale_records(smoke: bool, records: &mut Vec<Record>) -> &'static str {
+    use gps_automata::Regex;
+    use gps_datasets::streamed;
+    use gps_exec::{FrontierPolicy, LabelIndex};
+    use std::sync::Arc;
+
+    let (dataset, nodes) = if smoke {
+        ("scale-free-100k", 100_000)
+    } else {
+        ("scale-free-1m", 1_000_000)
+    };
+    let config = ScaleFreeConfig {
+        nodes,
+        edges_per_node: 4,
+        alphabet_size: 8,
+        skewed_labels: true,
+        seed: 42,
+    };
+    let samples = if smoke { 4 } else { 5 };
+    let cores = std::thread::available_parallelism().map_or(1, |x| x.get());
+
+    // Corpus build: streamed vs. Graph-then-compact, interleaved, with the
+    // peak heap footprint of each arm measured relative to the live bytes
+    // when it starts.
+    let build_samples = if smoke { 2 } else { 1 };
+    let mut streamed_ns = Vec::with_capacity(build_samples);
+    let mut compact_ns = Vec::with_capacity(build_samples);
+    let mut streamed_peak = 0usize;
+    let mut compact_peak = 0usize;
+    let mut last: Option<CsrGraph> = None;
+    for _ in 0..build_samples {
+        drop(last.take()); // free the previous sample before measuring the next
+        let base = alloc_track::reset_peak();
+        let start = Instant::now();
+        let csr = streamed::generate_csr(&config);
+        streamed_ns.push(start.elapsed().as_nanos() as f64);
+        streamed_peak = streamed_peak.max(alloc_track::peak_since(base));
+        last = Some(csr);
+
+        let base = alloc_track::reset_peak();
+        let start = Instant::now();
+        let reference = CsrGraph::from_graph(&scale_free::generate(&config));
+        compact_ns.push(start.elapsed().as_nanos() as f64);
+        compact_peak = compact_peak.max(alloc_track::peak_since(base));
+        assert_eq!(
+            reference.edge_count(),
+            last.as_ref().expect("streamed build ran").edge_count(),
+            "the streamed builder must produce the identical corpus"
+        );
+    }
+    let snapshot = Arc::new(last.expect("at least one build sample"));
+    let (n, m) = (snapshot.node_count(), snapshot.edge_count());
+    for (backend, series) in [
+        ("build-streamed", &streamed_ns),
+        ("build-graph-then-compact", &compact_ns),
+    ] {
+        let (mean_ns, min_ns) = summarize(series);
+        records.push(Record {
+            dataset: dataset.to_string(),
+            backend,
+            nodes: n,
+            edges: m,
+            query: "corpus build".to_string(),
+            mean_ns,
+            min_ns,
+            iterations: 1,
+        });
+    }
+    for (backend, peak) in [
+        ("build-streamed-peak-bytes", streamed_peak),
+        ("build-graph-then-compact-peak-bytes", compact_peak),
+    ] {
+        records.push(Record {
+            dataset: dataset.to_string(),
+            backend,
+            nodes: n,
+            edges: m,
+            query: "peak heap bytes during one corpus build".to_string(),
+            mean_ns: peak as f64,
+            min_ns: peak as f64,
+            iterations: 1,
+        });
+    }
+
+    // Label-index build: sequential vs. sharded across every core.  On a
+    // 1-core machine the sharded call takes the literal sequential code
+    // path (no threads are spawned), so the smoke floor holds everywhere.
+    let mut run_seq = || {
+        black_box(LabelIndex::from_csr_sharded(&snapshot, 1));
+    };
+    let mut run_sharded = || {
+        black_box(LabelIndex::from_csr_sharded(&snapshot, cores));
+    };
+    bench_group(
+        dataset,
+        (n, m),
+        "label-index build",
+        samples,
+        &mut [
+            ("index-build-seq", &mut run_seq),
+            ("index-build-sharded", &mut run_sharded),
+        ],
+        records,
+    );
+
+    // Low-reach evaluation: the reseed path.  Capture the 6-hop chain's
+    // alive sets once, insert a 6-edge path spelling the query between
+    // existing nodes, then re-derive the answer from the seed.  The resume
+    // frontier carries only the delta's consequences, so its population is
+    // a handful of nodes out of `n` — the regime the two-level sparse
+    // representation is built for.  Both evaluators share one patched index
+    // (the clone copies Arcs, not partitions).
+    let labels: Vec<LabelId> = (0..8).map(LabelId::new).collect();
+    let chain = |seq: &[usize]| {
+        Dfa::from_regex(&Regex::concat(
+            seq.iter().map(|&i| Regex::symbol(labels[i])),
+        ))
+    };
+    let chain_labels = [4usize, 5, 6, 7, 4, 5];
+    let low_reach = chain(&chain_labels);
+    let cold_eval = BatchEvaluator::from_csr_sharded(&snapshot, cores)
+        .with_frontier_policy(FrontierPolicy::Dense);
+    let (_, resume) = cold_eval.evaluate_dfa_captured(&low_reach);
+    let resume = resume.expect("a completed frontier fixed point always captures");
+    let mut delta_graph = DeltaGraph::new(Arc::clone(&snapshot));
+    for (i, &label) in chain_labels.iter().enumerate() {
+        delta_graph.add_edge(
+            NodeId::from(n - 8 + i),
+            labels[label],
+            NodeId::from(n - 7 + i),
+        );
+    }
+    let summary = delta_graph.delta();
+    let patched = delta_graph.compact();
+    let dense_eval = cold_eval.apply_delta(&patched, &summary);
+    let sparse_eval = dense_eval
+        .clone()
+        .with_frontier_policy(FrontierPolicy::Sparse);
+    let (dense_resumed, _) = dense_eval
+        .evaluate_dfa_resumed(&low_reach, &resume, &summary)
+        .expect("insert-only deltas are resumable");
+    let (sparse_resumed, _) = sparse_eval
+        .evaluate_dfa_resumed(&low_reach, &resume, &summary)
+        .expect("insert-only deltas are resumable");
+    assert_eq!(
+        dense_resumed, sparse_resumed,
+        "frontier representations must agree"
+    );
+    assert_eq!(
+        dense_resumed,
+        dense_eval.evaluate(&low_reach),
+        "the resumed answer must match a cold evaluation of the patched graph"
+    );
+    let mut run_dense = || {
+        black_box(dense_eval.evaluate_dfa_resumed(&low_reach, &resume, &summary));
+    };
+    let mut run_sparse = || {
+        black_box(sparse_eval.evaluate_dfa_resumed(&low_reach, &resume, &summary));
+    };
+    bench_group(
+        dataset,
+        (n, m),
+        "reseed of a 6-hop chain after a 6-edge delta",
+        samples,
+        &mut [
+            ("eval-dense-frontier", &mut run_dense),
+            ("eval-sparse-frontier", &mut run_sparse),
+        ],
+        records,
+    );
+
+    // Batch evaluation: 8 chain queries, shared-scratch sequential vs. the
+    // scoped-thread parallel executor, auto frontier selection.
+    let batch_dfas: Vec<Dfa> = (0..8)
+        .map(|s| chain(&[s, (s + 1) % 8, (s + 2) % 8, (s + 3) % 8]))
+        .collect();
+    let refs: Vec<&Dfa> = batch_dfas.iter().collect();
+    let auto_eval = dense_eval
+        .clone()
+        .with_frontier_policy(FrontierPolicy::Auto);
+    let mut run_batch_seq = || {
+        black_box(auto_eval.evaluate_many(&refs));
+    };
+    let mut run_batch_par = || {
+        black_box(auto_eval.evaluate_many_parallel(&refs, cores));
+    };
+    bench_group(
+        dataset,
+        (n, m),
+        "batch of 8 chain queries",
+        samples,
+        &mut [
+            ("batch-eval-seq", &mut run_batch_seq),
+            ("batch-eval-parallel", &mut run_batch_par),
+        ],
+        records,
+    );
+
+    // Publish latency: the same 4-op leaf publish through two stores over
+    // the *same* snapshot Arc (no copy), one patching its index on a single
+    // shard, one fanning the patch across every core.
+    let store_for = |shards: usize| {
+        VersionedStore::new(
+            Engine::builder(Graph::new())
+                .eval_mode(EvalMode::Frontier)
+                .index_shards(shards)
+                .max_interactions(24)
+                .build_core_over(Arc::clone(&snapshot)),
+        )
+    };
+    let adds: Vec<UpdateOp> = (0..4)
+        .map(|i| UpdateOp::AddEdge {
+            source: format!("v{}", n - 1 - 2 * i),
+            label: "live".to_string(),
+            target: format!("v{}", n - 2 - 2 * i),
+        })
+        .collect();
+    let seq_store = store_for(1);
+    let sharded_store = store_for(cores);
+    let seq_updates = OscillatingUpdates::from_adds(adds.clone());
+    let sharded_updates = OscillatingUpdates::from_adds(adds);
+    let mut run_publish_seq = || {
+        black_box(
+            seq_store
+                .update(seq_updates.next())
+                .expect("leaf publish applies"),
+        );
+    };
+    let mut run_publish_sharded = || {
+        black_box(
+            sharded_store
+                .update(sharded_updates.next())
+                .expect("leaf publish applies"),
+        );
+    };
+    bench_group(
+        dataset,
+        (n, m),
+        "publish of 4 leaf ops",
+        samples,
+        &mut [
+            ("publish-seq", &mut run_publish_seq),
+            ("publish-sharded", &mut run_publish_sharded),
+        ],
+        records,
+    );
+    dataset
+}
+
 fn mean_of(records: &[Record], dataset: &str, backend: &str) -> f64 {
     records
         .iter()
@@ -900,6 +1253,9 @@ fn main() {
 
     // Observability: the identical session batch with telemetry off vs. on.
     let instrumented = telemetry_records(&sf, &service_goals, session_samples, &mut records);
+
+    // Scale-out: the million-node group (100k under --smoke).
+    let scale_dataset = scale_records(smoke, &mut records);
 
     // Render the records as JSON by hand (stable field order, no extra
     // deps), stamped with the machine profile numbers depend on.
@@ -1099,6 +1455,61 @@ fn main() {
         failures.push(format!(
             "{telemetry_dataset}: instrumented sessions at {telemetry_ratio:.2}x of uninstrumented throughput ({telemetry_on:.0} vs {telemetry_off:.0} ns/session), below the 0.95x smoke floor"
         ));
+    }
+    let scale_seq_build = mean_of(&records, scale_dataset, "index-build-seq");
+    let scale_sharded_build = mean_of(&records, scale_dataset, "index-build-sharded");
+    let scale_build_ratio = scale_seq_build / scale_sharded_build;
+    let scale_dense = mean_of(&records, scale_dataset, "eval-dense-frontier");
+    let scale_sparse = mean_of(&records, scale_dataset, "eval-sparse-frontier");
+    let scale_sparse_ratio = scale_dense / scale_sparse;
+    let scale_streamed_peak = mean_of(&records, scale_dataset, "build-streamed-peak-bytes");
+    let scale_compact_peak = mean_of(
+        &records,
+        scale_dataset,
+        "build-graph-then-compact-peak-bytes",
+    );
+    let scale_streamed_build = mean_of(&records, scale_dataset, "build-streamed");
+    let scale_compact_build = mean_of(&records, scale_dataset, "build-graph-then-compact");
+    let scale_publish_seq = mean_of(&records, scale_dataset, "publish-seq");
+    let scale_publish_sharded = mean_of(&records, scale_dataset, "publish-sharded");
+    println!(
+        "{scale_dataset}: streamed build {:.0} ms / {:.0} MiB peak vs graph-then-compact {:.0} ms / {:.0} MiB peak; sharded index build {scale_build_ratio:.2}x of sequential; sparse low-reach reseed {scale_sparse_ratio:.2}x of dense; publish {:.1} ms on 1 shard vs {:.1} ms sharded",
+        scale_streamed_build / 1e6,
+        scale_streamed_peak / (1024.0 * 1024.0),
+        scale_compact_build / 1e6,
+        scale_compact_peak / (1024.0 * 1024.0),
+        scale_publish_seq / 1e6,
+        scale_publish_sharded / 1e6,
+    );
+    // Sharding must never cost throughput: on one core the sharded build is
+    // the literal sequential code path, on many cores it should win — 0.95x
+    // absorbs runner noise either way (NaN — a missing record — fails
+    // rather than vacuously passing).
+    if smoke && (scale_build_ratio.is_nan() || scale_build_ratio < 0.95) {
+        failures.push(format!(
+            "{scale_dataset}: sharded index build at {scale_build_ratio:.2}x of sequential ({scale_sharded_build:.0} vs {scale_seq_build:.0} ns/build), below the 0.95x smoke floor"
+        ));
+    }
+    // Sparse frontiers must at least match dense on the low-reach reseed
+    // path — that is the auto-selection premise (0.95x absorbs noise).
+    if smoke && (scale_sparse_ratio.is_nan() || scale_sparse_ratio < 0.95) {
+        failures.push(format!(
+            "{scale_dataset}: sparse low-reach reseed at {scale_sparse_ratio:.2}x of dense ({scale_sparse:.0} vs {scale_dense:.0} ns/eval), below the 0.95x smoke floor"
+        ));
+    }
+    // The streamed builder's whole point is peak memory well below the
+    // Graph-then-compact path (NaN — a missing record — fails too).
+    if smoke
+        && (scale_streamed_peak.is_nan()
+            || scale_compact_peak.is_nan()
+            || scale_streamed_peak >= 0.9 * scale_compact_peak)
+    {
+        failures.push(format!(
+            "{scale_dataset}: streamed build peak ({scale_streamed_peak:.0} bytes) not well below graph-then-compact ({scale_compact_peak:.0} bytes)"
+        ));
+    }
+    if smoke && (scale_publish_seq.is_nan() || scale_publish_sharded.is_nan()) {
+        failures.push(format!("{scale_dataset}: missing publish records"));
     }
     // The smoke run also proves the exports off the instrumented service are
     // well-formed after real traffic: the JSON document parses and the

@@ -87,6 +87,7 @@ impl EvalMode {
         csr: &Arc<CsrGraph>,
         planner: PlannerConfig,
         metrics: ExecMetrics,
+        index_shards: Option<usize>,
     ) -> (
         Box<dyn DfaEvaluator>,
         Option<Arc<LabelIndex>>,
@@ -98,19 +99,18 @@ impl EvalMode {
                 None,
                 None,
             ),
-            EvalMode::Frontier => {
-                let evaluator = BatchEvaluator::from_csr(csr)
-                    .with_planner_config(planner)
-                    .with_metrics(metrics);
-                let index = evaluator.shared_index();
-                let stats = evaluator.stats().clone();
-                (Box::new(evaluator), Some(index), Some(stats))
-            }
-            EvalMode::Parallel => {
-                let evaluator = BatchEvaluator::from_csr(csr)
-                    .with_planner_config(planner)
-                    .with_parallelism(BatchEvaluator::default_threads())
-                    .with_metrics(metrics);
+            EvalMode::Frontier | EvalMode::Parallel => {
+                let shards = index_shards.unwrap_or(match self {
+                    EvalMode::Parallel => BatchEvaluator::default_threads(),
+                    _ => 1,
+                });
+                let started = std::time::Instant::now();
+                let evaluator = BatchEvaluator::from_csr_sharded(csr, shards);
+                metrics.record_index_build(started.elapsed(), shards);
+                let mut evaluator = evaluator.with_planner_config(planner).with_metrics(metrics);
+                if self == EvalMode::Parallel {
+                    evaluator = evaluator.with_parallelism(BatchEvaluator::default_threads());
+                }
                 let index = evaluator.shared_index();
                 let stats = evaluator.stats().clone();
                 (Box::new(evaluator), Some(index), Some(stats))
@@ -167,6 +167,7 @@ pub struct GpsBuilder {
     strategy: StrategyChoice,
     eval_mode: EvalMode,
     planner: PlannerConfig,
+    index_shards: Option<usize>,
     cache_capacity: Option<usize>,
     words_capacity: Option<usize>,
     checkpoint_every: u64,
@@ -183,6 +184,7 @@ impl GpsBuilder {
             strategy: StrategyChoice::default(),
             eval_mode: EvalMode::default(),
             planner: PlannerConfig::default(),
+            index_shards: None,
             cache_capacity: None,
             words_capacity: None,
             checkpoint_every: crate::versioned::CheckpointPolicy::default().every_n_publishes,
@@ -257,6 +259,18 @@ impl GpsBuilder {
     /// distribution differs sharply from the defaults' assumptions.
     pub fn planner_config(mut self, config: PlannerConfig) -> Self {
         self.planner = config;
+        self
+    }
+
+    /// Sets how many shards (worker threads) the frontier modes' label index
+    /// builds and patches fan out over.  Defaults to the mode's natural
+    /// width: [`EvalMode::Parallel`] uses the machine's available
+    /// parallelism, [`EvalMode::Frontier`] builds sequentially.  The index
+    /// is byte-identical at every shard count — this knob trades build/patch
+    /// latency against thread usage, never answers.  Ignored under
+    /// [`EvalMode::Naive`].
+    pub fn index_shards(mut self, shards: usize) -> Self {
+        self.index_shards = Some(shards.max(1));
         self
     }
 
@@ -360,6 +374,15 @@ impl GpsBuilder {
         self.into_core(snapshot).1
     }
 
+    /// Builds a core directly over an existing CSR `snapshot`, ignoring the
+    /// builder's own graph — the million-node path: pair it with a streamed
+    /// corpus builder (e.g. `gps_datasets::streamed::generate_csr`) to stand
+    /// up an engine without ever materializing a mutable
+    /// [`Graph`](gps_graph::Graph).
+    pub fn build_core_over(self, snapshot: Arc<CsrGraph>) -> EngineCore {
+        self.into_core(snapshot).1
+    }
+
     /// Consumes the builder into the adjacency graph plus the shared core
     /// over `snapshot`.
     fn into_core(self, snapshot: Arc<CsrGraph>) -> (Graph, EngineCore) {
@@ -369,6 +392,7 @@ impl GpsBuilder {
             &snapshot,
             self.planner,
             ExecMetrics::from_registry(&self.metrics),
+            self.index_shards,
         );
         let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator)
             .with_metrics(&self.metrics);
@@ -389,6 +413,7 @@ impl GpsBuilder {
                 strategy: self.strategy,
                 eval_mode: self.eval_mode,
                 planner: self.planner,
+                index_shards: self.index_shards,
                 cache_capacity: self.cache_capacity,
                 words_capacity: self.words_capacity,
                 metrics: self.metrics,
@@ -409,6 +434,7 @@ pub(crate) struct EngineOptions {
     strategy: StrategyChoice,
     eval_mode: EvalMode,
     planner: PlannerConfig,
+    index_shards: Option<usize>,
     cache_capacity: Option<usize>,
     words_capacity: Option<usize>,
     metrics: Arc<MetricsRegistry>,
@@ -491,6 +517,7 @@ impl EngineCore {
                 &snapshot,
                 self.options.planner,
                 ExecMetrics::from_registry(&self.options.metrics),
+                self.options.index_shards,
             ),
         };
         let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator)
@@ -667,7 +694,7 @@ impl<B: GraphBackend> Engine<B> {
         let planner = PlannerConfig::default();
         let snapshot = Arc::new(CsrGraph::from_backend(&backend));
         let (evaluator, index, stats) =
-            eval_mode.evaluator_for(&snapshot, planner, ExecMetrics::disabled());
+            eval_mode.evaluator_for(&snapshot, planner, ExecMetrics::disabled(), None);
         let cache = Arc::new(EvalCache::with_shared_evaluator(
             Arc::clone(&snapshot),
             evaluator,
@@ -690,6 +717,7 @@ impl<B: GraphBackend> Engine<B> {
                     strategy: StrategyChoice::default(),
                     eval_mode,
                     planner,
+                    index_shards: None,
                     cache_capacity: None,
                     words_capacity: None,
                     metrics: Arc::new(MetricsRegistry::disabled()),

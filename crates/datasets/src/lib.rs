@@ -12,6 +12,9 @@
 //!   neighborhoods connected by tram/bus lines, decorated with facilities;
 //! * [`synthetic`] — uniform random edge-labeled graphs (Erdős–Rényi style);
 //! * [`scale_free`] — preferential-attachment graphs with skewed degrees;
+//! * [`streamed`] — the same scale-free corpora emitted straight into packed
+//!   [`gps_graph::CsrGraph`] arrays (byte-identical, no intermediate
+//!   `Graph`), for million-node scale;
 //! * [`biological`] — hub-dominated sparse interaction networks standing in
 //!   for the biological datasets of the companion paper;
 //! * [`queries`] — goal-query workloads of increasing complexity;
@@ -29,6 +32,7 @@ pub mod biological;
 pub mod figure1;
 pub mod queries;
 pub mod scale_free;
+pub mod streamed;
 pub mod synthetic;
 pub mod transport;
 pub mod updates;

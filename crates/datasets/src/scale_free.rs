@@ -71,7 +71,13 @@ pub fn generate(config: &ScaleFreeConfig) -> Graph {
     graph
 }
 
-fn pick_label(rng: &mut StdRng, labels: &[gps_graph::LabelId], skewed: bool) -> gps_graph::LabelId {
+/// One label draw — shared with the streamed builder (`crate::streamed`),
+/// which must consume the exact same RNG stream to stay byte-identical.
+pub(crate) fn pick_label(
+    rng: &mut StdRng,
+    labels: &[gps_graph::LabelId],
+    skewed: bool,
+) -> gps_graph::LabelId {
     if !skewed || labels.len() == 1 {
         return labels[rng.gen_range(0..labels.len())];
     }

@@ -15,7 +15,8 @@
 
 use crate::bitset::FixedBitSet;
 use crate::frontier::{
-    evaluate_captured, evaluate_counting, resume_counting, selects_from, witness_from, Scratch,
+    evaluate_captured, evaluate_counting, resume_counting, selects_from, witness_from,
+    FrontierPolicy, Scratch,
 };
 use crate::index::{Direction, LabelIndex};
 use crate::metrics::ExecMetrics;
@@ -59,6 +60,7 @@ pub struct BatchEvaluator {
     plan_override: Option<Plan>,
     parallelism: Option<usize>,
     split: ParallelSplit,
+    frontier_policy: FrontierPolicy,
     metrics: ExecMetrics,
 }
 
@@ -73,6 +75,16 @@ impl BatchEvaluator {
         Self::from_parts(LabelIndex::from_csr(csr), LabelStats::compute(csr))
     }
 
+    /// [`from_csr`](Self::from_csr) with the index's per-(direction, label)
+    /// partitions built on up to `shards` scoped threads; the shard count
+    /// sticks, so delta patches fan out the same way.
+    pub fn from_csr_sharded(csr: &CsrGraph, shards: usize) -> Self {
+        Self::from_parts(
+            LabelIndex::from_csr_sharded(csr, shards),
+            LabelStats::compute(csr),
+        )
+    }
+
     /// Builds the evaluator over an already-shared index (no re-partition).
     pub fn from_shared_index(index: Arc<LabelIndex>, stats: LabelStats) -> Self {
         Self {
@@ -82,6 +94,7 @@ impl BatchEvaluator {
             plan_override: None,
             parallelism: None,
             split: ParallelSplit::default(),
+            frontier_policy: FrontierPolicy::default(),
             metrics: ExecMetrics::disabled(),
         }
     }
@@ -92,9 +105,12 @@ impl BatchEvaluator {
     /// the patched partitions, with every knob carried over.  `csr` is the
     /// compacted snapshot the delta produced.
     pub fn apply_delta(&self, csr: &CsrGraph, delta: &GraphDelta) -> Self {
+        let started = std::time::Instant::now();
         let index = self
             .index
             .apply_delta(delta, csr.node_count(), csr.label_count());
+        self.metrics
+            .record_index_build(started.elapsed(), index.shards());
         let stats = index.patched_stats(&self.stats, &delta.touched_labels());
         Self {
             index: Arc::new(index),
@@ -103,6 +119,7 @@ impl BatchEvaluator {
             plan_override: self.plan_override,
             parallelism: self.parallelism,
             split: self.split,
+            frontier_policy: self.frontier_policy,
             metrics: self.metrics.clone(),
         }
     }
@@ -142,6 +159,36 @@ impl BatchEvaluator {
     pub fn with_split(mut self, split: ParallelSplit) -> Self {
         self.split = split;
         self
+    }
+
+    /// Sets the shard (worker-thread) count future
+    /// [`apply_delta`](Self::apply_delta) patches fan out over.  Cheap: the
+    /// partitions themselves are `Arc`-shared, only the handle vector is
+    /// cloned when the setting changes.
+    pub fn with_index_shards(mut self, shards: usize) -> Self {
+        if self.index.shards() != shards {
+            self.index = Arc::new(LabelIndex::clone(&self.index).with_shards(shards));
+        }
+        self
+    }
+
+    /// Chooses the frontier bitset representation (default:
+    /// [`FrontierPolicy::Auto`] — sparse two-level sets on graphs with at
+    /// least [`crate::SPARSE_FRONTIER_NODES`] nodes).  Every policy yields
+    /// identical answers.
+    pub fn with_frontier_policy(mut self, policy: FrontierPolicy) -> Self {
+        self.frontier_policy = policy;
+        self
+    }
+
+    /// The frontier representation policy in effect.
+    pub fn frontier_policy(&self) -> FrontierPolicy {
+        self.frontier_policy
+    }
+
+    /// A fresh scratch following the configured frontier policy.
+    fn scratch(&self) -> Scratch {
+        Scratch::with_policy(self.frontier_policy)
     }
 
     /// The configured batch split.
@@ -195,7 +242,7 @@ impl BatchEvaluator {
 
     /// Evaluates one compiled DFA (fresh scratch).
     pub fn evaluate(&self, dfa: &Dfa) -> QueryAnswer {
-        let mut scratch = Scratch::default();
+        let mut scratch = self.scratch();
         self.evaluate_scratch(dfa, &mut scratch)
     }
 
@@ -234,12 +281,23 @@ impl BatchEvaluator {
     }
 
     /// Capture-enabled work-stealing batch (same shape as
-    /// [`evaluate_many_stealing`](Self::evaluate_many_stealing)).
+    /// [`evaluate_many_stealing`](Self::evaluate_many_stealing)).  Like
+    /// every parallel entry point, the worker count is clamped to the batch
+    /// size and a one-worker request runs inline — no scoped thread is ever
+    /// spawned just to drain the whole cursor by itself.
     fn evaluate_many_captured_parallel(
         &self,
         dfas: &[&Dfa],
         threads: usize,
     ) -> Vec<(QueryAnswer, Option<EvalResume>)> {
+        let threads = threads.clamp(1, dfas.len().max(1));
+        if threads == 1 {
+            let mut scratch = self.scratch();
+            return dfas
+                .iter()
+                .map(|dfa| self.evaluate_captured_scratch(dfa, &mut scratch))
+                .collect();
+        }
         let cursor = AtomicUsize::new(0);
         let mut results: Vec<Option<(QueryAnswer, Option<EvalResume>)>> = vec![None; dfas.len()];
         std::thread::scope(|scope| {
@@ -247,7 +305,7 @@ impl BatchEvaluator {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(move || {
-                        let mut scratch = Scratch::default();
+                        let mut scratch = self.scratch();
                         let mut answered = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -276,7 +334,7 @@ impl BatchEvaluator {
     /// Evaluates a batch sequentially, sharing one scratch allocation across
     /// all queries (answers in input order).
     pub fn evaluate_many(&self, dfas: &[&Dfa]) -> Vec<QueryAnswer> {
-        let mut scratch = Scratch::default();
+        let mut scratch = self.scratch();
         dfas.iter()
             .map(|dfa| self.evaluate_scratch(dfa, &mut scratch))
             .collect()
@@ -309,7 +367,7 @@ impl BatchEvaluator {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(move || {
-                        let mut scratch = Scratch::default();
+                        let mut scratch = self.scratch();
                         let mut answered = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -347,7 +405,7 @@ impl BatchEvaluator {
                 .chunks(chunk)
                 .map(|chunk| {
                     scope.spawn(move || {
-                        let mut scratch = Scratch::default();
+                        let mut scratch = self.scratch();
                         chunk
                             .iter()
                             .map(|dfa| self.evaluate_scratch(dfa, &mut scratch))
@@ -463,18 +521,17 @@ impl DfaEvaluator for BatchEvaluator {
     }
 
     fn evaluate_dfa_captured(&self, dfa: &Dfa) -> (QueryAnswer, Option<EvalResume>) {
-        let mut scratch = Scratch::default();
+        let mut scratch = self.scratch();
         self.evaluate_captured_scratch(dfa, &mut scratch)
     }
 
     fn evaluate_dfas_captured(&self, dfas: &[&Dfa]) -> Vec<(QueryAnswer, Option<EvalResume>)> {
         match self.parallelism {
-            Some(threads) if dfas.len() > 1 => {
-                let threads = threads.clamp(1, dfas.len());
+            Some(threads) if threads > 1 && dfas.len() > 1 => {
                 self.evaluate_many_captured_parallel(dfas, threads)
             }
             _ => {
-                let mut scratch = Scratch::default();
+                let mut scratch = self.scratch();
                 dfas.iter()
                     .map(|dfa| self.evaluate_captured_scratch(dfa, &mut scratch))
                     .collect()
@@ -488,7 +545,7 @@ impl DfaEvaluator for BatchEvaluator {
         resume: &EvalResume,
         delta: &GraphDelta,
     ) -> Option<(QueryAnswer, EvalResume)> {
-        let mut scratch = Scratch::default();
+        let mut scratch = self.scratch();
         let (answer, rounds, next) =
             resume_counting(&self.index, dfa, resume, delta, &mut scratch)?;
         // Counted as an evaluation (its rounds are the delta-restricted
@@ -837,6 +894,53 @@ mod tests {
             default.evaluate(&dfa),
             "thresholds change the plan, never the answer"
         );
+    }
+
+    #[test]
+    fn frontier_policy_and_shard_knobs_preserve_answers() {
+        let g = sample();
+        let dfas = queries(&g);
+        let baseline = BatchEvaluator::new(&g);
+        let expected: Vec<_> = dfas.iter().map(|d| baseline.evaluate(d)).collect();
+        for policy in [
+            FrontierPolicy::Auto,
+            FrontierPolicy::Dense,
+            FrontierPolicy::Sparse,
+        ] {
+            let evaluator = BatchEvaluator::new(&g).with_frontier_policy(policy);
+            assert_eq!(evaluator.frontier_policy(), policy);
+            for (dfa, want) in dfas.iter().zip(&expected) {
+                assert_eq!(evaluator.evaluate(dfa), *want, "{policy:?}");
+            }
+        }
+        let csr = CsrGraph::from_graph(&g);
+        let sharded = BatchEvaluator::from_csr_sharded(&csr, 4);
+        assert_eq!(sharded.index().shards(), 4);
+        for (dfa, want) in dfas.iter().zip(&expected) {
+            assert_eq!(sharded.evaluate(dfa), *want);
+        }
+        let re_knobbed = BatchEvaluator::from_csr(&csr).with_index_shards(3);
+        assert_eq!(re_knobbed.index().shards(), 3);
+    }
+
+    #[test]
+    fn captured_batches_agree_across_worker_counts() {
+        let g = sample();
+        let dfas = queries(&g);
+        let refs: Vec<&Dfa> = dfas.iter().collect();
+        let sequential = BatchEvaluator::new(&g).evaluate_dfas_captured(&refs);
+        // A one-worker request must run inline (no idle scoped thread) and
+        // produce the same results; so must genuinely parallel runs.
+        for threads in [1usize, 2, 8] {
+            let parallel = BatchEvaluator::new(&g)
+                .with_parallelism(threads)
+                .evaluate_dfas_captured(&refs);
+            assert_eq!(parallel.len(), sequential.len());
+            for (i, ((a, ar), (b, br))) in sequential.iter().zip(&parallel).enumerate() {
+                assert_eq!(a, b, "answer {i} x{threads}");
+                assert_eq!(ar.is_some(), br.is_some(), "capture {i} x{threads}");
+            }
+        }
     }
 
     #[test]

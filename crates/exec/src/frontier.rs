@@ -18,30 +18,190 @@
 //! [`Plan::Bidirectional`] re-picks the cheaper mode every round from the
 //! estimated frontier/dead edge volumes, mirroring direction-optimizing BFS.
 
-use crate::bitset::FixedBitSet;
+use crate::bitset::{FixedBitSet, Ones, SparseBitSet, SparseOnes};
 use crate::index::{Direction, LabelIndex};
 use crate::planner::Plan;
 use gps_automata::Dfa;
 use gps_graph::{GraphDelta, LabelId, NodeId, Path};
 use gps_rpq::{EvalResume, QueryAnswer};
 
+/// Node count at which [`FrontierPolicy::Auto`] switches the frontier/delta
+/// bitsets from dense to sparse.  Below this a dense sweep fits comfortably
+/// in cache and the summary level is pure overhead; above it, per-round
+/// clears and scans of near-empty frontiers dominate and the sparse
+/// representation's `O(population)` operations win.
+pub const SPARSE_FRONTIER_NODES: usize = 1 << 16;
+
+/// How the evaluator represents the per-round frontier/delta sets.
+///
+/// The **alive** sets stay dense regardless (they fill monotonically toward
+/// the answer and back the [`EvalResume`] word-snapshot format); only the
+/// frontier and its staging double are switched.  Every policy produces
+/// bit-identical answers — the representation changes constants, not
+/// semantics — which `tests/exec_conformance.rs` asserts differentially.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FrontierPolicy {
+    /// Sparse when the graph has at least [`SPARSE_FRONTIER_NODES`] nodes,
+    /// dense below.
+    #[default]
+    Auto,
+    /// Always dense ([`FixedBitSet`]): one bit per node, `O(nodes)` clears.
+    Dense,
+    /// Always sparse ([`SparseBitSet`]): summary-word + chunk two-level
+    /// sets with `O(population)` clears/scans.
+    Sparse,
+}
+
+impl FrontierPolicy {
+    /// Whether `nodes` resolves to the sparse representation.
+    #[inline]
+    pub fn is_sparse(self, nodes: usize) -> bool {
+        match self {
+            FrontierPolicy::Auto => nodes >= SPARSE_FRONTIER_NODES,
+            FrontierPolicy::Dense => false,
+            FrontierPolicy::Sparse => true,
+        }
+    }
+}
+
+/// One frontier/delta set in whichever representation the policy resolved.
+#[derive(Debug, Clone)]
+enum FrontierSet {
+    Dense(FixedBitSet),
+    Sparse(SparseBitSet),
+}
+
+impl Default for FrontierSet {
+    fn default() -> Self {
+        FrontierSet::Dense(FixedBitSet::default())
+    }
+}
+
+impl FrontierSet {
+    /// Resizes to the universe `0..len` in the requested representation and
+    /// clears every bit, reusing the allocation when the variant matches.
+    fn reset_as(&mut self, len: usize, sparse: bool) {
+        match self {
+            FrontierSet::Dense(bits) if !sparse => bits.reset(len),
+            FrontierSet::Sparse(bits) if sparse => bits.reset(len),
+            slot => {
+                *slot = if sparse {
+                    FrontierSet::Sparse(SparseBitSet::new(len))
+                } else {
+                    FrontierSet::Dense(FixedBitSet::new(len))
+                };
+            }
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, bit: usize) -> bool {
+        match self {
+            FrontierSet::Dense(bits) => bits.insert(bit),
+            FrontierSet::Sparse(bits) => bits.insert(bit),
+        }
+    }
+
+    fn insert_all(&mut self) {
+        match self {
+            FrontierSet::Dense(bits) => bits.insert_all(),
+            FrontierSet::Sparse(bits) => bits.insert_all(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            FrontierSet::Dense(bits) => bits.clear(),
+            FrontierSet::Sparse(bits) => bits.clear(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            FrontierSet::Dense(bits) => bits.is_empty(),
+            FrontierSet::Sparse(bits) => bits.is_empty(),
+        }
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            FrontierSet::Dense(bits) => bits.count(),
+            FrontierSet::Sparse(bits) => bits.count(),
+        }
+    }
+
+    fn ones(&self) -> FrontierOnes<'_> {
+        match self {
+            FrontierSet::Dense(bits) => FrontierOnes::Dense(bits.ones()),
+            FrontierSet::Sparse(bits) => FrontierOnes::Sparse(bits.ones()),
+        }
+    }
+
+    /// ORs this set into `dense`; returns `true` when any new bit appeared.
+    fn union_into(&self, dense: &mut FixedBitSet) -> bool {
+        match self {
+            FrontierSet::Dense(bits) => dense.union_with(bits),
+            FrontierSet::Sparse(bits) => bits.union_into(dense),
+        }
+    }
+}
+
+enum FrontierOnes<'a> {
+    Dense(Ones<'a>),
+    Sparse(SparseOnes<'a>),
+}
+
+impl<'a> Iterator for FrontierOnes<'a> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            FrontierOnes::Dense(ones) => ones.next(),
+            FrontierOnes::Sparse(ones) => ones.next(),
+        }
+    }
+}
+
 /// Reusable allocation for one evaluation: per-state alive/frontier/delta
 /// bitsets.  Batch callers keep one `Scratch` per worker and amortize the
 /// allocations across every query of the workload.
+///
+/// The alive sets are always dense; the frontier/staging sets follow the
+/// configured [`FrontierPolicy`] (default [`FrontierPolicy::Auto`]).
 #[derive(Debug, Clone, Default)]
 pub struct Scratch {
     alive: Vec<FixedBitSet>,
-    frontier: Vec<FixedBitSet>,
-    next: Vec<FixedBitSet>,
+    frontier: Vec<FrontierSet>,
+    next: Vec<FrontierSet>,
+    policy: FrontierPolicy,
 }
 
 impl Scratch {
+    /// A scratch whose frontier sets follow `policy`.
+    pub fn with_policy(policy: FrontierPolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// The configured frontier representation policy.
+    pub fn policy(&self) -> FrontierPolicy {
+        self.policy
+    }
+
     /// Resizes for `states` × `nodes` and clears every bit.
     fn prepare(&mut self, states: usize, nodes: usize) {
-        for set in [&mut self.alive, &mut self.frontier, &mut self.next] {
-            set.resize_with(states, FixedBitSet::default);
+        self.alive.resize_with(states, FixedBitSet::default);
+        for bits in &mut self.alive {
+            bits.reset(nodes);
+        }
+        let sparse = self.policy.is_sparse(nodes);
+        for set in [&mut self.frontier, &mut self.next] {
+            set.resize_with(states, FrontierSet::default);
             for bits in set.iter_mut() {
-                bits.reset(nodes);
+                bits.reset_as(nodes, sparse);
             }
         }
     }
@@ -73,11 +233,14 @@ pub fn evaluate_counting(
 /// [`evaluate_counting`], additionally capturing the per-state alive sets as
 /// an [`EvalResume`] seed for later delta-restricted re-derivation.
 ///
-/// The seed is only sound when the fixed point actually completed, so the
-/// capture is `None` exactly when the evaluation took the early exit (the
-/// start state saturated while other states were still under-derived) — which
-/// only happens on queries that select every node, the cheapest ones to
-/// recompute cold.
+/// The seed is only sound when the fixed point actually completed, so when
+/// the start state saturates early (a query selecting every node) the
+/// capturing evaluation keeps deriving the remaining states' closure to the
+/// true fixed point instead of early-exiting — the answer is already final,
+/// the extra rounds only finish the seed.  Capturing therefore always
+/// returns `Some` on non-empty inputs, and uncaptured evaluations keep the
+/// early exit (satellite states stay under-derived, which is fine when
+/// nothing is recorded).
 pub fn evaluate_captured(
     index: &LabelIndex,
     dfa: &Dfa,
@@ -130,8 +293,9 @@ fn fixed_point(
     let complete = loop {
         // The answer only reads `alive[start]`; once every node is selected
         // no further round can change it.  This exit can leave *other*
-        // states under-derived, so it does not produce a resumable seed.
-        if scratch.alive[start].count() == n {
+        // states under-derived, so a capturing evaluation skips it and runs
+        // on to the true fixed point — the seed must cover every state.
+        if !capture && scratch.alive[start].count() == n {
             break false;
         }
         rounds += 1;
@@ -169,7 +333,7 @@ fn fixed_point(
                 }
             }
             for p in 0..s {
-                progress |= scratch.alive[p].union_with(&scratch.next[p]);
+                progress |= scratch.next[p].union_into(&mut scratch.alive[p]);
             }
         } else {
             // Gauss-Seidel round: mark `alive` immediately, collect the
@@ -529,6 +693,61 @@ mod tests {
         let path = witness_from(&index, &eps, 0).unwrap();
         assert!(path.is_empty());
         assert!(witness_from(&index, &eps, 99).is_none(), "out of range");
+    }
+
+    #[test]
+    fn sparse_and_dense_frontiers_agree() {
+        let g = figure1_like();
+        let index = LabelIndex::from_backend(&g);
+        let dfa = motivating(&g);
+        let mut dense = Scratch::with_policy(FrontierPolicy::Dense);
+        let mut sparse = Scratch::with_policy(FrontierPolicy::Sparse);
+        for plan in [Plan::Reverse, Plan::Forward, Plan::Bidirectional] {
+            let (a, a_rounds) = evaluate_counting(&index, &dfa, plan, &mut dense);
+            let (b, b_rounds) = evaluate_counting(&index, &dfa, plan, &mut sparse);
+            assert_eq!(a, b, "{plan:?}");
+            assert_eq!(a_rounds, b_rounds, "{plan:?}");
+        }
+        // Swapping one scratch between policies must not leak state.
+        let mut auto = Scratch::with_policy(FrontierPolicy::Sparse);
+        let first = evaluate_with(&index, &dfa, Plan::Bidirectional, &mut auto);
+        let expected = gps_rpq::eval::evaluate(&g, &dfa);
+        assert_eq!(first, expected);
+    }
+
+    #[test]
+    fn capture_survives_start_state_saturation() {
+        // `x*` from a start state that is accepting: every node is selected
+        // in round 0, so the uncaptured path takes the early exit.  The
+        // capturing path must keep going and still produce a seed.
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge_by_name(a, "x", b);
+        g.add_edge_by_name(b, "x", c);
+        let x = g.label_id("x").unwrap();
+        let dfa = Dfa::from_regex(&Regex::star(Regex::symbol(x)));
+        let index = LabelIndex::from_backend(&g);
+        let mut scratch = Scratch::default();
+        let (answer, _, resume) =
+            evaluate_captured(&index, &dfa, Plan::Bidirectional, &mut scratch);
+        assert_eq!(answer.len(), g.node_count(), "saturating query");
+        let resume = resume.expect("saturated fixed points now capture a seed");
+        assert_eq!(resume.state_count(), dfa.state_count());
+        assert_eq!(resume.nodes(), g.node_count());
+        // The captured seed must be the *true* fixed point: answers resumed
+        // from it after an insert-only delta match a cold evaluation.
+        let base = std::sync::Arc::new(gps_graph::CsrGraph::from_graph(&g));
+        let mut delta = gps_graph::DeltaGraph::new(std::sync::Arc::clone(&base));
+        let d = delta.add_node("d");
+        delta.add_edge(c, x, d);
+        let summary = delta.delta();
+        let compacted = delta.compact();
+        let patched = index.apply_delta(&summary, compacted.node_count(), compacted.label_count());
+        let (resumed, _, _) =
+            resume_counting(&patched, &dfa, &resume, &summary, &mut scratch).expect("insert-only");
+        assert_eq!(resumed, gps_rpq::eval::evaluate(&compacted, &dfa));
     }
 
     #[test]

@@ -13,7 +13,60 @@
 use crate::bitset::FixedBitSet;
 use gps_graph::{CsrGraph, GraphBackend, GraphDelta, LabelId, LabelStat, LabelStats, NodeId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Runs `jobs` independent closures across at most `workers` scoped threads
+/// and returns the results in job order.
+///
+/// Work is distributed by an atomic cursor (work-stealing over indices), so
+/// a straggler job never idles the other workers.  With `workers <= 1` or a
+/// single job this is a plain sequential loop — no thread is ever spawned —
+/// which is what keeps the sharded index byte-identical *and*
+/// overhead-identical to the historical sequential build on one core.
+fn run_jobs<T, F>(workers: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(&job).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let next = cursor.fetch_add(1, Ordering::Relaxed);
+                        if next >= jobs {
+                            break;
+                        }
+                        out.push((next, job(next)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("index shard worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    for chunk in per_worker {
+        for (index, value) in chunk {
+            slots[index] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index below the cursor bound ran"))
+        .collect()
+}
 
 /// Expansion direction through the index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,21 +92,33 @@ struct Partition {
 impl Partition {
     /// Builds one label's partition from its `(from, to)` pairs.
     fn build(node_count: usize, edges: &[(u32, u32)]) -> Self {
+        Self::build_chunked(node_count, &[edges])
+    }
+
+    /// Builds one label's partition from its `(from, to)` pairs split across
+    /// consecutive chunks — byte-identical to [`build`](Self::build) over
+    /// the chunks' concatenation.
+    fn build_chunked(node_count: usize, chunks: &[&[(u32, u32)]]) -> Self {
         let mut offsets = vec![0u32; node_count + 2];
         // Count one slot ahead so the prefix sum leaves offsets[node] = start.
-        for &(from, _) in edges {
-            offsets[from as usize + 1] += 1;
+        for chunk in chunks {
+            for &(from, _) in *chunk {
+                offsets[from as usize + 1] += 1;
+            }
         }
         for i in 1..offsets.len() {
             offsets[i] += offsets[i - 1];
         }
         offsets.truncate(node_count + 1);
-        let mut neighbors = vec![0u32; edges.len()];
+        let total: usize = chunks.iter().map(|chunk| chunk.len()).sum();
+        let mut neighbors = vec![0u32; total];
         let mut cursor = offsets.clone();
-        for &(from, to) in edges {
-            let slot = &mut cursor[from as usize];
-            neighbors[*slot as usize] = to;
-            *slot += 1;
+        for chunk in chunks {
+            for &(from, to) in *chunk {
+                let slot = &mut cursor[from as usize];
+                neighbors[*slot as usize] = to;
+                *slot += 1;
+            }
         }
         Self { offsets, neighbors }
     }
@@ -136,20 +201,6 @@ struct DirIndex {
 }
 
 impl DirIndex {
-    fn build(node_count: usize, label_count: usize, edges: &[(u32, u32, u32)]) -> Self {
-        // edges: (label, from, to) in the direction being built.
-        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); label_count];
-        for &(label, from, to) in edges {
-            buckets[label as usize].push((from, to));
-        }
-        Self {
-            parts: buckets
-                .into_iter()
-                .map(|bucket| Arc::new(Partition::build(node_count, &bucket)))
-                .collect(),
-        }
-    }
-
     #[inline]
     fn neighbors(&self, label: usize, node: usize) -> &[u32] {
         self.parts[label].neighbors_of(node)
@@ -163,6 +214,16 @@ impl DirIndex {
 /// store does not rebuild it per epoch: [`LabelIndex::apply_delta`] patches
 /// only the label partitions an update touches and `Arc`-shares the rest
 /// with the previous epoch's index.
+///
+/// The per-(direction, label) partitions are independent, so both the fresh
+/// build and the delta patch can fan out across **shards**: with
+/// [`from_csr_sharded`](Self::from_csr_sharded) or
+/// [`with_shards`](Self::with_shards) set to `n > 1`, up to `n` scoped
+/// threads pull partition jobs off an atomic cursor.  The result is
+/// byte-identical to the sequential build regardless of shard count —
+/// every partition's content depends only on its own label's edges, never
+/// on scheduling (the differential suites assert exact equality across
+/// shard counts).  `shards <= 1` takes the literal sequential code path.
 #[derive(Debug, Clone, Default)]
 pub struct LabelIndex {
     node_count: usize,
@@ -170,6 +231,10 @@ pub struct LabelIndex {
     fwd: DirIndex,
     rev: DirIndex,
     label_edge_counts: Vec<usize>,
+    /// Build/patch parallelism: number of worker threads partition jobs fan
+    /// out over (0 and 1 both mean sequential).  Inherited by indexes
+    /// derived via [`apply_delta`](Self::apply_delta).
+    shards: usize,
 }
 
 impl LabelIndex {
@@ -181,42 +246,138 @@ impl LabelIndex {
                 edges.push((label.raw(), node.index() as u32, target.raw()));
             }
         }
-        Self::from_edges(graph.node_count(), graph.label_count(), edges)
+        Self::from_edges(graph.node_count(), graph.label_count(), edges, 1)
     }
 
     /// Builds the index from a CSR snapshot via its raw packed arrays (no
     /// per-node iterator dispatch).
     pub fn from_csr(csr: &CsrGraph) -> Self {
-        let offsets = csr.fwd_offsets();
-        let entries = csr.fwd_entries();
-        let mut edges = Vec::with_capacity(entries.len());
-        for node in 0..csr.node_count() {
-            let lo = offsets[node] as usize;
-            let hi = offsets[node + 1] as usize;
-            for entry in &entries[lo..hi] {
-                edges.push((entry.label.raw(), node as u32, entry.node.raw()));
-            }
-        }
-        Self::from_edges(csr.node_count(), csr.label_count(), edges)
+        Self::from_csr_sharded(csr, 1)
     }
 
-    fn from_edges(node_count: usize, label_count: usize, edges: Vec<(u32, u32, u32)>) -> Self {
+    /// Like [`from_csr`](Self::from_csr), but builds the per-(direction,
+    /// label) partitions on up to `shards` scoped threads and remembers the
+    /// shard count for [`apply_delta`](Self::apply_delta).  Byte-identical
+    /// to the sequential build for every `shards` value.
+    pub fn from_csr_sharded(csr: &CsrGraph, shards: usize) -> Self {
+        let node_count = csr.node_count();
+        let label_count = csr.label_count();
+        let offsets = csr.fwd_offsets();
+        let entries = csr.fwd_entries();
+        // Every worker buckets a *fixed* contiguous node range straight off
+        // the packed CSR arrays (no intermediate edge vector).  Range
+        // boundaries depend only on the shard count, and concatenating the
+        // per-range buckets in range order reproduces exactly what a single
+        // pass over the whole snapshot produces — so the build stays
+        // byte-identical at every shard count.
+        struct BucketChunk {
+            fwd: Vec<Vec<(u32, u32)>>,
+            rev: Vec<Vec<(u32, u32)>>,
+        }
+        let workers = shards.max(1).min(node_count.max(1));
+        let per_worker = node_count.div_ceil(workers.max(1)).max(1);
+        let chunks: Vec<BucketChunk> = run_jobs(workers, workers, |w| {
+            let lo = (w * per_worker).min(node_count);
+            let hi = ((w + 1) * per_worker).min(node_count);
+            let mut fwd: Vec<Vec<(u32, u32)>> = vec![Vec::new(); label_count];
+            let mut rev: Vec<Vec<(u32, u32)>> = vec![Vec::new(); label_count];
+            for node in lo..hi {
+                let span = offsets[node] as usize..offsets[node + 1] as usize;
+                for entry in &entries[span] {
+                    fwd[entry.label.index()].push((node as u32, entry.node.raw()));
+                    rev[entry.label.index()].push((entry.node.raw(), node as u32));
+                }
+            }
+            BucketChunk { fwd, rev }
+        });
+        let mut label_edge_counts = vec![0usize; label_count];
+        for chunk in &chunks {
+            for (label, bucket) in chunk.fwd.iter().enumerate() {
+                label_edge_counts[label] += bucket.len();
+            }
+        }
+        // One job per (direction, label) partition: jobs [0, label_count)
+        // build forward, [label_count, 2*label_count) build reverse.
+        let mut parts = run_jobs(shards.max(1), label_count * 2, |job| {
+            let slices: Vec<&[(u32, u32)]> = chunks
+                .iter()
+                .map(|chunk| {
+                    if job < label_count {
+                        chunk.fwd[job].as_slice()
+                    } else {
+                        chunk.rev[job - label_count].as_slice()
+                    }
+                })
+                .collect();
+            Arc::new(Partition::build_chunked(node_count, &slices))
+        });
+        let rev_parts = parts.split_off(label_count);
+        Self {
+            node_count,
+            label_count,
+            fwd: DirIndex { parts },
+            rev: DirIndex { parts: rev_parts },
+            label_edge_counts,
+            shards,
+        }
+    }
+
+    /// Returns this index with its shard (worker) count set; subsequent
+    /// [`apply_delta`](Self::apply_delta) calls patch touched labels on up
+    /// to that many threads.  Does not re-partition anything.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The configured shard (worker) count; `0`/`1` mean sequential.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    #[inline]
+    fn effective_shards(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    fn from_edges(
+        node_count: usize,
+        label_count: usize,
+        edges: Vec<(u32, u32, u32)>,
+        shards: usize,
+    ) -> Self {
         let mut label_edge_counts = vec![0usize; label_count];
         for &(label, _, _) in &edges {
             label_edge_counts[label as usize] += 1;
         }
-        let fwd = DirIndex::build(node_count, label_count, &edges);
-        let reversed: Vec<(u32, u32, u32)> = edges
-            .into_iter()
-            .map(|(label, from, to)| (label, to, from))
-            .collect();
-        let rev = DirIndex::build(node_count, label_count, &reversed);
+        // Bucket both directions per label in one pass over the edge stream;
+        // bucket order is edge-stream order, exactly what the historical
+        // build-then-reverse sequence produced.
+        let mut fwd_buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); label_count];
+        let mut rev_buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); label_count];
+        for &(label, from, to) in &edges {
+            fwd_buckets[label as usize].push((from, to));
+            rev_buckets[label as usize].push((to, from));
+        }
+        drop(edges);
+        // One job per (direction, label) partition: jobs [0, label_count)
+        // build forward, [label_count, 2*label_count) build reverse.
+        let mut parts = run_jobs(shards.max(1), label_count * 2, |job| {
+            let bucket = if job < label_count {
+                &fwd_buckets[job]
+            } else {
+                &rev_buckets[job - label_count]
+            };
+            Arc::new(Partition::build(node_count, bucket))
+        });
+        let rev_parts = parts.split_off(label_count);
         Self {
             node_count,
             label_count,
-            fwd,
-            rev,
+            fwd: DirIndex { parts },
+            rev: DirIndex { parts: rev_parts },
             label_edge_counts,
+            shards,
         }
     }
 
@@ -276,6 +437,12 @@ impl LabelIndex {
     /// [`from_csr`](Self::from_csr) over that snapshot — the partition's
     /// per-node neighbor order is (surviving base order, then insertion
     /// order), exactly what a fresh build over the merged adjacency yields.
+    ///
+    /// When this index carries `shards > 1`, the touched labels' patch jobs
+    /// (one per direction × label) fan out over that many scoped threads;
+    /// each job only reads its own label's removal/addition buckets and old
+    /// partition, so the output is byte-identical regardless of shard count.
+    /// The returned index inherits the shard setting.
     pub fn apply_delta(
         &self,
         delta: &GraphDelta,
@@ -319,41 +486,57 @@ impl LabelIndex {
         }
 
         let empty = HashMap::new();
+        // Patch the touched labels first — one job per label (each job
+        // rebuilds both directions), fanned over the configured shards.
+        // Each job reads only its own label's buckets and old partitions.
+        let patch_labels: Vec<usize> = (0..label_count)
+            .filter(|&label| touched.contains(&LabelId::from(label)))
+            .collect();
+        let patched_pairs: Vec<(Partition, Partition)> =
+            run_jobs(self.effective_shards(), patch_labels.len(), |job| {
+                let label = patch_labels[job];
+                let known = label < self.label_count;
+                let old_fwd = known.then(|| self.fwd.parts[label].as_ref());
+                let old_rev = known.then(|| self.rev.parts[label].as_ref());
+                let raw = label as u32;
+                let fwd = Partition::patched(
+                    old_fwd,
+                    node_count,
+                    fwd_removals.get(&raw).unwrap_or(&empty),
+                    fwd_additions.get(&raw).unwrap_or(&empty),
+                );
+                let rev = Partition::patched(
+                    old_rev,
+                    node_count,
+                    rev_removals.get(&raw).unwrap_or(&empty),
+                    rev_additions.get(&raw).unwrap_or(&empty),
+                );
+                (fwd, rev)
+            });
+        let mut patched_by_label: Vec<Option<(Partition, Partition)>> =
+            Vec::with_capacity(label_count);
+        patched_by_label.resize_with(label_count, || None);
+        for (&label, pair) in patch_labels.iter().zip(patched_pairs) {
+            patched_by_label[label] = Some(pair);
+        }
+
         let mut fwd_parts = Vec::with_capacity(label_count);
         let mut rev_parts = Vec::with_capacity(label_count);
         let mut label_edge_counts = vec![0usize; label_count];
         for (label, slot) in label_edge_counts.iter_mut().enumerate() {
-            let known = label < self.label_count;
-            if known && !touched.contains(&LabelId::from(label)) {
+            if let Some((fwd, rev)) = patched_by_label[label].take() {
+                *slot = fwd.neighbors.len();
+                fwd_parts.push(Arc::new(fwd));
+                rev_parts.push(Arc::new(rev));
+            } else if label < self.label_count {
                 fwd_parts.push(Arc::clone(&self.fwd.parts[label]));
                 rev_parts.push(Arc::clone(&self.rev.parts[label]));
                 *slot = self.label_edge_counts[label];
-                continue;
-            }
-            let old_fwd = known.then(|| self.fwd.parts[label].as_ref());
-            let old_rev = known.then(|| self.rev.parts[label].as_ref());
-            if !touched.contains(&LabelId::from(label)) {
+            } else {
                 // A label interned without edges: nothing to patch.
                 fwd_parts.push(Arc::new(Partition::empty(node_count)));
                 rev_parts.push(Arc::new(Partition::empty(node_count)));
-                continue;
             }
-            let raw = label as u32;
-            let fwd = Partition::patched(
-                old_fwd,
-                node_count,
-                fwd_removals.get(&raw).unwrap_or(&empty),
-                fwd_additions.get(&raw).unwrap_or(&empty),
-            );
-            let rev = Partition::patched(
-                old_rev,
-                node_count,
-                rev_removals.get(&raw).unwrap_or(&empty),
-                rev_additions.get(&raw).unwrap_or(&empty),
-            );
-            *slot = fwd.neighbors.len();
-            fwd_parts.push(Arc::new(fwd));
-            rev_parts.push(Arc::new(rev));
         }
         LabelIndex {
             node_count,
@@ -361,6 +544,7 @@ impl LabelIndex {
             fwd: DirIndex { parts: fwd_parts },
             rev: DirIndex { parts: rev_parts },
             label_edge_counts,
+            shards: self.shards,
         }
     }
 
@@ -628,6 +812,48 @@ mod tests {
             &[b.raw()]
         );
         assert_eq!(patched.label_edge_count(x), 1);
+    }
+
+    fn assert_byte_identical(a: &LabelIndex, b: &LabelIndex) {
+        assert_eq!(a.node_count, b.node_count);
+        assert_eq!(a.label_count, b.label_count);
+        assert_eq!(a.label_edge_counts, b.label_edge_counts);
+        for label in 0..a.label_count {
+            assert_eq!(*a.fwd.parts[label], *b.fwd.parts[label], "fwd {label}");
+            assert_eq!(*a.rev.parts[label], *b.rev.parts[label], "rev {label}");
+        }
+    }
+
+    #[test]
+    fn sharded_build_and_patch_are_byte_identical_to_sequential() {
+        use gps_graph::{CsrGraph, DeltaGraph};
+
+        let g = sample();
+        let base = std::sync::Arc::new(CsrGraph::from_graph(&g));
+        let sequential = LabelIndex::from_csr(&base);
+        let mut delta = DeltaGraph::new(std::sync::Arc::clone(&base));
+        let a = delta.node_by_name("a").unwrap();
+        let b = delta.node_by_name("b").unwrap();
+        let d = delta.add_node("d");
+        let x = delta.labels().get("x").unwrap();
+        let z = delta.label("z");
+        assert!(delta.remove_edge(a, x, b));
+        delta.add_edge(b, x, d);
+        delta.add_edge(d, z, a);
+        let summary = delta.delta();
+        let compacted = delta.compact();
+        let seq_patched =
+            sequential.apply_delta(&summary, compacted.node_count(), compacted.label_count());
+
+        for shards in [2usize, 3, 7, 64] {
+            let sharded = LabelIndex::from_csr_sharded(&base, shards);
+            assert_eq!(sharded.shards(), shards);
+            assert_byte_identical(&sequential, &sharded);
+            let patched =
+                sharded.apply_delta(&summary, compacted.node_count(), compacted.label_count());
+            assert_eq!(patched.shards(), shards, "patched index inherits shards");
+            assert_byte_identical(&seq_patched, &patched);
+        }
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! through RPQ evaluation.  This crate is the set-at-a-time execution engine
 //! for that traffic, built on the [`gps_graph::GraphBackend`] seam:
 //!
-//! * [`bitset::FixedBitSet`] — dense per-state node sets; the frontier,
-//!   visited and delta representation;
+//! * [`bitset::FixedBitSet`] / [`bitset::SparseBitSet`] — dense and
+//!   two-level sparse per-state node sets; alive sets are dense, frontiers
+//!   switch to sparse on large graphs per [`frontier::FrontierPolicy`];
 //! * [`index::LabelIndex`] — label-partitioned forward + reverse CSR built
-//!   once per graph and shared (also across threads) by every query;
+//!   once per graph (optionally sharded across scoped threads on multi-core
+//!   machines) and shared, also across threads, by every query;
 //! * [`frontier`] — the semi-naive product-automaton fixed point sweeping
 //!   whole frontiers per DFA transition, in push (reverse), pull (forward)
 //!   or per-round adaptive mode;
@@ -55,7 +57,8 @@ pub mod metrics;
 pub mod planner;
 
 pub use batch::{BatchEvaluator, ParallelSplit};
-pub use bitset::FixedBitSet;
+pub use bitset::{FixedBitSet, SparseBitSet};
+pub use frontier::{FrontierPolicy, SPARSE_FRONTIER_NODES};
 pub use index::{Direction, LabelIndex};
 pub use metrics::ExecMetrics;
 pub use planner::{Plan, PlanDecision, PlannerConfig};

@@ -7,7 +7,7 @@
 //! path records through lock-free handles instead of registry lookups.
 
 use crate::planner::Plan;
-use gps_telemetry::{Counter, Histogram, MetricsRegistry};
+use gps_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// The execution-engine metric family (`gps_exec_*`).
 #[derive(Debug, Clone, Default)]
@@ -26,6 +26,17 @@ pub struct ExecMetrics {
     /// `gps_exec_plan_bidirectional_total` — evaluations run with
     /// [`Plan::Bidirectional`].
     pub plan_bidirectional: Counter,
+    /// `gps_exec_index_build_ns` — wall time of one [`LabelIndex`]
+    /// construction or delta patch (fresh builds and `apply_delta` both
+    /// record here; the shard gauge says how wide the build fanned out).
+    ///
+    /// [`LabelIndex`]: crate::LabelIndex
+    pub index_build: Histogram,
+    /// `gps_exec_index_shards` — the shard (worker-thread) count of the most
+    /// recently built or patched [`LabelIndex`] (`1` = sequential).
+    ///
+    /// [`LabelIndex`]: crate::LabelIndex
+    pub index_shards: Gauge,
 }
 
 impl ExecMetrics {
@@ -44,6 +55,8 @@ impl ExecMetrics {
             plan_reverse: registry.counter("gps_exec_plan_reverse_total"),
             plan_forward: registry.counter("gps_exec_plan_forward_total"),
             plan_bidirectional: registry.counter("gps_exec_plan_bidirectional_total"),
+            index_build: registry.histogram("gps_exec_index_build_ns"),
+            index_shards: registry.gauge("gps_exec_index_shards"),
         }
     }
 
@@ -54,5 +67,12 @@ impl ExecMetrics {
             Plan::Forward => self.plan_forward.inc(),
             Plan::Bidirectional => self.plan_bidirectional.inc(),
         }
+    }
+
+    /// Records one index build/patch: its wall time and how many shards it
+    /// fanned out over (`0` is normalized to `1` = sequential).
+    pub fn record_index_build(&self, elapsed: std::time::Duration, shards: usize) {
+        self.index_build.record_duration(elapsed);
+        self.index_shards.set(shards.max(1) as u64);
     }
 }

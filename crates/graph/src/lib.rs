@@ -74,7 +74,7 @@ pub mod stats;
 pub mod traversal;
 
 pub use backend::GraphBackend;
-pub use csr::CsrGraph;
+pub use csr::{CsrEntry, CsrGraph};
 pub use delta::{DeltaGraph, GraphDelta, UpdateError, UpdateOp};
 pub use graph::{Edge, Graph};
 pub use ids::{EdgeId, LabelId, NodeId};

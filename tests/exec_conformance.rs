@@ -22,6 +22,7 @@ use gps_datasets::queries;
 use gps_datasets::scale_free::{self, ScaleFreeConfig};
 use gps_datasets::transport::{self, TransportConfig};
 use gps_exec::{BatchEvaluator, Plan};
+use gps_graph::DeltaGraph;
 use gps_rpq::DfaEvaluator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -285,6 +286,139 @@ fn interactive_sessions_converge_identically_across_modes() {
         assert_eq!(report.goal_reached, reference.goal_reached, "{mode:?}");
         assert_eq!(report.interactions, reference.interactions, "{mode:?}");
         assert_eq!(report.learned, reference.learned, "{mode:?}");
+    }
+}
+
+/// Two frontier evaluators must expose the *same* index: every adjacency
+/// slice, per-label edge count, planner statistic and query answer.
+fn assert_indexes_identical(
+    context: &str,
+    reference: &BatchEvaluator,
+    other: &BatchEvaluator,
+    dfas: &[Dfa],
+) {
+    use gps_exec::Direction;
+    let a = reference.shared_index();
+    let b = other.shared_index();
+    assert_eq!(a.node_count(), b.node_count(), "{context}: node count");
+    assert_eq!(a.label_count(), b.label_count(), "{context}: label count");
+    assert_eq!(
+        a.memory_bytes(),
+        b.memory_bytes(),
+        "{context}: memory footprint"
+    );
+    for label in (0..a.label_count()).map(LabelId::from) {
+        assert_eq!(
+            a.label_edge_count(label),
+            b.label_edge_count(label),
+            "{context}: edge count of label {label:?}"
+        );
+        for direction in [Direction::Forward, Direction::Reverse] {
+            for node in 0..a.node_count() {
+                assert_eq!(
+                    a.neighbors(direction, label, node),
+                    b.neighbors(direction, label, node),
+                    "{context}: {direction:?} adjacency of label {label:?}, node {node}"
+                );
+            }
+        }
+    }
+    assert_eq!(reference.stats(), other.stats(), "{context}: planner stats");
+    for (i, dfa) in dfas.iter().enumerate() {
+        assert_eq!(
+            reference.evaluate(dfa),
+            other.evaluate(dfa),
+            "{context}: query {i}"
+        );
+    }
+}
+
+/// Sharded index builds and patches are byte-identical to the sequential
+/// path at *every* shard count — fresh builds and three chained random
+/// deltas (inserts, removals and a fresh node each round) both — and the
+/// sparse and dense frontier representations answer identically on top of
+/// them.
+#[test]
+fn sharded_builds_and_chained_patches_match_sequential_at_every_shard_count() {
+    use gps_exec::FrontierPolicy;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let shard_counts: Vec<usize> = vec![2, 7, cores];
+    let mut rng = StdRng::seed_from_u64(0x5AA5_D00D);
+    let mut corpora: Vec<(String, Graph)> = (0..4)
+        .map(|i| (format!("random-{i}"), random_graph(&mut rng, 14, 40)))
+        .collect();
+    corpora.push((
+        "scale-free".to_string(),
+        scale_free::generate(&ScaleFreeConfig {
+            nodes: 250,
+            seed: 23,
+            ..ScaleFreeConfig::default()
+        }),
+    ));
+    for (name, graph) in corpora {
+        let dfas = query_set(&graph);
+        let mut base = std::sync::Arc::new(CsrGraph::from_graph(&graph));
+        let mut reference = BatchEvaluator::from_csr_sharded(&base, 1);
+        let mut sharded: Vec<(usize, BatchEvaluator)> = shard_counts
+            .iter()
+            .map(|&s| (s, BatchEvaluator::from_csr_sharded(&base, s)))
+            .collect();
+        for (s, evaluator) in &sharded {
+            assert_indexes_identical(&format!("{name}, fresh x{s}"), &reference, evaluator, &dfas);
+        }
+        for round in 0..3 {
+            let mut staged = DeltaGraph::new(std::sync::Arc::clone(&base));
+            let fresh = staged.add_node(format!("delta-{round}"));
+            let nodes: Vec<NodeId> = GraphBackend::nodes(&*base).collect();
+            let pick = |rng: &mut StdRng| nodes[rng.gen_range(0..nodes.len())];
+            for _ in 0..5 {
+                let label = LabelId::new(rng.gen_range(0u32..4));
+                staged.add_edge(pick(&mut rng), label, pick(&mut rng));
+                staged.add_edge(fresh, label, pick(&mut rng));
+            }
+            if let Some(edge) = GraphBackend::nodes(&*base)
+                .find_map(|node| GraphBackend::out_edges(&*base, node).next())
+                .map(|(_, edge)| edge)
+            {
+                staged.remove_edge(edge.source, edge.label, edge.target);
+            }
+            let delta = staged.delta();
+            let next = std::sync::Arc::new(staged.compact());
+            reference = reference.apply_delta(&next, &delta);
+            for (s, evaluator) in &mut sharded {
+                *evaluator = evaluator.apply_delta(&next, &delta);
+                assert_eq!(
+                    evaluator.shared_index().shards(),
+                    *s,
+                    "{name}: shard setting survives apply_delta"
+                );
+            }
+            base = next;
+            for (s, evaluator) in &sharded {
+                assert_indexes_identical(
+                    &format!("{name}, round {round} x{s}"),
+                    &reference,
+                    evaluator,
+                    &dfas,
+                );
+            }
+        }
+        // Sparse and dense frontiers agree on the final patched snapshot.
+        let dense = reference
+            .clone()
+            .with_frontier_policy(FrontierPolicy::Dense);
+        let sparse = reference
+            .clone()
+            .with_frontier_policy(FrontierPolicy::Sparse);
+        for (i, dfa) in dfas.iter().enumerate() {
+            assert_eq!(
+                dense.evaluate(dfa),
+                sparse.evaluate(dfa),
+                "{name}: frontier policies diverge on query {i}"
+            );
+        }
     }
 }
 

@@ -238,6 +238,49 @@ fn insert_only_epochs_reseed_to_exactly_the_cold_answers() {
     }
 }
 
+/// A query whose DFA start state is accepting (`a0*` matches every node via
+/// the empty word) *saturates* the start state's alive set — the historical
+/// frontier early-exit path returned before reaching the full product fixed
+/// point and therefore captured no resume seed, silently downgrading every
+/// touched publish to a cold recompute.  Capturing evaluations now always
+/// run to the true fixed point: the seed exists, the insert-only publish
+/// takes the reseed path, and the reseeded answer equals a cold evaluation.
+#[test]
+fn start_state_saturating_queries_still_capture_and_reseed() {
+    let graph = scale_free_graph(400);
+    let saturating =
+        PathQuery::parse("a0*", graph.labels()).expect("a0 exists in the generated alphabet");
+    for mode in [EvalMode::Frontier, EvalMode::Parallel] {
+        let service = GpsService::new(Engine::builder(graph.clone()).eval_mode(mode).build_core());
+        warm(&service, std::slice::from_ref(&saturating));
+        // Every node already matches (epsilon ⊆ a0*): the alive set of the
+        // start state is saturated from round zero.
+        assert_eq!(
+            service
+                .core()
+                .eval_cache()
+                .evaluate_compiled(saturating.regex(), saturating.dfa())
+                .nodes()
+                .len(),
+            graph.node_count(),
+        );
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        let report = service
+            .update(random_insert_update(&graph, &mut rng, 1))
+            .unwrap();
+        assert_eq!(
+            report.reseeded_answers, 1,
+            "{mode:?}: the saturating query must reseed, not recompute"
+        );
+        assert_eq!(report.recomputed_answers, 0, "{mode:?}");
+        assert_matches_cold(
+            &service,
+            std::slice::from_ref(&saturating),
+            &format!("{mode:?}, saturating reseed"),
+        );
+    }
+}
+
 // ------------------------------------------------- 3. deletions fall back
 
 #[test]

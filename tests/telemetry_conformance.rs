@@ -185,6 +185,8 @@ fn mixed_workload_exports_are_complete_and_valid() {
     validate_prometheus_text(&text).expect("metrics_text must be valid Prometheus exposition");
     for required in [
         "gps_exec_eval_latency_ns",
+        "gps_exec_index_build_ns",
+        "gps_exec_index_shards",
         "gps_rpq_cache_hits_total",
         "gps_rpq_cache_misses_total",
         "gps_core_publish_latency_ns",
