@@ -35,7 +35,7 @@
 use crate::error::GpsError;
 use crate::render;
 use crate::scenario::{self, ScenarioReport, StaticLabelingOutcome};
-use gps_exec::{BatchEvaluator, ExecMetrics, LabelIndex, PlannerConfig};
+use gps_exec::{BatchEvaluator, ExecMetrics, LabelIndex, PlannerConfig, DEFAULT_OVERDELETE_LIMIT};
 use gps_graph::{
     CsrGraph, Graph, GraphBackend, GraphDelta, LabelStats, Neighborhood, NodeId, PathEnumerator,
     PrefixTree,
@@ -88,6 +88,7 @@ impl EvalMode {
         planner: PlannerConfig,
         metrics: ExecMetrics,
         index_shards: Option<usize>,
+        delete_saturation: f64,
     ) -> (
         Box<dyn DfaEvaluator>,
         Option<Arc<LabelIndex>>,
@@ -107,7 +108,10 @@ impl EvalMode {
                 let started = std::time::Instant::now();
                 let evaluator = BatchEvaluator::from_csr_sharded(csr, shards);
                 metrics.record_index_build(started.elapsed(), shards);
-                let mut evaluator = evaluator.with_planner_config(planner).with_metrics(metrics);
+                let mut evaluator = evaluator
+                    .with_planner_config(planner)
+                    .with_metrics(metrics)
+                    .with_overdelete_limit(delete_saturation);
                 if self == EvalMode::Parallel {
                     evaluator = evaluator.with_parallelism(BatchEvaluator::default_threads());
                 }
@@ -170,6 +174,7 @@ pub struct GpsBuilder {
     index_shards: Option<usize>,
     cache_capacity: Option<usize>,
     words_capacity: Option<usize>,
+    delete_saturation: f64,
     checkpoint_every: u64,
     metrics: Arc<MetricsRegistry>,
 }
@@ -187,6 +192,7 @@ impl GpsBuilder {
             index_shards: None,
             cache_capacity: None,
             words_capacity: None,
+            delete_saturation: DEFAULT_OVERDELETE_LIMIT,
             checkpoint_every: crate::versioned::CheckpointPolicy::default().every_n_publishes,
             metrics: Arc::new(MetricsRegistry::disabled()),
         }
@@ -287,6 +293,18 @@ impl GpsBuilder {
     /// dominate the cache's footprint.
     pub fn words_capacity(mut self, capacity: usize) -> Self {
         self.words_capacity = Some(capacity);
+        self
+    }
+
+    /// Caps how much of the alive configuration population a removal-bearing
+    /// publish may transitively over-delete before the Tier-3 delete-reseed
+    /// gives up and the touched answer falls back to a cold recompute
+    /// (frontier modes; clamped to `0.0..=1.0`, default
+    /// [`gps_exec::DEFAULT_OVERDELETE_LIMIT`]).  `0.0` disables the delete
+    /// path entirely — every removal recomputes cold, the pre-Tier-3
+    /// behavior — and `1.0` never gives up.
+    pub fn delete_reseed_saturation(mut self, fraction: f64) -> Self {
+        self.delete_saturation = fraction.clamp(0.0, 1.0);
         self
     }
 
@@ -393,6 +411,7 @@ impl GpsBuilder {
             self.planner,
             ExecMetrics::from_registry(&self.metrics),
             self.index_shards,
+            self.delete_saturation,
         );
         let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator)
             .with_metrics(&self.metrics);
@@ -416,6 +435,7 @@ impl GpsBuilder {
                 index_shards: self.index_shards,
                 cache_capacity: self.cache_capacity,
                 words_capacity: self.words_capacity,
+                delete_saturation: self.delete_saturation,
                 metrics: self.metrics,
             }),
         };
@@ -437,6 +457,7 @@ pub(crate) struct EngineOptions {
     index_shards: Option<usize>,
     cache_capacity: Option<usize>,
     words_capacity: Option<usize>,
+    delete_saturation: f64,
     metrics: Arc<MetricsRegistry>,
 }
 
@@ -500,7 +521,8 @@ impl EngineCore {
             (mode, Some(index), Some(stats)) => {
                 let previous = BatchEvaluator::from_shared_index(Arc::clone(index), stats.clone())
                     .with_planner_config(self.options.planner)
-                    .with_metrics(ExecMetrics::from_registry(&self.options.metrics));
+                    .with_metrics(ExecMetrics::from_registry(&self.options.metrics))
+                    .with_overdelete_limit(self.options.delete_saturation);
                 let previous = if mode == EvalMode::Parallel {
                     previous.with_parallelism(BatchEvaluator::default_threads())
                 } else {
@@ -518,6 +540,7 @@ impl EngineCore {
                 self.options.planner,
                 ExecMetrics::from_registry(&self.options.metrics),
                 self.options.index_shards,
+                self.options.delete_saturation,
             ),
         };
         let mut cache = EvalCache::with_shared_evaluator(Arc::clone(&snapshot), evaluator)
@@ -693,8 +716,13 @@ impl<B: GraphBackend> Engine<B> {
         let eval_mode = EvalMode::default();
         let planner = PlannerConfig::default();
         let snapshot = Arc::new(CsrGraph::from_backend(&backend));
-        let (evaluator, index, stats) =
-            eval_mode.evaluator_for(&snapshot, planner, ExecMetrics::disabled(), None);
+        let (evaluator, index, stats) = eval_mode.evaluator_for(
+            &snapshot,
+            planner,
+            ExecMetrics::disabled(),
+            None,
+            DEFAULT_OVERDELETE_LIMIT,
+        );
         let cache = Arc::new(EvalCache::with_shared_evaluator(
             Arc::clone(&snapshot),
             evaluator,
@@ -720,6 +748,7 @@ impl<B: GraphBackend> Engine<B> {
                     index_shards: None,
                     cache_capacity: None,
                     words_capacity: None,
+                    delete_saturation: DEFAULT_OVERDELETE_LIMIT,
                     metrics: Arc::new(MetricsRegistry::disabled()),
                 }),
             },

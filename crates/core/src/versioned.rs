@@ -204,10 +204,14 @@ pub struct PublishReport {
     /// migrated verbatim into the new epoch's cache (Tier-1 carry).
     pub carried_answers: usize,
     /// Cached answers re-derived from their seeded fixed point restricted to
-    /// the delta (Tier-2 reseed; insert-only deltas).
+    /// an insert-only delta (Tier-2 reseed).
     pub reseeded_answers: usize,
-    /// Cached answers dropped to a cold recompute on next use (deletion
-    /// deltas, or no captured seed).
+    /// Cached answers re-derived across a removal-bearing delta by the
+    /// over-delete/re-derive sweep (Tier-3 delete-reseed).
+    pub delete_reseeded_answers: usize,
+    /// Cached answers dropped to a cold recompute on next use (over-delete
+    /// budget blown, no captured seed, or capacity-evicted — the cache's
+    /// `gps_rpq_cache_fallback_*` reason counters split this sum).
     pub recomputed_answers: usize,
     /// Superseded epochs retired by this publish (no sessions pinned).
     pub retired_epochs: usize,
@@ -571,6 +575,7 @@ impl VersionedStore {
                 touched_labels: 0,
                 carried_answers: 0,
                 reseeded_answers: 0,
+                delete_reseeded_answers: 0,
                 recomputed_answers: 0,
                 retired_epochs: 0,
                 latency: started.elapsed(),
@@ -665,6 +670,7 @@ impl VersionedStore {
             touched_labels: delta.touched_labels().len(),
             carried_answers: migration.carried,
             reseeded_answers: migration.reseeded,
+            delete_reseeded_answers: migration.delete_reseeded,
             recomputed_answers: migration.recomputed,
             retired_epochs,
             latency,

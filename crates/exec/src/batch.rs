@@ -15,8 +15,8 @@
 
 use crate::bitset::FixedBitSet;
 use crate::frontier::{
-    evaluate_captured, evaluate_counting, resume_counting, selects_from, witness_from,
-    FrontierPolicy, Scratch,
+    evaluate_captured, evaluate_counting, resume_counting, resume_with_removals, selects_from,
+    witness_from, FrontierPolicy, Scratch, DEFAULT_OVERDELETE_LIMIT,
 };
 use crate::index::{Direction, LabelIndex};
 use crate::metrics::ExecMetrics;
@@ -61,6 +61,7 @@ pub struct BatchEvaluator {
     parallelism: Option<usize>,
     split: ParallelSplit,
     frontier_policy: FrontierPolicy,
+    overdelete_limit: f64,
     metrics: ExecMetrics,
 }
 
@@ -95,6 +96,7 @@ impl BatchEvaluator {
             parallelism: None,
             split: ParallelSplit::default(),
             frontier_policy: FrontierPolicy::default(),
+            overdelete_limit: DEFAULT_OVERDELETE_LIMIT,
             metrics: ExecMetrics::disabled(),
         }
     }
@@ -120,6 +122,7 @@ impl BatchEvaluator {
             parallelism: self.parallelism,
             split: self.split,
             frontier_policy: self.frontier_policy,
+            overdelete_limit: self.overdelete_limit,
             metrics: self.metrics.clone(),
         }
     }
@@ -184,6 +187,23 @@ impl BatchEvaluator {
     /// The frontier representation policy in effect.
     pub fn frontier_policy(&self) -> FrontierPolicy {
         self.frontier_policy
+    }
+
+    /// Caps the delete-aware resume's over-deletion at `limit` (a fraction
+    /// of the alive configuration population, clamped to `0.0..=1.0`;
+    /// default [`DEFAULT_OVERDELETE_LIMIT`]).  Past the cap a removal-bearing
+    /// [`evaluate_dfa_resumed`](DfaEvaluator::evaluate_dfa_resumed) returns
+    /// `None` and the caller cold-recomputes — `0.0` disables the delete
+    /// path entirely, `1.0` never gives up.  Carried across epochs by
+    /// [`apply_delta`](Self::apply_delta).
+    pub fn with_overdelete_limit(mut self, limit: f64) -> Self {
+        self.overdelete_limit = limit.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The over-deletion cap in effect.
+    pub fn overdelete_limit(&self) -> f64 {
+        self.overdelete_limit
     }
 
     /// A fresh scratch following the configured frontier policy.
@@ -546,8 +566,24 @@ impl DfaEvaluator for BatchEvaluator {
         delta: &GraphDelta,
     ) -> Option<(QueryAnswer, EvalResume)> {
         let mut scratch = self.scratch();
-        let (answer, rounds, next) =
-            resume_counting(&self.index, dfa, resume, delta, &mut scratch)?;
+        let (answer, rounds, next) = if delta.removed_edges.is_empty() {
+            resume_counting(&self.index, dfa, resume, delta, &mut scratch)?
+        } else if self.overdelete_limit <= 0.0 {
+            // The knob's floor is a kill switch: removals always recompute
+            // cold, even ones whose over-delete cone would be empty.
+            return None;
+        } else {
+            let (answer, rounds, overdeleted, next) = resume_with_removals(
+                &self.index,
+                dfa,
+                resume,
+                delta,
+                &mut scratch,
+                self.overdelete_limit,
+            )?;
+            self.metrics.support_overdeleted.add(overdeleted);
+            (answer, rounds, next)
+        };
         // Counted as an evaluation (its rounds are the delta-restricted
         // sweeps); latency is attributed by the caller's reseed histogram,
         // not the cold-eval one.

@@ -62,6 +62,17 @@ impl FixedBitSet {
         fresh
     }
 
+    /// Clears `bit`; returns `true` when the bit was previously set.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        debug_assert!(bit < self.len);
+        let word = &mut self.words[bit / WORD_BITS];
+        let mask = 1 << (bit % WORD_BITS);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
     /// Sets every bit of the universe.
     pub fn insert_all(&mut self) {
         for word in &mut self.words {

@@ -25,6 +25,15 @@ use gps_automata::Dfa;
 use gps_graph::{GraphDelta, LabelId, NodeId, Path};
 use gps_rpq::{EvalResume, QueryAnswer};
 
+/// Default cap on the delete-aware reseed's over-deletion, as a fraction of
+/// the post-insert alive configuration population: when a removal's
+/// transitive over-delete cone grows past `limit × alive_total`
+/// configurations, [`resume_with_removals`] gives up (`None`) and the caller
+/// falls back to a cold recompute — at that point the cold fixed point is in
+/// the same cost class as over-delete *plus* re-derive, without the
+/// bookkeeping.
+pub const DEFAULT_OVERDELETE_LIMIT: f64 = 0.5;
+
 /// Node count at which [`FrontierPolicy::Auto`] switches the frontier/delta
 /// bitsets from dense to sparse.  Below this a dense sweep fits comfortably
 /// in cache and the summary level is pure overhead; above it, per-round
@@ -375,9 +384,64 @@ fn fixed_point(
                 .iter()
                 .map(|bits| bits.as_words().to_vec())
                 .collect(),
+            compute_supports(index, dfa, &scratch.alive, n),
         )
     });
     (QueryAnswer::from_flags(selected), rounds, resume)
+}
+
+/// Derivation counts of a *completed* fixed point: `supports[p][u]` is the
+/// number of `(DFA transition p --a--> q, graph edge u --a--> v)` pairs with
+/// `(v, q)` alive, saturated at 255.  A non-accepting configuration is alive
+/// iff its support is positive; accepting configurations are alive
+/// unconditionally (their support only counts their edge-derivations).
+///
+/// One full push-shaped sweep over the alive sets — the capture-time
+/// post-pass that seeds the delete-aware resume's bookkeeping.  Dead
+/// configurations naturally end at 0: a derivation from an alive target
+/// would have made them alive.
+fn compute_supports(
+    index: &LabelIndex,
+    dfa: &Dfa,
+    alive: &[FixedBitSet],
+    nodes: usize,
+) -> Vec<Vec<u8>> {
+    let mut supports = vec![vec![0u8; nodes]; alive.len()];
+    for (state, row) in supports.iter_mut().enumerate() {
+        for (label, target) in dfa.transitions_from(state) {
+            for v in alive[target].ones() {
+                for &u in index.neighbors(Direction::Reverse, label, v) {
+                    let slot = &mut row[u as usize];
+                    *slot = slot.saturating_add(1);
+                }
+            }
+        }
+    }
+    supports
+}
+
+/// Recomputes one configuration's support from scratch against the *current*
+/// alive sets over the patched index — the exact fallback when a saturated
+/// (255) counter must be decremented and the true count is unknown.
+fn recount_support(
+    index: &LabelIndex,
+    dfa: &Dfa,
+    alive: &[FixedBitSet],
+    state: usize,
+    node: usize,
+) -> u8 {
+    let mut count = 0u32;
+    for (label, target) in dfa.transitions_from(state) {
+        for &v in index.neighbors(Direction::Forward, label, node) {
+            if alive[target].contains(v as usize) {
+                count += 1;
+                if count >= u8::MAX as u32 {
+                    return u8::MAX;
+                }
+            }
+        }
+    }
+    count as u8
 }
 
 /// Resumes the product fixed point from a captured [`EvalResume`] after an
@@ -400,13 +464,66 @@ pub fn resume_counting(
     if !delta.removed_edges.is_empty() {
         return None;
     }
-    let n = index.node_count();
+    let mut supports = restore_seed(index.node_count(), dfa, resume, scratch)?;
+    let rounds = insert_sweep(index, dfa, resume, delta, scratch, &mut supports)?;
+    Some(pack_result(
+        index.node_count(),
+        dfa,
+        scratch,
+        supports,
+        rounds,
+    ))
+}
+
+/// Restores a captured seed into `scratch` (alive sets via `load_prefix`)
+/// and returns a working copy of its support counters extended to `n` nodes.
+/// `None` when the seed's shape does not match the DFA or the index.
+fn restore_seed(
+    n: usize,
+    dfa: &Dfa,
+    resume: &EvalResume,
+    scratch: &mut Scratch,
+) -> Option<Vec<Vec<u8>>> {
     let s = dfa.state_count();
     if n == 0 || s == 0 || resume.state_count() != s || resume.nodes() > n {
         return None;
     }
     scratch.prepare(s, n);
+    for state in 0..s {
+        scratch.alive[state].load_prefix(resume.state_words(state));
+    }
+    Some(
+        (0..s)
+            .map(|state| {
+                let mut row = resume.state_supports(state).to_vec();
+                row.resize(n, 0);
+                row
+            })
+            .collect(),
+    )
+}
 
+/// The insert half of a resume: seeds added nodes and added edges into the
+/// restored fixed point and pushes to closure over the patched index, keeping
+/// `supports` exact along the way (every configuration that turns alive
+/// sweeps its reverse dependents exactly once, incrementing their counters;
+/// added edges whose target was alive *in the seed* are counted separately —
+/// those derivations are the only ones no newly-alive sweep can see).
+///
+/// Monotone, so after this sweep `supports[p][u]` counts `(u, p)`'s
+/// derivations over the patched edge set against the expanded alive sets —
+/// the invariant both the insert-only resume and the over-delete phase build
+/// on.  Returns the number of push rounds.
+fn insert_sweep(
+    index: &LabelIndex,
+    dfa: &Dfa,
+    resume: &EvalResume,
+    delta: &GraphDelta,
+    scratch: &mut Scratch,
+    supports: &mut [Vec<u8>],
+) -> Option<u64> {
+    let n = index.node_count();
+    let s = dfa.state_count();
     let mut rev_dfa: Vec<Vec<(LabelId, usize)>> = vec![Vec::new(); s];
     for state in 0..s {
         for (label, target) in dfa.transitions_from(state) {
@@ -414,10 +531,6 @@ pub fn resume_counting(
         }
     }
 
-    // Restore the pre-delta fixed point over the node range it covered.
-    for state in 0..s {
-        scratch.alive[state].load_prefix(resume.state_words(state));
-    }
     // Nodes added since the capture: their accepting configurations are
     // alive by definition and expand like any fresh discovery.
     for state in 0..s {
@@ -433,14 +546,22 @@ pub fn resume_counting(
     // u --a--> v was inserted, p --a--> q in the DFA and (v, q) is alive.
     // Cascades through *old* edges are handled by the push rounds below —
     // every new discovery enters the frontier and is expanded through the
-    // full (patched) reverse index.
+    // full (patched) reverse index.  Support accounting: a derivation
+    // through an added edge whose target was alive in the *seed* is
+    // invisible to the newly-alive sweeps (the target never re-enters a
+    // frontier), so it is counted here; targets that turn alive later are
+    // counted by their own sweep, which enumerates the patched index and so
+    // sees the added edge.
     for edge in &delta.added_edges {
         let (u, v) = (edge.source.index(), edge.target.index());
         if u >= n || v >= n {
             return None;
         }
-        for p in 0..s {
+        for (p, row) in supports.iter_mut().enumerate().take(s) {
             if let Some(q) = dfa.step(p, edge.label) {
+                if seed_alive(resume, q, v) {
+                    row[u] = row[u].saturating_add(1);
+                }
                 if scratch.alive[q].contains(v) && scratch.alive[p].insert(u) {
                     scratch.frontier[p].insert(u);
                 }
@@ -458,6 +579,8 @@ pub fn resume_counting(
             for &(label, p) in transitions {
                 for u in scratch.frontier[q].ones() {
                     for &w in index.neighbors(Direction::Reverse, label, u) {
+                        let slot = &mut supports[p][w as usize];
+                        *slot = slot.saturating_add(1);
                         if scratch.alive[p].insert(w as usize) {
                             scratch.next[p].insert(w as usize);
                             progress = true;
@@ -475,7 +598,25 @@ pub fn resume_counting(
             bits.clear();
         }
     }
+    Some(rounds)
+}
 
+/// Was configuration `(node, state)` alive in the captured seed?  Reads the
+/// immutable snapshot words, so it stays answerable after `scratch` has
+/// moved on — the old-alive test the delta sweeps need.
+#[inline]
+fn seed_alive(resume: &EvalResume, state: usize, node: usize) -> bool {
+    node < resume.nodes() && resume.state_words(state)[node / 64] & (1u64 << (node % 64)) != 0
+}
+
+/// Packs the answer and the next epoch's seed out of a converged `scratch`.
+fn pack_result(
+    n: usize,
+    dfa: &Dfa,
+    scratch: &Scratch,
+    supports: Vec<Vec<u8>>,
+    rounds: u64,
+) -> (QueryAnswer, u64, EvalResume) {
     let start = dfa.start();
     let selected = (0..n)
         .map(|node| scratch.alive[start].contains(node))
@@ -487,8 +628,210 @@ pub fn resume_counting(
             .iter()
             .map(|bits| bits.as_words().to_vec())
             .collect(),
+        supports,
     );
-    Some((QueryAnswer::from_flags(selected), rounds, next_resume))
+    (QueryAnswer::from_flags(selected), rounds, next_resume)
+}
+
+/// Resumes the product fixed point from a captured [`EvalResume`] after a
+/// [`GraphDelta`] that contains **removals** (with or without insertions) —
+/// the delete-aware Tier-2 path.  DRed-style, in three phases over the
+/// patched index:
+///
+/// 1. **Insert sweep.** Added nodes and edges are folded in first, exactly
+///    like [`resume_counting`], keeping the support counters exact.  Doing
+///    inserts first means the later sweeps can enumerate the patched index
+///    uniformly: every derivation it contains is counted exactly once.
+/// 2. **Over-delete.** Each removed edge decrements the support of its
+///    source configurations (only for targets alive *in the seed* — those
+///    are the derivations the counters actually contain; the patched index
+///    no longer holds the removed edges, so no later sweep counted them).
+///    Every alive non-accepting configuration that lost a derivation is
+///    *doomed* — unconditionally, regardless of remaining support, because
+///    a positive count may rest on a non-well-founded cycle (two
+///    configurations supporting only each other survive zero-propagation
+///    but must die).  Dooming propagates transitively over the reverse
+///    index; each popped configuration leaves the alive set and decrements
+///    its dependents.  A decrement hitting a saturated (255) counter is
+///    deferred to a post-phase exact recount instead of guessing.  When the
+///    doom count passes `overdelete_limit × alive population`, the sweep
+///    gives up and returns `None` — the saturation fallback to a cold
+///    recompute.
+/// 3. **Re-derive.** After the worklist drains, supports count derivations
+///    through *surviving* configurations only, so every doomed
+///    configuration with a positive count is still derivable from the
+///    surviving boundary: those re-enter the alive set and push to closure,
+///    re-incrementing supports along the way.  Classic DRed: the survivors
+///    under-approximate the new fixed point, and re-derivation from the
+///    still-derivable boundary restores it exactly.
+///
+/// Returns `(answer, push rounds, configurations over-deleted, next seed)`;
+/// `None` on a shape mismatch or when the over-delete cone saturates.
+pub fn resume_with_removals(
+    index: &LabelIndex,
+    dfa: &Dfa,
+    resume: &EvalResume,
+    delta: &GraphDelta,
+    scratch: &mut Scratch,
+    overdelete_limit: f64,
+) -> Option<(QueryAnswer, u64, u64, EvalResume)> {
+    let n = index.node_count();
+    let s = dfa.state_count();
+    let mut supports = restore_seed(n, dfa, resume, scratch)?;
+    let mut rounds = insert_sweep(index, dfa, resume, delta, scratch, &mut supports)?;
+
+    // --- Over-delete ------------------------------------------------------
+    // Aggregate the removed edges' derivation losses per configuration
+    // before touching any counter, so parallel removed edges into the same
+    // configuration subtract in one step.
+    let mut losses: std::collections::BTreeMap<(usize, usize), u32> =
+        std::collections::BTreeMap::new();
+    for edge in &delta.removed_edges {
+        let (u, v) = (edge.source.index(), edge.target.index());
+        if u >= n || v >= n {
+            return None;
+        }
+        for p in 0..s {
+            if let Some(q) = dfa.step(p, edge.label) {
+                if seed_alive(resume, q, v) {
+                    *losses.entry((p, u)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let alive_total: usize = scratch.alive.iter().map(FixedBitSet::count).sum();
+    let budget = overdelete_limit * alive_total as f64;
+    // Doomed = over-deleted at least once this sweep; popped configurations
+    // leave `alive` only when their propagation runs, so in-flight recounts
+    // of "derivations via alive targets" stay consistent.
+    let mut doomed: Vec<FixedBitSet> = (0..s).map(|_| FixedBitSet::new(n)).collect();
+    // Counters that were saturated when a decrement hit them: their true
+    // value is unknown until the exact post-phase recount.
+    let mut stale: Vec<FixedBitSet> = (0..s).map(|_| FixedBitSet::new(n)).collect();
+    let mut doomed_configs: Vec<(usize, usize)> = Vec::new();
+    let mut worklist: std::collections::VecDeque<(usize, usize)> =
+        std::collections::VecDeque::new();
+    let doom = |p: usize,
+                u: usize,
+                alive: &[FixedBitSet],
+                doomed: &mut [FixedBitSet],
+                configs: &mut Vec<(usize, usize)>,
+                worklist: &mut std::collections::VecDeque<(usize, usize)>|
+     -> bool {
+        if !dfa.is_accepting(p) && alive[p].contains(u) && doomed[p].insert(u) {
+            configs.push((p, u));
+            worklist.push_back((p, u));
+            if configs.len() as f64 > budget {
+                return false;
+            }
+        }
+        true
+    };
+
+    for (&(p, u), &k) in &losses {
+        let slot = &mut supports[p][u];
+        if *slot == u8::MAX {
+            stale[p].insert(u);
+        } else {
+            *slot = slot.saturating_sub(k.min(u8::MAX as u32) as u8);
+        }
+        if !doom(
+            p,
+            u,
+            &scratch.alive,
+            &mut doomed,
+            &mut doomed_configs,
+            &mut worklist,
+        ) {
+            return None;
+        }
+    }
+    let mut rev_dfa: Vec<Vec<(LabelId, usize)>> = vec![Vec::new(); s];
+    for state in 0..s {
+        for (label, target) in dfa.transitions_from(state) {
+            rev_dfa[target].push((label, state));
+        }
+    }
+    while let Some((q, v)) = worklist.pop_front() {
+        scratch.alive[q].remove(v);
+        for &(label, p) in &rev_dfa[q] {
+            for &w in index.neighbors(Direction::Reverse, label, v) {
+                let w = w as usize;
+                let slot = &mut supports[p][w];
+                if *slot == u8::MAX {
+                    stale[p].insert(w);
+                } else {
+                    *slot = slot.saturating_sub(1);
+                }
+                if !doom(
+                    p,
+                    w,
+                    &scratch.alive,
+                    &mut doomed,
+                    &mut doomed_configs,
+                    &mut worklist,
+                ) {
+                    return None;
+                }
+            }
+        }
+    }
+    let overdeleted = doomed_configs.len() as u64;
+    // Exact recount for every counter a decrement found saturated, against
+    // the post-over-delete alive sets — from here on each counter is either
+    // exact or a true 255 again.
+    for (p, dirty) in stale.iter().enumerate() {
+        for w in dirty.ones() {
+            supports[p][w] = recount_support(index, dfa, &scratch.alive, p, w);
+        }
+    }
+
+    // --- Re-derive --------------------------------------------------------
+    // Supports now count derivations through survivors only, so a doomed
+    // configuration with a positive count is derivable from the surviving
+    // boundary: revive it and push to closure.  Only doomed configurations
+    // can revive — everything else alive-eligible survived over-delete.
+    for set in scratch.frontier.iter_mut().chain(scratch.next.iter_mut()) {
+        set.clear();
+    }
+    for &(p, u) in &doomed_configs {
+        if supports[p][u] > 0 && scratch.alive[p].insert(u) {
+            scratch.frontier[p].insert(u);
+        }
+    }
+    loop {
+        let mut progress = false;
+        for (q, transitions) in rev_dfa.iter().enumerate() {
+            if scratch.frontier[q].is_empty() {
+                continue;
+            }
+            for &(label, p) in transitions {
+                for v in scratch.frontier[q].ones() {
+                    for &w in index.neighbors(Direction::Reverse, label, v) {
+                        let w = w as usize;
+                        let slot = &mut supports[p][w];
+                        *slot = slot.saturating_add(1);
+                        if doomed[p].contains(w) && scratch.alive[p].insert(w) {
+                            scratch.next[p].insert(w);
+                            progress = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !progress {
+            break;
+        }
+        rounds += 1;
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+        for bits in &mut scratch.next {
+            bits.clear();
+        }
+    }
+
+    let (answer, rounds, next_resume) = pack_result(n, dfa, scratch, supports, rounds);
+    Some((answer, rounds, overdeleted, next_resume))
 }
 
 /// Forward single-source check: does some path from `source` spell an
@@ -762,5 +1105,103 @@ mod tests {
         for plan in [Plan::Reverse, Plan::Forward, Plan::Bidirectional] {
             assert_eq!(eval(&g, &dfa, plan).len(), 2, "{plan:?}");
         }
+    }
+
+    /// Captures a seed on `g`, applies `mutate` on a [`DeltaGraph`] over it,
+    /// and returns the delete-aware resumed answer + seed alongside the
+    /// patched graph (panicking if the resume bails).
+    fn resume_removal_case(
+        g: &Graph,
+        dfa: &Dfa,
+        limit: f64,
+        mutate: impl FnOnce(&mut gps_graph::DeltaGraph),
+    ) -> Option<(QueryAnswer, EvalResume, gps_graph::CsrGraph, LabelIndex)> {
+        let index = LabelIndex::from_backend(g);
+        let mut scratch = Scratch::default();
+        let (_, _, resume) = evaluate_captured(&index, dfa, Plan::Bidirectional, &mut scratch);
+        let resume = resume.expect("base capture");
+        let base = std::sync::Arc::new(gps_graph::CsrGraph::from_graph(g));
+        let mut delta = gps_graph::DeltaGraph::new(base);
+        mutate(&mut delta);
+        let summary = delta.delta();
+        let compacted = delta.compact();
+        let patched = index.apply_delta(&summary, compacted.node_count(), compacted.label_count());
+        let (answer, _, _, next) =
+            resume_with_removals(&patched, dfa, &resume, &summary, &mut scratch, limit)?;
+        Some((answer, next, compacted, patched))
+    }
+
+    #[test]
+    fn removal_in_a_cycle_kills_non_well_founded_derivations() {
+        // a --x--> b --x--> a and b --y--> c, query `x*.y`.  Removing the
+        // only `y` edge leaves (s0,a) and (s0,b) supporting each other
+        // through the x-cycle; pure count-to-zero propagation would keep
+        // both alive.  The DRed over-delete must doom the whole cycle and
+        // re-derivation must revive nothing.
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge_by_name(a, "x", b);
+        g.add_edge_by_name(b, "x", a);
+        g.add_edge_by_name(b, "y", c);
+        let x = g.label_id("x").unwrap();
+        let y = g.label_id("y").unwrap();
+        let dfa = Dfa::from_regex(&Regex::concat([
+            Regex::star(Regex::symbol(x)),
+            Regex::symbol(y),
+        ]));
+        let (answer, next, compacted, patched) = resume_removal_case(&g, &dfa, 1.0, |delta| {
+            assert!(delta.remove_edge(b, y, c));
+        })
+        .expect("within budget");
+        assert!(answer.is_empty(), "the cycle must not keep itself alive");
+        assert_eq!(answer, gps_rpq::eval::evaluate(&compacted, &dfa));
+        // The produced seed must equal a from-scratch capture on the
+        // patched graph — words and support counts both.
+        let mut scratch = Scratch::default();
+        let (_, _, fresh) = evaluate_captured(&patched, &dfa, Plan::Bidirectional, &mut scratch);
+        assert_eq!(next, fresh.expect("fresh capture"));
+    }
+
+    #[test]
+    fn mixed_delta_matches_cold_evaluation() {
+        // Remove one derivation of a multi-supported configuration and add a
+        // replacement edge in the same delta: the surviving support must keep
+        // N1 selected without re-derivation, and the insert must extend the
+        // answer — all byte-identical to a cold evaluation.
+        let g = figure1_like();
+        let dfa = motivating(&g);
+        let n1 = NodeId::from(0usize);
+        let n2 = NodeId::from(1usize);
+        let n4 = NodeId::from(2usize);
+        let tram = g.label_id("tram").unwrap();
+        let bus = g.label_id("bus").unwrap();
+        let (answer, next, compacted, patched) = resume_removal_case(&g, &dfa, 1.0, |delta| {
+            let n5 = delta.add_node("N5");
+            delta.add_edge(n2, tram, n5);
+            delta.add_edge(n5, bus, n4);
+            assert!(delta.remove_edge(n2, bus, n1));
+        })
+        .expect("within budget");
+        assert_eq!(answer, gps_rpq::eval::evaluate(&compacted, &dfa));
+        assert!(answer.contains(n1), "N1 still reaches the cinema via tram");
+        let mut scratch = Scratch::default();
+        let (_, _, fresh) = evaluate_captured(&patched, &dfa, Plan::Bidirectional, &mut scratch);
+        assert_eq!(next, fresh.expect("fresh capture"));
+    }
+
+    #[test]
+    fn overdelete_budget_zero_bails_to_cold() {
+        let g = figure1_like();
+        let dfa = motivating(&g);
+        let n1 = NodeId::from(0usize);
+        let bus = g.label_id("bus").unwrap();
+        // Removing N2's only outgoing edge dooms (at least) one non-accepting
+        // configuration, which a zero budget refuses to over-delete.
+        let bailed = resume_removal_case(&g, &dfa, 0.0, |delta| {
+            assert!(delta.remove_edge(NodeId::from(1usize), bus, n1));
+        });
+        assert!(bailed.is_none(), "budget 0.0 must force the cold fallback");
     }
 }

@@ -58,7 +58,7 @@ pub mod planner;
 
 pub use batch::{BatchEvaluator, ParallelSplit};
 pub use bitset::{FixedBitSet, SparseBitSet};
-pub use frontier::{FrontierPolicy, SPARSE_FRONTIER_NODES};
+pub use frontier::{FrontierPolicy, DEFAULT_OVERDELETE_LIMIT, SPARSE_FRONTIER_NODES};
 pub use index::{Direction, LabelIndex};
 pub use metrics::ExecMetrics;
 pub use planner::{Plan, PlanDecision, PlannerConfig};

@@ -37,6 +37,12 @@ pub struct ExecMetrics {
     ///
     /// [`LabelIndex`]: crate::LabelIndex
     pub index_shards: Gauge,
+    /// `gps_exec_support_overdeleted_total` — configurations transitively
+    /// over-deleted by delete-aware resumes
+    /// ([`resume_with_removals`](crate::frontier::resume_with_removals));
+    /// re-derivation revives the still-derivable ones, so this counts the
+    /// DRed sweep's working-set size, not lost answers.
+    pub support_overdeleted: Counter,
 }
 
 impl ExecMetrics {
@@ -57,6 +63,7 @@ impl ExecMetrics {
             plan_bidirectional: registry.counter("gps_exec_plan_bidirectional_total"),
             index_build: registry.histogram("gps_exec_index_build_ns"),
             index_shards: registry.gauge("gps_exec_index_shards"),
+            support_overdeleted: registry.counter("gps_exec_support_overdeleted_total"),
         }
     }
 

@@ -90,11 +90,23 @@ pub struct MigrationReport {
     /// (Tier 1), zero recomputation.
     pub carried: usize,
     /// Touched entries re-derived from their seeded fixed point restricted
-    /// to the delta (Tier 2, insert-only deltas).
+    /// to an insert-only delta (Tier 2).
     pub reseeded: usize,
-    /// Touched entries dropped to a cold recompute on next use (deletion
-    /// deltas, or no captured seed to resume from).
+    /// Touched entries re-derived across a removal-bearing delta by the
+    /// over-delete/re-derive sweep (Tier 3).
+    pub delete_reseeded: usize,
+    /// Touched entries dropped to a cold recompute on next use — always the
+    /// sum of the three `fallback_*` reasons.
     pub recomputed: usize,
+    /// Cold fallbacks where the resume itself gave up: the removal's
+    /// over-delete cone blew the saturation budget (or the seed's shape no
+    /// longer matched the snapshot).
+    pub fallback_saturation: usize,
+    /// Cold fallbacks because the entry never captured a resumable seed.
+    pub fallback_no_seed: usize,
+    /// Cold fallbacks because the new cache hit its capacity before the
+    /// entry's recency rank came up.
+    pub fallback_evicted: usize,
 }
 
 /// A concurrent, bounded evaluation cache bound to one graph snapshot.
@@ -126,10 +138,16 @@ pub struct EvalCache {
     evictions: Counter,
     word_evictions: Counter,
     /// Epoch-migration split: answers carried verbatim (Tier 1), re-derived
-    /// from their seed (Tier 2), and dropped to a cold recompute.
+    /// from their seed across insert-only deltas (Tier 2) or removal-bearing
+    /// deltas (Tier 3), and dropped to a cold recompute — the latter further
+    /// attributed to a reason trio whose sum is the legacy `fallback` series.
     carried: Counter,
     reseeded: Counter,
+    delete_reseeded: Counter,
     fallback: Counter,
+    fallback_saturation: Counter,
+    fallback_no_seed: Counter,
+    fallback_evicted: Counter,
     /// Entries (answers + word snapshots) dropped when the cache's epoch was
     /// retired — the eviction attribution of the epoch swap.
     retired_entries: Counter,
@@ -139,6 +157,9 @@ pub struct EvalCache {
     /// `gps_rpq_reseed_latency_ns` — wall time of one Tier-2 seeded
     /// re-derivation at publish.
     reseed_latency: Histogram,
+    /// `gps_rpq_delete_reseed_latency_ns` — wall time of one Tier-3
+    /// over-delete/re-derive at publish.
+    delete_reseed_latency: Histogram,
     tick: AtomicU64,
     /// Set once the snapshot this cache serves has been superseded by a
     /// newer epoch and every entry has been dropped (see
@@ -187,10 +208,15 @@ impl EvalCache {
             word_evictions: Counter::standalone(),
             carried: Counter::standalone(),
             reseeded: Counter::standalone(),
+            delete_reseeded: Counter::standalone(),
             fallback: Counter::standalone(),
+            fallback_saturation: Counter::standalone(),
+            fallback_no_seed: Counter::standalone(),
+            fallback_evicted: Counter::standalone(),
             retired_entries: Counter::standalone(),
             eval_latency: Histogram::disabled(),
             reseed_latency: Histogram::disabled(),
+            delete_reseed_latency: Histogram::disabled(),
             tick: AtomicU64::new(0),
             retired: AtomicBool::new(false),
         }
@@ -212,10 +238,15 @@ impl EvalCache {
             self.word_evictions = registry.counter("gps_rpq_cache_word_evictions_total");
             self.carried = registry.counter("gps_rpq_cache_carried_total");
             self.reseeded = registry.counter("gps_rpq_cache_reseeded_total");
+            self.delete_reseeded = registry.counter("gps_rpq_cache_delete_reseeded_total");
             self.fallback = registry.counter("gps_rpq_cache_fallback_total");
+            self.fallback_saturation = registry.counter("gps_rpq_cache_fallback_saturation_total");
+            self.fallback_no_seed = registry.counter("gps_rpq_cache_fallback_no_seed_total");
+            self.fallback_evicted = registry.counter("gps_rpq_cache_fallback_evicted_total");
             self.retired_entries = registry.counter("gps_rpq_cache_retired_total");
             self.eval_latency = registry.histogram("gps_rpq_eval_latency_ns");
             self.reseed_latency = registry.histogram("gps_rpq_reseed_latency_ns");
+            self.delete_reseed_latency = registry.histogram("gps_rpq_delete_reseed_latency_ns");
         }
         self
     }
@@ -283,7 +314,7 @@ impl EvalCache {
     }
 
     /// Migrates `old`'s (the superseded epoch's) cached answers into this
-    /// (new-epoch) cache across `delta`, in two tiers:
+    /// (new-epoch) cache across `delta`, in three tiers:
     ///
     /// * **Tier 1 — proof of irrelevance.** An entry whose DFA alphabet
     ///   misses every touched label cannot observe the delta: edges with
@@ -294,15 +325,29 @@ impl EvalCache {
     ///   nullability, since a node whose every edge is alphabet-irrelevant is
     ///   selected iff the language contains the empty word).
     /// * **Tier 2 — delta-restricted re-derivation.** A touched entry with a
-    ///   captured seed is re-derived by resuming its fixed point restricted
-    ///   to the delta ([`DfaEvaluator::evaluate_dfa_resumed`]) — sound only
-    ///   for insert-only deltas (the fixed point is monotone in the edge
-    ///   set).  Any delta containing a removal, and any entry without a
-    ///   seed, falls back to a cold recompute on next use instead.
+    ///   captured seed on an *insert-only* delta resumes its fixed point
+    ///   restricted to the delta ([`DfaEvaluator::evaluate_dfa_resumed`]) —
+    ///   the fixed point is monotone in the edge set, so inserts only grow
+    ///   it.
+    /// * **Tier 3 — over-delete/re-derive.** A touched entry with a seed on
+    ///   a *removal-bearing* delta takes the delete-aware resume: support
+    ///   counts are decremented along removed edges, zero-support
+    ///   configurations are transitively over-deleted, and the survivors
+    ///   re-seed a push-only re-derivation (mixed insert+delete deltas run
+    ///   the insert sweep first, then the removal sweep — one unified path).
+    ///
+    /// Everything else falls back to a cold recompute on next use, with the
+    /// reason attributed: `fallback_saturation` (the resume gave up — the
+    /// over-delete cone blew the configured budget, or the seed's shape no
+    /// longer matched), `fallback_no_seed` (nothing captured to resume
+    /// from), or `fallback_evicted` (the new cache filled before this
+    /// entry's recency rank came up); `recomputed` is always their sum.
     ///
     /// Recency ticks carry over, so LRU ordering survives the epoch swap;
-    /// the split is recorded on the `carried`/`reseeded`/`fallback` counters
-    /// and each reseed's wall time on `gps_rpq_reseed_latency_ns`.
+    /// the split is recorded on the `carried`/`reseeded`/`delete_reseeded`/
+    /// `fallback*` counters and each reseed's wall time on
+    /// `gps_rpq_reseed_latency_ns` (Tier 2) or
+    /// `gps_rpq_delete_reseed_latency_ns` (Tier 3).
     pub fn migrate_answers(&self, old: &EvalCache, delta: &GraphDelta) -> MigrationReport {
         let mut report = MigrationReport::default();
         let touched = delta.touched_labels();
@@ -317,9 +362,15 @@ impl EvalCache {
         let mut ordered: Vec<(&Regex, &Entry)> = old_entries.iter().collect();
         ordered
             .sort_by_key(|(_, entry)| std::cmp::Reverse(entry.last_used.load(Ordering::Relaxed)));
+        let total = ordered.len();
         let mut entries = self.answers.write();
-        for (regex, entry) in ordered {
+        for (rank, (regex, entry)) in ordered.into_iter().enumerate() {
             if entries.len() >= self.capacity {
+                // Everything below the capacity line recomputes cold on its
+                // next use; attribute the whole tail in one step.
+                let evicted = total - rank;
+                report.recomputed += evicted;
+                report.fallback_evicted += evicted;
                 break;
             }
             let untouched = !entry.alphabet.iter().any(|label| touched.contains(&label));
@@ -344,23 +395,27 @@ impl EvalCache {
                     last_used: AtomicU64::new(entry.last_used.load(Ordering::Relaxed)),
                 }
             } else {
-                let reseeded = if insert_only {
-                    entry.resume.as_ref().and_then(|resume| {
-                        let span = self.reseed_latency.start_timer();
-                        let outcome = self
-                            .evaluator
-                            .evaluate_dfa_resumed(&entry.dfa, resume, delta);
-                        if outcome.is_none() {
-                            span.cancel();
-                        }
-                        outcome
-                    })
-                } else {
-                    None
-                };
+                let reseeded = entry.resume.as_ref().and_then(|resume| {
+                    let span = if insert_only {
+                        self.reseed_latency.start_timer()
+                    } else {
+                        self.delete_reseed_latency.start_timer()
+                    };
+                    let outcome = self
+                        .evaluator
+                        .evaluate_dfa_resumed(&entry.dfa, resume, delta);
+                    if outcome.is_none() {
+                        span.cancel();
+                    }
+                    outcome
+                });
                 match reseeded {
                     Some((answer, resume)) => {
-                        report.reseeded += 1;
+                        if insert_only {
+                            report.reseeded += 1;
+                        } else {
+                            report.delete_reseeded += 1;
+                        }
                         Entry {
                             answer: Arc::new(answer),
                             alphabet: entry.alphabet.clone(),
@@ -372,6 +427,14 @@ impl EvalCache {
                     }
                     None => {
                         report.recomputed += 1;
+                        if entry.resume.is_some() {
+                            // The evaluator declined the seed: over-delete
+                            // budget blown, shape mismatch, or (naive
+                            // evaluator) no resume support at all.
+                            report.fallback_saturation += 1;
+                        } else {
+                            report.fallback_no_seed += 1;
+                        }
                         continue;
                     }
                 }
@@ -380,7 +443,12 @@ impl EvalCache {
         }
         self.carried.add(report.carried as u64);
         self.reseeded.add(report.reseeded as u64);
+        self.delete_reseeded.add(report.delete_reseeded as u64);
         self.fallback.add(report.recomputed as u64);
+        self.fallback_saturation
+            .add(report.fallback_saturation as u64);
+        self.fallback_no_seed.add(report.fallback_no_seed as u64);
+        self.fallback_evicted.add(report.fallback_evicted as u64);
         report
     }
 
@@ -1190,8 +1258,7 @@ mod tests {
             report,
             MigrationReport {
                 carried: 2,
-                reseeded: 0,
-                recomputed: 0
+                ..MigrationReport::default()
             }
         );
         assert_eq!(new_cache.len(), 2);
@@ -1266,15 +1333,56 @@ mod tests {
         assert_eq!(
             report,
             MigrationReport {
-                carried: 0,
-                reseeded: 0,
-                recomputed: 1
+                recomputed: 1,
+                fallback_no_seed: 1,
+                ..MigrationReport::default()
             }
         );
         assert!(new_cache.is_empty(), "touched entry dropped, not carried");
         // The cold recompute on next use is correct for the new graph.
         let recomputed = new_cache.evaluate(&q);
         assert!(!recomputed.contains(g.node_by_name("A").unwrap()));
+    }
+
+    #[test]
+    fn migrate_answers_attributes_capacity_overflow_to_eviction() {
+        use gps_graph::DeltaGraph;
+
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_edge_by_name(a, "x", b);
+        let base = Arc::new(CsrGraph::from_graph(&g));
+        let old_cache = EvalCache::from_csr((*base).clone());
+        let x = g.label_id("x").unwrap();
+        for regex in [
+            Regex::symbol(x),
+            Regex::star(Regex::symbol(x)),
+            Regex::concat([Regex::symbol(x), Regex::symbol(x)]),
+        ] {
+            old_cache.evaluate(&regex);
+        }
+
+        // A label-disjoint delta would carry all three, but the new cache
+        // only holds two: the coldest entry is attributed to eviction.
+        let mut delta = DeltaGraph::new(Arc::clone(&base));
+        let w = delta.add_node("W");
+        let z = delta.label("z");
+        delta.add_edge(b, z, w);
+        let summary = delta.delta();
+
+        let new_cache = EvalCache::from_csr(delta.compact()).with_capacity(2);
+        let report = new_cache.migrate_answers(&old_cache, &summary);
+        assert_eq!(
+            report,
+            MigrationReport {
+                carried: 2,
+                recomputed: 1,
+                fallback_evicted: 1,
+                ..MigrationReport::default()
+            }
+        );
+        assert_eq!(new_cache.len(), 2);
     }
 
     #[test]

@@ -63,25 +63,39 @@ impl QueryAnswer {
 
 /// A portable snapshot of a *completed* product fixed point: for every DFA
 /// state, the packed bit-words of its alive-node set (one bit per node, 64
-/// nodes per word, little-endian within each word).
+/// nodes per word, little-endian within each word), plus a per-state
+/// **support** array — for each configuration `(node, state)`, the number of
+/// distinct edge-derivations it has (one per `(DFA transition, graph edge)`
+/// pair whose target configuration is alive), saturated at 255.
 ///
-/// An answer cache stores one of these next to each answer so that after an
-/// insert-only [`GraphDelta`] the fixed point can be re-entered from the old
-/// alive sets (monotone, so it converges to the new answer) instead of from
-/// zero.  The snapshot is only a valid seed when it describes a true fixed
-/// point of the old graph — evaluators that early-exit once the start state
-/// saturates must not capture one.
+/// An answer cache stores one of these next to each answer so that after a
+/// [`GraphDelta`] the fixed point can be re-entered from the old alive sets
+/// instead of from zero: insert-only deltas resume monotonically, and deltas
+/// with removals run a DRed-style over-delete/re-derive sweep that uses the
+/// support counts to find the still-derivable boundary.  The snapshot is only
+/// a valid seed when it describes a true fixed point of the old graph —
+/// evaluators that early-exit once the start state saturates must not capture
+/// one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalResume {
     nodes: usize,
     states: Vec<Vec<u64>>,
+    supports: Vec<Vec<u8>>,
 }
 
 impl EvalResume {
     /// Packs a captured fixed point: `states[q]` holds the bit-words of DFA
-    /// state `q`'s alive set over a universe of `nodes` nodes.
-    pub fn new(nodes: usize, states: Vec<Vec<u64>>) -> Self {
-        Self { nodes, states }
+    /// state `q`'s alive set over a universe of `nodes` nodes, and
+    /// `supports[q][v]` the saturating derivation count of configuration
+    /// `(v, q)` (0 for dead configurations).
+    pub fn new(nodes: usize, states: Vec<Vec<u64>>, supports: Vec<Vec<u8>>) -> Self {
+        debug_assert_eq!(states.len(), supports.len());
+        debug_assert!(supports.iter().all(|sup| sup.len() == nodes));
+        Self {
+            nodes,
+            states,
+            supports,
+        }
     }
 
     /// The node count of the graph the fixed point was computed on.  A later
@@ -99,6 +113,13 @@ impl EvalResume {
     /// The packed alive-set words of DFA state `state`.
     pub fn state_words(&self, state: usize) -> &[u64] {
         &self.states[state]
+    }
+
+    /// The per-node saturating derivation counts of DFA state `state`
+    /// (indexed by node, `min(true support, 255)`; 0 for dead
+    /// configurations).
+    pub fn state_supports(&self, state: usize) -> &[u8] {
+        &self.supports[state]
     }
 }
 
@@ -227,13 +248,16 @@ pub trait DfaEvaluator: std::fmt::Debug + Send + Sync {
 
     /// Re-derives `dfa`'s answer on this evaluator's (post-delta) graph by
     /// resuming the product fixed point from `resume` — the captured alive
-    /// sets of the *pre-delta* evaluation — expanding only what `delta`'s
-    /// added edges can newly derive.
+    /// sets and support counts of the *pre-delta* evaluation.  Insert-only
+    /// deltas expand monotonically from the seed; deltas with removals
+    /// additionally run a DRed-style over-delete/re-derive sweep over the
+    /// removed edges' derivation cones.
     ///
-    /// Only sound for insert-only deltas (the fixed point is monotone in the
-    /// edge set); returns `None` when the delta contains removals, when the
-    /// seed does not match the DFA, or when the engine has no resumable
-    /// entry point (the default).
+    /// Returns `None` when the seed does not match the DFA, when a removal's
+    /// over-delete cone would exceed the engine's configured fraction of the
+    /// alive configuration set (the saturation fallback — a cold recompute
+    /// is cheaper at that point), or when the engine has no resumable entry
+    /// point (the default).
     fn evaluate_dfa_resumed(
         &self,
         _dfa: &Dfa,

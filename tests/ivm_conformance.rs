@@ -11,9 +11,14 @@
 //!    epochs that *do* touch the query alphabet, the seeded delta-restricted
 //!    fixed point produces exactly the cold-evaluation answers, under every
 //!    [`EvalMode`]; the frontier modes actually take the reseed path.
-//! 3. **Deletions always fall back.**  Any delta containing a removal never
-//!    reseeds (the fixed point is only monotone under insertion) — touched
-//!    entries are recomputed cold, and the answers stay correct.
+//! 3. **Tier-3 delete-reseeds converge.**  Deltas containing removals take
+//!    the delete-aware over-delete/re-derive path in the frontier modes:
+//!    support counts are decremented along removed edges, zero-support
+//!    configurations over-deleted transitively, survivors re-derived — and
+//!    the migrated answers are byte-identical to cold evaluation across
+//!    chained random **mixed** insert+delete epochs.  The naive evaluator
+//!    captures no seed and still recomputes cold, and a saturation budget of
+//!    `0.0` restores the recompute-everything behavior.
 
 use gps_core::prelude::*;
 use gps_core::service::GpsService;
@@ -218,9 +223,16 @@ fn insert_only_epochs_reseed_to_exactly_the_cold_answers() {
             let report = service.update(update).unwrap();
             assert_eq!(report.epoch, epoch, "{mode:?}");
             assert_eq!(
-                report.carried_answers + report.reseeded_answers + report.recomputed_answers,
+                report.carried_answers
+                    + report.reseeded_answers
+                    + report.delete_reseeded_answers
+                    + report.recomputed_answers,
                 queries.len(),
                 "{mode:?}, epoch {epoch}: the migration split partitions the cache"
+            );
+            assert_eq!(
+                report.delete_reseeded_answers, 0,
+                "{mode:?}, epoch {epoch}: insert-only deltas never take the delete path"
             );
             reseeded += report.reseeded_answers;
             assert_matches_cold(&service, &queries, &format!("{mode:?}, epoch {epoch}"));
@@ -281,10 +293,10 @@ fn start_state_saturating_queries_still_capture_and_reseed() {
     }
 }
 
-// ------------------------------------------------- 3. deletions fall back
+// ------------------------------------------- 3. Tier-3 delete-reseed exact
 
 #[test]
-fn deletion_deltas_never_reseed_and_stay_correct() {
+fn deletion_deltas_delete_reseed_and_stay_correct() {
     let graph = scale_free_graph(400);
     for mode in MODES {
         let service = GpsService::new(Engine::builder(graph.clone()).eval_mode(mode).build_core());
@@ -311,16 +323,165 @@ fn deletion_deltas_never_reseed_and_stay_correct() {
         let report = service.update(update).unwrap();
         assert_eq!(
             report.reseeded_answers, 0,
-            "{mode:?}: a delta with a removal must never take the monotone reseed path"
+            "{mode:?}: a removal-bearing delta never takes the monotone insert-only path"
         );
-        assert!(
-            report.recomputed_answers > 0,
-            "{mode:?}: queries reading a0/a1 fall back to recomputation"
-        );
+        match mode {
+            EvalMode::Naive => {
+                assert_eq!(
+                    report.delete_reseeded_answers, 0,
+                    "Naive: no captured seed, no delete-reseed"
+                );
+                assert!(
+                    report.recomputed_answers > 0,
+                    "Naive: queries reading a0/a1 fall back to recomputation"
+                );
+            }
+            _ => {
+                assert!(
+                    report.delete_reseeded_answers > 0,
+                    "{mode:?}: touched seeds must take the delete-aware resume"
+                );
+                assert_eq!(
+                    report.recomputed_answers, 0,
+                    "{mode:?}: a tiny removal must stay under the saturation budget"
+                );
+            }
+        }
         assert!(
             report.carried_answers > 0,
             "{mode:?}: queries not reading a0/a1 are still carried"
         );
         assert_matches_cold(&service, &queries, &format!("{mode:?}, after removal"));
     }
+}
+
+/// One random mixed publish against the *current* snapshot: a fresh node,
+/// a couple of random `a0..a3` insertions, and `removals` random existing
+/// `a0..a3` edges removed — every epoch both grows and shrinks the graph.
+fn random_mixed_update(
+    snapshot: &CsrGraph,
+    rng: &mut StdRng,
+    round: usize,
+    removals: usize,
+) -> GraphUpdate {
+    let n = snapshot.node_count();
+    let pick = |rng: &mut StdRng| {
+        snapshot
+            .node_name(NodeId::from(rng.gen_range(0..n)))
+            .to_string()
+    };
+    let fresh = format!("mix{round}");
+    let mut update =
+        GraphUpdate::new()
+            .add_node(fresh.clone())
+            .add_edge(fresh.as_str(), "a1", pick(rng));
+    for _ in 0..2 {
+        let label = format!("a{}", rng.gen_range(0..4u32));
+        update = update.add_edge(pick(rng), label, pick(rng));
+    }
+    let alphabet: Vec<Edge> = snapshot
+        .edges_by_source()
+        .map(|(_, edge)| edge)
+        .filter(|edge| {
+            snapshot
+                .labels()
+                .name(edge.label)
+                .is_some_and(|name| name.starts_with('a'))
+        })
+        .collect();
+    assert!(
+        !alphabet.is_empty(),
+        "round {round}: nothing left to remove"
+    );
+    for _ in 0..removals {
+        let edge = &alphabet[rng.gen_range(0..alphabet.len())];
+        update = update.remove_edge(
+            snapshot.node_name(edge.source),
+            snapshot.labels().name(edge.label).unwrap(),
+            snapshot.node_name(edge.target),
+        );
+    }
+    update
+}
+
+#[test]
+fn chained_mixed_epochs_match_cold_evaluation_in_every_mode() {
+    let graph = scale_free_graph(400);
+    for mode in MODES {
+        let service = GpsService::new(Engine::builder(graph.clone()).eval_mode(mode).build_core());
+        let queries = warm_queries(&graph);
+        warm(&service, &queries);
+        let mut rng = StdRng::seed_from_u64(0x0D37_E7E5);
+        let mut delete_reseeded = 0usize;
+        for epoch in 1..=5u64 {
+            let update = {
+                let core = service.core();
+                random_mixed_update(core.snapshot(), &mut rng, epoch as usize, 2)
+            };
+            let report = service.update(update).unwrap();
+            assert_eq!(report.epoch, epoch, "{mode:?}");
+            assert!(report.removed_edges > 0, "{mode:?}: every epoch removes");
+            assert_eq!(
+                report.carried_answers
+                    + report.reseeded_answers
+                    + report.delete_reseeded_answers
+                    + report.recomputed_answers,
+                queries.len(),
+                "{mode:?}, epoch {epoch}: the migration split partitions the cache"
+            );
+            assert_eq!(
+                report.reseeded_answers, 0,
+                "{mode:?}, epoch {epoch}: mixed deltas never take the insert-only tier"
+            );
+            delete_reseeded += report.delete_reseeded_answers;
+            // Every live answer — migrated through the delete-aware resume or
+            // recomputed — must be byte-identical to a cold evaluation.
+            assert_matches_cold(
+                &service,
+                &queries,
+                &format!("{mode:?}, mixed epoch {epoch}"),
+            );
+            // Re-warm whatever fell out so the next epoch migrates a full
+            // cache again.
+            warm(&service, &queries);
+        }
+        match mode {
+            EvalMode::Naive => assert_eq!(
+                delete_reseeded, 0,
+                "Naive: the delete-reseed path requires a captured seed"
+            ),
+            _ => assert!(
+                delete_reseeded > 0,
+                "{mode:?}: chained mixed epochs must exercise the delete-aware resume"
+            ),
+        }
+    }
+}
+
+#[test]
+fn zero_saturation_budget_disables_the_delete_path() {
+    let graph = scale_free_graph(400);
+    let service = GpsService::new(
+        Engine::builder(graph.clone())
+            .eval_mode(EvalMode::Frontier)
+            .delete_reseed_saturation(0.0)
+            .build_core(),
+    );
+    let queries = warm_queries(&graph);
+    warm(&service, &queries);
+    let mut rng = StdRng::seed_from_u64(0x0D15_AB7E);
+    let update = {
+        let core = service.core();
+        random_mixed_update(core.snapshot(), &mut rng, 1, 2)
+    };
+    let report = service.update(update).unwrap();
+    assert_eq!(
+        report.delete_reseeded_answers, 0,
+        "budget 0.0: the first over-deleted configuration forces the fallback"
+    );
+    assert!(
+        report.recomputed_answers > 0,
+        "touched entries recompute cold instead"
+    );
+    assert_matches_cold(&service, &queries, "zero saturation budget");
 }

@@ -159,7 +159,9 @@ fn mixed_workload_exports_are_complete_and_valid() {
             .checkpoint_every_n_publishes(2)
     };
 
-    // Serve + update (two publishes trigger a checkpoint), then drop.
+    // Serve + update (two publishes trigger a checkpoint) + one
+    // removal-bearing publish that drives the Tier-3 delete-reseed, then
+    // drop.
     {
         let (svc, report) =
             GpsService::open_durable(&dir, builder().metrics(Arc::clone(&registry))).unwrap();
@@ -173,6 +175,17 @@ fn mixed_workload_exports_are_complete_and_valid() {
         .unwrap();
         svc.update(GraphUpdate::new().add_edge("C9", "bus", "N1"))
             .unwrap();
+        let report = svc
+            .update(
+                GraphUpdate::new()
+                    .remove_edge("C9", "bus", "N1")
+                    .add_edge("C9", "tram", "N1"),
+            )
+            .unwrap();
+        assert!(
+            report.delete_reseeded_answers > 0,
+            "the removal publish must exercise the delete-aware resume"
+        );
     }
 
     // Recover into the same registry and serve again.
@@ -189,6 +202,12 @@ fn mixed_workload_exports_are_complete_and_valid() {
         "gps_exec_index_shards",
         "gps_rpq_cache_hits_total",
         "gps_rpq_cache_misses_total",
+        "gps_rpq_cache_delete_reseeded_total",
+        "gps_rpq_cache_fallback_saturation_total",
+        "gps_rpq_cache_fallback_no_seed_total",
+        "gps_rpq_cache_fallback_evicted_total",
+        "gps_rpq_delete_reseed_latency_ns",
+        "gps_exec_support_overdeleted_total",
         "gps_core_publish_latency_ns",
         "gps_core_recovery_replay_ns",
         "gps_store_fsyncs_total",
@@ -223,13 +242,35 @@ fn mixed_workload_exports_are_complete_and_valid() {
     assert!(snapshot.counter("gps_store_fsyncs_total").unwrap() >= 2);
     assert!(snapshot.counter("gps_store_wal_bytes_total").unwrap() > 0);
     assert!(snapshot.counter("gps_store_checkpoints_total").unwrap() >= 1);
-    assert_eq!(snapshot.counter("gps_core_publishes_total"), Some(2));
+    assert_eq!(snapshot.counter("gps_core_publishes_total"), Some(3));
     assert_eq!(
         snapshot.counter("gps_core_checkpoint_errors_total"),
         Some(0)
     );
     let publish_latency = snapshot.histogram("gps_core_publish_latency_ns").unwrap();
-    assert_eq!(publish_latency.count, 2);
+    assert_eq!(publish_latency.count, 3);
+    // The removal publish recorded the Tier-3 split: delete-reseeds happened,
+    // and the legacy fallback series equals its reason trio's sum.
+    assert!(
+        snapshot
+            .counter("gps_rpq_cache_delete_reseeded_total")
+            .unwrap()
+            > 0
+    );
+    let reasons = snapshot
+        .counter("gps_rpq_cache_fallback_saturation_total")
+        .unwrap()
+        + snapshot
+            .counter("gps_rpq_cache_fallback_no_seed_total")
+            .unwrap()
+        + snapshot
+            .counter("gps_rpq_cache_fallback_evicted_total")
+            .unwrap();
+    assert_eq!(
+        snapshot.counter("gps_rpq_cache_fallback_total").unwrap(),
+        reasons,
+        "the fallback series must stay the sum of its reasons"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
